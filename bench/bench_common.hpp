@@ -1,0 +1,71 @@
+#pragma once
+
+// Shared helpers for the paper-reproduction benchmark harness: dataset
+// caching, the nine Fig. 3 benchmark points, and result table printing.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/gpu_model.hpp"
+#include "core/gnnerator.hpp"
+#include "gnn/layers.hpp"
+#include "graph/datasets.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace gnnerator::bench {
+
+/// Structure-only datasets are enough for timing runs; cache them because
+/// several benchmarks sweep over the same three graphs.
+inline const graph::Dataset& dataset(const std::string& name) {
+  static std::map<std::string, graph::Dataset> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, graph::make_dataset_by_name(name, /*seed=*/1,
+                                                         /*with_features=*/false))
+             .first;
+  }
+  return it->second;
+}
+
+/// One of the paper's nine benchmark points ("cora-gcn", ... Fig. 3).
+struct BenchPoint {
+  std::string dataset;
+  gnn::LayerKind kind;
+
+  [[nodiscard]] std::string name() const {
+    const std::string ds = dataset == "pubmed" ? "pub" : dataset;
+    return ds + "-" + std::string(gnn::layer_kind_name(kind));
+  }
+};
+
+inline std::vector<BenchPoint> fig3_points() {
+  std::vector<BenchPoint> points;
+  for (const char* ds : {"cora", "citeseer", "pubmed"}) {
+    for (const gnn::LayerKind kind :
+         {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean, gnn::LayerKind::kSagePool}) {
+      points.push_back(BenchPoint{ds, kind});
+    }
+  }
+  return points;
+}
+
+/// GNNerator wall-clock milliseconds for a benchmark point.
+inline double gnnerator_ms(const BenchPoint& point, const core::SimulationRequest& request,
+                           std::size_t hidden = 16) {
+  const graph::Dataset& ds = dataset(point.dataset);
+  const gnn::ModelSpec model = core::table3_model(point.kind, ds.spec, hidden);
+  const auto result = core::simulate_gnnerator(ds, model, request);
+  return result.milliseconds(request.config.clock_ghz);
+}
+
+/// GPU-model milliseconds for a benchmark point.
+inline double gpu_ms(const BenchPoint& point, std::size_t hidden = 16) {
+  const graph::Dataset& ds = dataset(point.dataset);
+  const gnn::ModelSpec model = core::table3_model(point.kind, ds.spec, hidden);
+  const baseline::GpuModel gpu;
+  return gpu.model_time_s(model, ds.spec) * 1e3;
+}
+
+}  // namespace gnnerator::bench

@@ -1,0 +1,96 @@
+// Reproduces paper Fig. 3: normalized speedup over the RTX 2080 Ti baseline
+// for the nine benchmarks, for GNNerator with and without feature
+// dimension-blocking. Also prints the Table III network summary.
+//
+// Paper reference values: geomean 8.0x (blocked) and 4.2x (unblocked), with
+// per-benchmark speedups from 1.7x (pub-gsage) to 37x (citeseer-gsage-max).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace gnnerator;
+using bench::BenchPoint;
+
+struct Fig3Row {
+  double gpu_ms = 0.0;
+  double blocked_ms = 0.0;
+  double unblocked_ms = 0.0;
+};
+
+std::map<std::string, Fig3Row> g_rows;
+
+void run_point(benchmark::State& state, const BenchPoint& point, bool blocked) {
+  core::SimulationRequest request;
+  request.dataflow.feature_blocking = blocked;
+  double ms = 0.0;
+  for (auto _ : state) {
+    ms = bench::gnnerator_ms(point, request);
+  }
+  Fig3Row& row = g_rows[point.name()];
+  (blocked ? row.blocked_ms : row.unblocked_ms) = ms;
+  if (row.gpu_ms == 0.0) {
+    row.gpu_ms = bench::gpu_ms(point);
+  }
+  state.counters["sim_ms"] = ms;
+  state.counters["speedup_vs_gpu"] = row.gpu_ms / ms;
+}
+
+void register_benchmarks() {
+  for (const BenchPoint& point : bench::fig3_points()) {
+    benchmark::RegisterBenchmark(("fig3/" + point.name() + "/blocked").c_str(),
+                                 [point](benchmark::State& s) { run_point(s, point, true); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(("fig3/" + point.name() + "/no-blocking").c_str(),
+                                 [point](benchmark::State& s) { run_point(s, point, false); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+void print_table() {
+  std::cout << "\n=== Table III: networks ===\n";
+  util::Table nets({"Network", "Hidden Layers", "Hidden Dimension"});
+  nets.add_row({"GCN", "1", "16"});
+  nets.add_row({"Graphsage", "1", "16"});
+  nets.add_row({"GraphsagePool", "1", "16"});
+  std::cout << nets.to_string();
+
+  std::cout << "\n=== Fig. 3: speedup over RTX 2080 Ti (model) ===\n";
+  util::Table table({"Benchmark", "GPU (ms)", "GNNerator (ms)", "GNNerator w/o FB (ms)",
+                     "Speedup", "Speedup w/o FB"});
+  std::vector<double> blocked_speedups;
+  std::vector<double> unblocked_speedups;
+  for (const BenchPoint& point : bench::fig3_points()) {
+    const Fig3Row& row = g_rows.at(point.name());
+    const double s_blocked = row.gpu_ms / row.blocked_ms;
+    const double s_unblocked = row.gpu_ms / row.unblocked_ms;
+    blocked_speedups.push_back(s_blocked);
+    unblocked_speedups.push_back(s_unblocked);
+    table.add_row({point.name(), util::Table::fixed(row.gpu_ms, 3),
+                   util::Table::fixed(row.blocked_ms, 3),
+                   util::Table::fixed(row.unblocked_ms, 3), util::Table::speedup(s_blocked),
+                   util::Table::speedup(s_unblocked)});
+  }
+  table.add_separator();
+  table.add_row({"Gmean", "", "", "", util::Table::speedup(util::geomean(blocked_speedups)),
+                 util::Table::speedup(util::geomean(unblocked_speedups))});
+  std::cout << table.to_string();
+  std::cout << "\nPaper: Gmean 8.0x (blocked), 4.2x (w/o feature blocking).\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  register_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_table();
+  return 0;
+}

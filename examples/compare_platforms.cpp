@@ -1,0 +1,76 @@
+// Compares the three evaluation platforms of the paper on one benchmark:
+// GNNerator (cycle-level simulation), the RTX 2080 Ti (roofline model) and
+// HyGCN (block-level model) — a one-command view of Fig. 3 + Table V for a
+// single workload, with the execution report for GNNerator.
+//
+//   ./compare_platforms [--dataset cora] [--network gcn|gsage|gsage-max]
+//                       [--hidden 16]
+#include <iostream>
+
+#include "baseline/gpu_model.hpp"
+#include "baseline/hygcn_model.hpp"
+#include "core/gnnerator.hpp"
+#include "core/report.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace gnnerator;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::string ds_name = args.get("dataset", "cora");
+  const std::string net = args.get("network", "gcn");
+  const auto hidden = static_cast<std::size_t>(args.get_int("hidden", 16));
+
+  gnn::LayerKind kind = gnn::LayerKind::kGcn;
+  if (net == "gsage") {
+    kind = gnn::LayerKind::kSageMean;
+  } else if (net == "gsage-max") {
+    kind = gnn::LayerKind::kSagePool;
+  } else if (net != "gcn") {
+    std::cerr << "unknown --network '" << net << "' (gcn | gsage | gsage-max)\n";
+    return 1;
+  }
+
+  const graph::Dataset dataset =
+      graph::make_dataset_by_name(ds_name, /*seed=*/1, /*with_features=*/false);
+  const gnn::ModelSpec model = core::table3_model(kind, dataset.spec, hidden);
+  std::cout << "Benchmark: " << ds_name << "-" << net << " (hidden " << hidden << ")\n\n";
+
+  // GNNerator, blocked and unblocked.
+  core::SimulationRequest blocked;
+  const core::LoweredModel plan = core::compile_for(dataset, model, blocked);
+  const auto gnn_result = core::Accelerator::run(plan, nullptr);
+  const double gnn_ms = gnn_result.milliseconds(blocked.config.clock_ghz);
+
+  core::SimulationRequest unblocked;
+  unblocked.dataflow.feature_blocking = false;
+  const auto unblocked_result = core::simulate_gnnerator(dataset, model, unblocked);
+  const double unblocked_ms = unblocked_result.milliseconds(unblocked.config.clock_ghz);
+
+  // Baselines.
+  const baseline::GpuModel gpu;
+  const double gpu_ms = gpu.model_time_s(model, dataset.spec) * 1e3;
+  const baseline::HygcnModel hygcn;
+  const double hygcn_ms = hygcn.milliseconds(hygcn.simulate_cycles(dataset.graph, model));
+
+  util::Table table({"Platform", "Time (ms)", "Speedup vs GPU"});
+  table.add_row({"RTX 2080 Ti (model)", util::Table::fixed(gpu_ms, 3), "1.0x"});
+  table.add_row({"HyGCN (model)", util::Table::fixed(hygcn_ms, 3),
+                 util::Table::speedup(gpu_ms / hygcn_ms)});
+  table.add_row({"GNNerator w/o feature blocking", util::Table::fixed(unblocked_ms, 3),
+                 util::Table::speedup(gpu_ms / unblocked_ms)});
+  table.add_row({"GNNerator", util::Table::fixed(gnn_ms, 3),
+                 util::Table::speedup(gpu_ms / gnn_ms)});
+  std::cout << table.to_string();
+
+  std::cout << "\nGPU stage breakdown:\n";
+  for (const auto& stage : gpu.breakdown(model, dataset.spec)) {
+    std::cout << "  " << stage.what << ": " << util::Table::fixed(stage.seconds * 1e3, 3)
+              << " ms\n";
+  }
+
+  std::cout << "\nGNNerator execution report:\n"
+            << core::format_report(core::make_report(gnn_result, plan));
+  return 0;
+}

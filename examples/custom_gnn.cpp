@@ -1,0 +1,81 @@
+// Defining a custom GNN and exploring producer/consumer flexibility.
+//
+// GNNerator's controller lets either engine be the producer (paper §III-C):
+// GraphSAGE-pool runs dense-first (the pool transform feeds the Graph
+// Engine), GCN runs graph-first. This example builds a deeper, mixed
+// network out of the three layer types, compiles it, and reports how each
+// stage was mapped, then compares both traversal orders against the cost
+// model's pick.
+//
+//   ./custom_gnn [--dataset cora] [--hidden 32] [--layers 3]
+#include <iostream>
+
+#include "core/gnnerator.hpp"
+#include "shard/cost_model.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace gnnerator;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::string ds_name = args.get("dataset", "cora");
+  const auto hidden = static_cast<std::size_t>(args.get_int("hidden", 32));
+
+  const graph::Dataset dataset =
+      graph::make_dataset_by_name(ds_name, /*seed=*/1, /*with_features=*/false);
+
+  // A custom stack mixing all three layer kinds: SAGE-pool (dense-first),
+  // then GCN (graph-first), then SAGE-mean for the classifier.
+  gnn::ModelSpec model;
+  model.name = "custom-mixed";
+  model.layers.push_back(gnn::LayerSpec{gnn::LayerKind::kSagePool, dataset.spec.feature_dim,
+                                        hidden, gnn::Activation::kRelu});
+  model.layers.push_back(
+      gnn::LayerSpec{gnn::LayerKind::kGcn, hidden, hidden, gnn::Activation::kRelu});
+  model.layers.push_back(gnn::LayerSpec{gnn::LayerKind::kSageMean, hidden,
+                                        dataset.spec.num_classes, gnn::Activation::kNone});
+  gnn::validate_model(model);
+
+  std::cout << "Custom model '" << model.name << "' on " << ds_name << ":\n";
+  for (std::size_t l = 0; l < model.layers.size(); ++l) {
+    const auto& layer = model.layers[l];
+    std::cout << "  layer " << l << ": " << gnn::layer_kind_name(layer.kind) << " "
+              << layer.in_dim << " -> " << layer.out_dim << "  ("
+              << (gnn::is_dense_first(layer) ? "Dense Engine is the producer"
+                                             : "Graph Engine is the producer")
+              << ")\n";
+  }
+
+  core::SimulationRequest request;
+  const core::LoweredModel plan = core::compile_for(dataset, model, request);
+  std::cout << "\nLowered: " << plan.dense_program.size() << " dense ops, "
+            << plan.graph_program.size() << " graph tasks, " << plan.token_names.size()
+            << " controller tokens\n";
+  for (const core::AggStagePlan& stage : plan.agg_stages) {
+    std::cout << "  L" << stage.layer << " agg: " << gnn::aggregate_op_name(stage.op)
+              << " dims=" << stage.dims << " B=" << stage.block << " S="
+              << stage.sizing.grid_dim << " " << shard::traversal_name(stage.traversal) << '\n';
+  }
+
+  // Traversal comparison.
+  std::cout << "\nTraversal comparison (cycles):\n";
+  util::Table table({"Traversal", "Cycles", "Time (ms)"});
+  for (int mode = 0; mode < 3; ++mode) {
+    core::SimulationRequest r = request;
+    std::string name = "cost-model choice";
+    if (mode == 1) {
+      r.dataflow.traversal = shard::Traversal::kSourceStationary;
+      name = "src-stationary (forced)";
+    } else if (mode == 2) {
+      r.dataflow.traversal = shard::Traversal::kDestStationary;
+      name = "dst-stationary (forced)";
+    }
+    const auto result = core::simulate_gnnerator(dataset, model, r);
+    table.add_row({name, util::format_cycles(result.cycles),
+                   util::Table::fixed(result.milliseconds(r.config.clock_ghz), 3)});
+  }
+  std::cout << table.to_string();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: compile a 2-layer GCN for the Cora-sized dataset, run the
+// cycle-level simulation functionally, validate the output against the
+// reference CPU executor, and print the performance summary.
+//
+//   ./quickstart [--dataset cora|citeseer|pubmed] [--no-blocking]
+//                [--block N] [--verbose]
+#include <iostream>
+
+#include "core/gnnerator.hpp"
+#include "core/report.hpp"
+#include "core/runtime.hpp"
+#include "gnn/reference.hpp"
+#include "gnn/weights.hpp"
+#include "util/args.hpp"
+#include "util/log.hpp"
+#include "util/units.hpp"
+
+using namespace gnnerator;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  if (args.has("verbose")) {
+    util::set_log_level(util::LogLevel::kDebug);
+  }
+
+  const std::string ds_name = args.get("dataset", "cora");
+  std::cout << "Loading dataset '" << ds_name << "' (synthetic Table II stand-in)...\n";
+  const graph::Dataset dataset = graph::make_dataset_by_name(ds_name);
+  std::cout << "  " << dataset.spec.num_nodes << " nodes, " << dataset.spec.num_edges
+            << " edges, " << dataset.spec.feature_dim << "-dim features\n\n";
+
+  // A 2-layer GCN: feature_dim -> 16 -> num_classes (paper Table III).
+  const gnn::ModelSpec model = core::table3_model(gnn::LayerKind::kGcn, dataset.spec);
+
+  core::SimulationRequest request;
+  request.mode = core::SimMode::kFunctional;
+  request.dataflow.feature_blocking = !args.has("no-blocking");
+  request.dataflow.block_size = static_cast<std::size_t>(args.get_int("block", 0));
+
+  std::cout << core::format_config(request.config) << '\n';
+
+  // Compile: the plan records every dataflow decision the paper describes.
+  const core::LoweredModel plan = core::compile_for(dataset, model, request);
+  std::cout << "Compiled plan:\n";
+  for (const core::AggStagePlan& stage : plan.agg_stages) {
+    std::cout << "  layer " << stage.layer << " aggregation: op="
+              << gnn::aggregate_op_name(stage.op) << " dims=" << stage.dims
+              << " B=" << stage.block << " n=" << stage.sizing.nodes_per_shard
+              << " S=" << stage.sizing.grid_dim << " traversal="
+              << shard::traversal_name(stage.traversal)
+              << (stage.pipelined_consume ? " (pipelined hand-off)" : " (deferred, spills)")
+              << '\n';
+  }
+  std::cout << "  " << plan.dense_program.size() << " dense ops, "
+            << plan.graph_program.size() << " graph tasks, " << plan.token_names.size()
+            << " controller tokens\n\n";
+
+  // Simulate (functional + timing).
+  const core::ExecutionResult result = core::simulate_gnnerator(dataset, model, request);
+  std::cout << "Simulation summary:\n"
+            << core::format_report(core::make_report(result, plan)) << '\n';
+
+  // Validate against the golden reference.
+  std::cout << "Validating against the reference executor...\n";
+  gnn::Tensor features(dataset.spec.num_nodes, dataset.spec.feature_dim, dataset.features);
+  const gnn::ModelWeights weights = gnn::init_weights(model, request.weight_seed);
+  const gnn::ReferenceExecutor reference(dataset.graph);
+  const gnn::Tensor expected = reference.run_model(model, weights, features);
+  const float diff = gnn::Tensor::max_abs_diff(*result.output, expected);
+  std::cout << "  max |accelerator - reference| = " << diff << '\n';
+  if (diff > 1e-3f) {
+    std::cout << "  MISMATCH - simulation bug!\n";
+    return 1;
+  }
+  std::cout << "  OK: the sharded, blocked, pipelined execution is functionally exact.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "baseline/gpu_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace gnnerator::baseline {
+
+GpuModel::GpuModel(GpuConfig config) : config_(std::move(config)) {
+  GNNERATOR_CHECK(config_.peak_flops > 0 && config_.mem_bw_bytes > 0);
+}
+
+double GpuModel::gemm_utilization(std::uint64_t m, std::uint64_t n) const {
+  // Narrow output matrices under-fill SM tiles; small M under-fills the
+  // wave. 96/2048 are typical cuBLAS tile extents for fp32.
+  const double n_factor = std::min(1.0, static_cast<double>(n) / 96.0);
+  const double m_factor = std::min(1.0, static_cast<double>(m) / 2048.0);
+  return config_.gemm_base_util * n_factor * std::max(0.1, m_factor);
+}
+
+double GpuModel::gemm_time_s(std::uint64_t m, std::uint64_t k, std::uint64_t n) const {
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+                       static_cast<double>(n);
+  const double bytes =
+      static_cast<double>((m * k + k * n + m * n) * sizeof(float));
+  const double compute_s = flops / (config_.peak_flops * gemm_utilization(m, n));
+  const double memory_s = bytes / config_.mem_bw_bytes;
+  return std::max(compute_s, memory_s) + config_.gemm_overhead_s;
+}
+
+double GpuModel::gather_efficiency(std::uint64_t dims) const {
+  const double eff =
+      config_.gather_eff_base + config_.gather_eff_per_dim * static_cast<double>(dims);
+  return std::clamp(eff, config_.gather_eff_base, config_.gather_eff_max);
+}
+
+double GpuModel::aggregate_time_s(std::uint64_t num_nodes, std::uint64_t edges,
+                                  std::uint64_t dims, bool materialize_edges) const {
+  const double feat_bytes = static_cast<double>(dims) * sizeof(float);
+  // Gather source rows per edge + read self + write output + edge indices.
+  double bytes = static_cast<double>(edges) * feat_bytes +
+                 2.0 * static_cast<double>(num_nodes) * feat_bytes +
+                 static_cast<double>(edges) * 2.0 * sizeof(std::uint32_t);
+  if (materialize_edges) {
+    // DGL's pool aggregator: copy_u writes an E x D edge tensor, the
+    // segment reduce reads it back.
+    bytes += 2.0 * static_cast<double>(edges) * feat_bytes;
+  }
+  const double flops = static_cast<double>(edges) * static_cast<double>(dims);
+  const double memory_s = bytes / (config_.mem_bw_bytes * gather_efficiency(dims));
+  const double compute_s = flops / (config_.peak_flops * 0.25);  // SpMM ALU ceiling
+  return std::max(memory_s, compute_s) + config_.agg_overhead_s;
+}
+
+std::vector<GpuStageTime> GpuModel::breakdown(const gnn::ModelSpec& model,
+                                              const graph::DatasetSpec& dataset) const {
+  std::vector<GpuStageTime> stages;
+  const std::uint64_t v = dataset.num_nodes;
+  // Aggregations include the self contribution (N(u) ∪ u).
+  const std::uint64_t e_aug = dataset.num_edges + v;
+
+  for (std::size_t l = 0; l < model.layers.size(); ++l) {
+    const gnn::LayerSpec& layer = model.layers[l];
+    std::ostringstream tag;
+    tag << "L" << l << "." << gnn::layer_kind_name(layer.kind);
+    switch (layer.kind) {
+      case gnn::LayerKind::kGcn:
+        stages.push_back({tag.str() + ".agg",
+                          aggregate_time_s(v, e_aug, layer.in_dim, false)});
+        stages.push_back({tag.str() + ".gemm",
+                          gemm_time_s(v, layer.in_dim, layer.out_dim)});
+        break;
+      case gnn::LayerKind::kSageMean:
+        stages.push_back({tag.str() + ".agg",
+                          aggregate_time_s(v, e_aug, layer.in_dim, false)});
+        stages.push_back({tag.str() + ".gemm",
+                          gemm_time_s(v, 2 * layer.in_dim, layer.out_dim)});
+        break;
+      case gnn::LayerKind::kSagePool:
+        // DGL SAGEConv('pool'): fc_pool is D_in x D_in, the max reduction
+        // materialises edge features, the update GEMM consumes [z̄ ‖ h].
+        stages.push_back({tag.str() + ".pool-gemm",
+                          gemm_time_s(v, layer.in_dim, layer.in_dim)});
+        stages.push_back({tag.str() + ".max-agg",
+                          aggregate_time_s(v, e_aug, layer.in_dim, true)});
+        stages.push_back({tag.str() + ".gemm",
+                          gemm_time_s(v, 2 * layer.in_dim, layer.out_dim)});
+        break;
+    }
+  }
+  return stages;
+}
+
+double GpuModel::model_time_s(const gnn::ModelSpec& model,
+                              const graph::DatasetSpec& dataset) const {
+  double total = 0.0;
+  for (const GpuStageTime& stage : breakdown(model, dataset)) {
+    total += stage.seconds;
+  }
+  return total;
+}
+
+}  // namespace gnnerator::baseline

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dense/systolic.hpp"
+#include "gnn/layers.hpp"
+#include "graph/datasets.hpp"
+#include "graph/graph.hpp"
+
+namespace gnnerator::baseline {
+
+/// Model of HyGCN (Yan et al., HPCA 2020), the paper's accelerator
+/// baseline, provisioned per Table IV: 9 TFLOPs (1 Aggregation + 8
+/// Combination), 24 MiB on-chip, 256 GB/s.
+///
+/// Architectural contrasts with GNNerator that this model reproduces:
+///  * vertex-stationary aggregation with *intra-node parallelism only*:
+///    one destination vertex's neighbourhood is spread across all SIMD
+///    cores before the next vertex starts (GNNerator's GPEs instead process
+///    many vertices concurrently);
+///  * the Aggregation Engine is always the producer — dense-first networks
+///    (GraphSAGE-pool) cannot pipeline and execute stage-serialised;
+///  * no feature blocking: a vertex's full feature vector is on-chip, so
+///    the input-feature window covers fewer vertices;
+///  * window-based *sparsity elimination*: only source rows with edges into
+///    the current destination block are fetched (the optimisation the paper
+///    calls orthogonal to GNNerator and especially effective on Citeseer).
+///
+/// Timing is block-granular and optimistic for HyGCN (perfect overlap of
+/// aggregation DMA, aggregation compute, and combination within a
+/// destination block), which makes the reported GNNerator-over-HyGCN
+/// speedups conservative.
+struct HygcnConfig {
+  std::string name = "hygcn";
+  double clock_ghz = 1.0;
+  /// Aggregation engine: 32 SIMD cores x 16 lanes (~1 TFLOP at 1 GHz).
+  std::uint32_t simd_cores = 32;
+  std::uint32_t simd_lanes = 16;
+  /// Combination engine: 64x64 systolic (8 TFLOPs at 1 GHz), same dataflow
+  /// as GNNerator's Dense Engine for a fair comparison.
+  dense::SystolicConfig array{64, 64, dense::SystolicDataflow::kWeightStationary};
+  /// On-chip buffers (input window + edge + output).
+  std::uint64_t buffer_bytes = 24ull * 1024 * 1024;
+  /// Off-chip bandwidth, bytes per cycle.
+  double dram_bytes_per_cycle = 256.0;
+  /// Window-based sparsity elimination toggle.
+  bool sparsity_elimination = true;
+};
+
+/// Per-layer cycle breakdown.
+struct HygcnLayerCycles {
+  std::uint64_t aggregation_dma = 0;
+  std::uint64_t aggregation_compute = 0;
+  std::uint64_t combination = 0;
+  std::uint64_t total = 0;  ///< after overlap
+};
+
+class HygcnModel {
+ public:
+  explicit HygcnModel(HygcnConfig config = HygcnConfig{});
+
+  /// Total cycles to run `model` over `graph` (the raw dataset graph; self
+  /// loops are added internally, matching GNNerator's aggregation set).
+  [[nodiscard]] std::uint64_t simulate_cycles(const graph::Graph& graph,
+                                              const gnn::ModelSpec& model) const;
+
+  [[nodiscard]] HygcnLayerCycles layer_cycles(const graph::Graph& graph,
+                                              const gnn::LayerSpec& layer) const;
+
+  [[nodiscard]] double milliseconds(std::uint64_t cycles) const {
+    return static_cast<double>(cycles) / (config_.clock_ghz * 1e6);
+  }
+
+  [[nodiscard]] const HygcnConfig& config() const { return config_; }
+
+ private:
+  HygcnConfig config_;
+};
+
+}  // namespace gnnerator::baseline

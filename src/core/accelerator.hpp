@@ -1,0 +1,41 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/controller.hpp"
+#include "core/plan.hpp"
+#include "core/runtime.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace gnnerator::core {
+
+/// Result of one simulated inference.
+struct ExecutionResult {
+  std::uint64_t cycles = 0;
+  /// Merged counters from the DRAM model, both engines and the controller.
+  sim::StatSet stats;
+  /// Present in functional mode: the network output [V x output_dim].
+  std::optional<gnn::Tensor> output;
+
+  /// Wall time at the configured clock.
+  [[nodiscard]] double milliseconds(double clock_ghz) const {
+    return static_cast<double>(cycles) / (clock_ghz * 1e6);
+  }
+};
+
+/// The GNNerator instance (paper Fig. 2): Dense Engine + Graph Engine
+/// sharing the feature-memory DRAM, coordinated by the GNNerator
+/// Controller. Instantiates the hardware models from the plan's
+/// AcceleratorConfig, loads both engine programs, and runs the cycle-level
+/// simulation to completion.
+class Accelerator {
+ public:
+  /// Runs the plan. `state` supplies functional closures (nullptr =>
+  /// timing-only). `tracer`, if non-null, records pipeline events.
+  static ExecutionResult run(const LoweredModel& plan, RuntimeState* state,
+                             sim::Tracer* tracer = nullptr);
+};
+
+}  // namespace gnnerator::core

@@ -1,0 +1,52 @@
+#pragma once
+
+#include "core/plan.hpp"
+#include "gnn/layers.hpp"
+#include "graph/graph.hpp"
+
+namespace gnnerator::core {
+
+/// The prototype compiler (paper §V): lowers a GNN model onto GNNerator.
+///
+/// Per aggregation stage it decides:
+///   * the feature block size B (Algorithm 1's blocking factor; the Dense
+///     Engine array width by default, or the full dimension when blocking
+///     is disabled),
+///   * the shard-interval size n — the largest that fits the Graph Engine
+///     feature scratchpads at width B — and hence the grid dimension S,
+///   * the traversal order (Table I cost model, unless forced),
+///   * edge-list residency (whole-list caching in the edge buffer enables
+///     the on-chip re-processing across blocks that Algorithm 1 relies on),
+///   * the hand-off mode to the consuming dense stage: fine-grained
+///     pipelined consumption through the shared scratchpad when the dense
+///     psum footprint fits the output buffer, or a DRAM spill with deferred
+///     feature extraction otherwise.
+///
+/// Per dense stage it tiles GEMMs to the scratchpad banks, assigns operand
+/// residency (weight-slice caching across intervals, psum residency), and
+/// threads the Controller tokens that realise dense-first and graph-first
+/// producer/consumer orders.
+class Compiler {
+ public:
+  /// `dataset_graph` is the raw (self-loop-free) graph; the compiler
+  /// augments it with self loops for aggregation.
+  Compiler(const graph::Graph& dataset_graph, AcceleratorConfig config,
+           DataflowOptions options);
+
+  /// Lowers `model`; throws CheckError on infeasible configurations (e.g. a
+  /// block that cannot fit a single node on-chip).
+  [[nodiscard]] LoweredModel compile(const gnn::ModelSpec& model);
+
+ private:
+  const graph::Graph& dataset_graph_;
+  AcceleratorConfig config_;
+  DataflowOptions options_;
+};
+
+/// One-call convenience wrapper.
+[[nodiscard]] LoweredModel compile_model(const graph::Graph& dataset_graph,
+                                         const gnn::ModelSpec& model,
+                                         const AcceleratorConfig& config,
+                                         const DataflowOptions& options);
+
+}  // namespace gnnerator::core

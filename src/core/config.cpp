@@ -1,0 +1,108 @@
+#include "core/config.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace gnnerator::core {
+
+AcceleratorConfig AcceleratorConfig::table4() {
+  AcceleratorConfig c;
+  c.name = "gnnerator";
+  c.clock_ghz = 1.0;
+
+  // Dense Engine: 64x64 weight-stationary array (K maps to rows — this is
+  // what makes a feature block narrower than the array width under-utilise
+  // it, the B=32 effect of Fig. 4), 6 MiB of SRAM split evenly across
+  // input/weight/output double-buffered scratchpads.
+  c.dense.array.rows = 64;
+  c.dense.array.cols = 64;
+  c.dense.array.dataflow = dense::SystolicDataflow::kWeightStationary;
+  c.dense.input_buffer_bytes = 2 * util::kMiB;
+  c.dense.weight_buffer_bytes = 2 * util::kMiB;
+  c.dense.output_buffer_bytes = 2 * util::kMiB;
+
+  // Graph Engine: 32 GPEs x 32 lanes, 24 MiB of SRAM (23 feature + 1 edge).
+  c.graph.geometry.num_gpes = 32;
+  c.graph.geometry.simd_lanes = 32;
+  c.graph.feature_scratch_bytes = 23 * util::kMiB;
+  c.graph.edge_buffer_bytes = 1 * util::kMiB;
+
+  // Shared feature memory: 256 GB/s at 1 GHz = 256 B/cycle.
+  c.dram.bytes_per_cycle = 256.0;
+  c.dram.latency_cycles = 100;
+  c.dram.transaction_bytes = 64;
+  return c;
+}
+
+AcceleratorConfig AcceleratorConfig::with_double_graph_memory() const {
+  AcceleratorConfig c = *this;
+  c.name = name + "+2x-graph-mem";
+  c.graph.feature_scratch_bytes *= 2;
+  c.graph.edge_buffer_bytes *= 2;
+  return c;
+}
+
+AcceleratorConfig AcceleratorConfig::with_double_dense_compute() const {
+  AcceleratorConfig c = *this;
+  c.name = name + "+2x-dense";
+  // "doubles both the height and width of the Dense Engine" (4x MACs).
+  c.dense.array.rows *= 2;
+  c.dense.array.cols *= 2;
+  return c;
+}
+
+AcceleratorConfig AcceleratorConfig::with_double_bandwidth() const {
+  AcceleratorConfig c = *this;
+  c.name = name + "+2x-bw";
+  c.dram.bytes_per_cycle *= 2.0;
+  return c;
+}
+
+double AcceleratorConfig::peak_dense_tflops() const {
+  return 2.0 * static_cast<double>(dense.array.macs_per_cycle()) * clock_ghz / 1000.0;
+}
+
+double AcceleratorConfig::peak_graph_tflops() const {
+  return static_cast<double>(graph.geometry.ops_per_cycle()) * clock_ghz / 1000.0;
+}
+
+std::uint64_t AcceleratorConfig::total_sram_bytes() const {
+  return dense.total_sram_bytes() + graph.total_sram_bytes();
+}
+
+double AcceleratorConfig::offchip_gb_per_s() const {
+  return dram.bytes_per_cycle * clock_ghz;
+}
+
+void AcceleratorConfig::validate() const {
+  GNNERATOR_CHECK(clock_ghz > 0.0);
+  GNNERATOR_CHECK(dense.array.rows >= 1 && dense.array.cols >= 1);
+  GNNERATOR_CHECK(dense.input_bank_bytes() > 0);
+  GNNERATOR_CHECK(dense.weight_bank_bytes() > 0);
+  GNNERATOR_CHECK(dense.output_bank_bytes() > 0);
+  GNNERATOR_CHECK(graph.geometry.num_gpes >= 1 && graph.geometry.simd_lanes >= 1);
+  GNNERATOR_CHECK(graph.feature_scratch_bytes >= 4 * util::kKiB);
+  GNNERATOR_CHECK(graph.edge_buffer_bytes >= 4 * util::kKiB);
+  GNNERATOR_CHECK(dram.bytes_per_cycle > 0.0);
+}
+
+std::string format_config(const AcceleratorConfig& c) {
+  std::ostringstream os;
+  os << c.name << ":\n"
+     << "  clock:        " << c.clock_ghz << " GHz\n"
+     << "  dense engine: " << c.dense.array.rows << "x" << c.dense.array.cols << " "
+     << dense::dataflow_name(c.dense.array.dataflow) << ", "
+     << util::format_bytes(c.dense.total_sram_bytes()) << " SRAM, "
+     << c.peak_dense_tflops() << " TFLOPs\n"
+     << "  graph engine: " << c.graph.geometry.num_gpes << " GPEs x "
+     << c.graph.geometry.simd_lanes << " lanes, "
+     << util::format_bytes(c.graph.total_sram_bytes()) << " SRAM, "
+     << c.peak_graph_tflops() << " TFLOPs\n"
+     << "  dram:         " << c.offchip_gb_per_s() << " GB/s, " << c.dram.latency_cycles
+     << "-cycle latency\n";
+  return os.str();
+}
+
+}  // namespace gnnerator::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dense/dense_engine.hpp"
+#include "gengine/graph_engine.hpp"
+#include "mem/dram.hpp"
+
+namespace gnnerator::core {
+
+/// Full hardware configuration of a GNNerator instance (paper Table IV):
+///
+///   Peak compute     10 TFLOPs (2 Graph + 8 Dense)
+///   On-chip memory   30 MiB (24 Graph + 6 Dense)
+///   Off-chip         256 GB/s
+///
+/// at a 1 GHz clock: the 8 TFLOP Dense Engine is a 64x64 systolic array
+/// (4096 MACs x 2 FLOP/MAC), the 2 TFLOP Graph Engine is 32 GPEs with
+/// 32-lane Apply + Reduce units (2048 lane-ops/cycle).
+struct AcceleratorConfig {
+  std::string name = "gnnerator";
+  double clock_ghz = 1.0;
+  dense::DenseEngineConfig dense;
+  gengine::GraphEngineConfig graph;
+  mem::DramModel::Config dram;
+
+  /// The paper's Table IV GNNerator column.
+  static AcceleratorConfig table4();
+
+  /// Fig. 5 "next-generation" variants.
+  [[nodiscard]] AcceleratorConfig with_double_graph_memory() const;
+  [[nodiscard]] AcceleratorConfig with_double_dense_compute() const;
+  [[nodiscard]] AcceleratorConfig with_double_bandwidth() const;
+
+  /// Derived headline numbers (for Table IV style reporting).
+  [[nodiscard]] double peak_dense_tflops() const;
+  [[nodiscard]] double peak_graph_tflops() const;
+  [[nodiscard]] std::uint64_t total_sram_bytes() const;
+  [[nodiscard]] double offchip_gb_per_s() const;
+
+  /// Sanity-checks internal consistency (bank sizes nonzero etc).
+  void validate() const;
+};
+
+/// Human-readable summary block.
+[[nodiscard]] std::string format_config(const AcceleratorConfig& config);
+
+}  // namespace gnnerator::core

@@ -1,0 +1,56 @@
+#include "core/energy.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace gnnerator::core {
+
+EnergyBreakdown estimate_energy(const sim::StatSet& stats, std::uint64_t cycles,
+                                double clock_ghz, const EnergyParams& params) {
+  GNNERATOR_CHECK(clock_ghz > 0.0);
+  EnergyBreakdown e;
+  const double pj_to_mj = 1e-9;
+
+  const double dram_bytes = static_cast<double>(stats.get("dram.read_bytes") +
+                                                stats.get("dram.write_bytes"));
+  e.dram_mj = dram_bytes * params.dram_pj_per_byte * pj_to_mj;
+
+  const double sram_bytes = static_cast<double>(
+      stats.get("dense.sram_read_bytes") + stats.get("dense.sram_write_bytes") +
+      stats.get("graph.sram_read_bytes") + stats.get("graph.sram_write_bytes") +
+      stats.get("graph.onchip_edge_bytes"));
+  e.sram_mj = sram_bytes * params.sram_pj_per_byte * pj_to_mj;
+
+  e.dense_compute_mj =
+      static_cast<double>(stats.get("dense.macs")) * params.mac_pj * pj_to_mj;
+  e.graph_compute_mj =
+      static_cast<double>(stats.get("graph.lane_ops")) * params.lane_op_pj * pj_to_mj;
+
+  // static power: mW * seconds = mJ.
+  const double seconds = static_cast<double>(cycles) / (clock_ghz * 1e9);
+  e.static_mj = params.static_mw * seconds;
+  return e;
+}
+
+double estimate_area_mm2(const AcceleratorConfig& config, const AreaParams& params) {
+  const double sram_mib =
+      static_cast<double>(config.total_sram_bytes()) / static_cast<double>(util::kMiB);
+  const double macs = static_cast<double>(config.dense.array.macs_per_cycle());
+  const double lanes = 2.0 * config.graph.geometry.num_gpes * config.graph.geometry.simd_lanes;
+  return sram_mib * params.sram_mm2_per_mib + macs * params.mac_mm2 +
+         lanes * params.lane_mm2 +
+         config.graph.geometry.num_gpes * params.per_gpe_overhead_mm2 +
+         params.controller_mm2;
+}
+
+std::string format_energy(const EnergyBreakdown& e) {
+  std::ostringstream os;
+  os << "energy (mJ): dram=" << e.dram_mj << " sram=" << e.sram_mj
+     << " dense=" << e.dense_compute_mj << " graph=" << e.graph_compute_mj
+     << " static=" << e.static_mj << " total=" << e.total_mj();
+  return os.str();
+}
+
+}  // namespace gnnerator::core

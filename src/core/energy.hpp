@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hpp"
+#include "sim/stats.hpp"
+
+namespace gnnerator::core {
+
+/// Per-event energy coefficients (pJ), 16nm-class estimates in the style of
+/// accelerator papers: DRAM access energy dominates, on-chip SRAM is an
+/// order of magnitude cheaper, datapath ops cheaper still.
+struct EnergyParams {
+  double dram_pj_per_byte = 20.0;  ///< ~1.3 nJ per 64 B burst
+  double sram_pj_per_byte = 1.2;
+  double mac_pj = 0.9;             ///< fp32 multiply-accumulate
+  double lane_op_pj = 0.5;         ///< Apply/Reduce ALU lane op
+  double static_mw = 120.0;        ///< leakage + clock tree at 1 GHz
+};
+
+/// Energy split of one simulated inference (millijoules).
+struct EnergyBreakdown {
+  double dram_mj = 0.0;
+  double sram_mj = 0.0;
+  double dense_compute_mj = 0.0;
+  double graph_compute_mj = 0.0;
+  double static_mj = 0.0;
+
+  [[nodiscard]] double total_mj() const {
+    return dram_mj + sram_mj + dense_compute_mj + graph_compute_mj + static_mj;
+  }
+  /// Energy-delay product in mJ*ms.
+  [[nodiscard]] double edp(double milliseconds) const { return total_mj() * milliseconds; }
+};
+
+/// Derives the energy split from a run's merged statistics (the counters
+/// produced by Accelerator::run) and its cycle count.
+[[nodiscard]] EnergyBreakdown estimate_energy(const sim::StatSet& stats, std::uint64_t cycles,
+                                              double clock_ghz = 1.0,
+                                              const EnergyParams& params = {});
+
+/// Area coefficients (mm^2), calibrated so the Table IV GNNerator
+/// configuration lands at the paper's reported 14.5 mm^2 (SRAM-dominated).
+struct AreaParams {
+  double sram_mm2_per_mib = 0.36;
+  double mac_mm2 = 0.00055;       ///< fp32 MAC incl. local registers
+  double lane_mm2 = 0.00035;      ///< Apply/Reduce lane
+  double per_gpe_overhead_mm2 = 0.004;  ///< fetchers + control per GPE
+  double controller_mm2 = 1.0;    ///< controllers, NoC, memory PHY share
+};
+
+/// Estimated die area of an accelerator configuration.
+[[nodiscard]] double estimate_area_mm2(const AcceleratorConfig& config,
+                                       const AreaParams& params = {});
+
+/// Multi-line human-readable rendering of a breakdown.
+[[nodiscard]] std::string format_energy(const EnergyBreakdown& breakdown);
+
+}  // namespace gnnerator::core

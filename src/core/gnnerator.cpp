@@ -1,0 +1,45 @@
+#include "core/gnnerator.hpp"
+
+#include "core/runtime.hpp"
+#include "gnn/weights.hpp"
+#include "util/check.hpp"
+
+namespace gnnerator::core {
+
+gnn::ModelSpec table3_model(gnn::LayerKind kind, const graph::DatasetSpec& spec,
+                            std::size_t hidden, std::size_t hidden_layers) {
+  switch (kind) {
+    case gnn::LayerKind::kGcn:
+      return gnn::ModelSpec::gcn(spec.feature_dim, hidden, spec.num_classes, hidden_layers);
+    case gnn::LayerKind::kSageMean:
+      return gnn::ModelSpec::graphsage(spec.feature_dim, hidden, spec.num_classes,
+                                       hidden_layers);
+    case gnn::LayerKind::kSagePool:
+      return gnn::ModelSpec::graphsage_pool(spec.feature_dim, hidden, spec.num_classes,
+                                            hidden_layers);
+  }
+  GNNERATOR_CHECK(false);
+  return {};
+}
+
+LoweredModel compile_for(const graph::Dataset& dataset, const gnn::ModelSpec& model,
+                         const SimulationRequest& request) {
+  return compile_model(dataset.graph, model, request.config, request.dataflow);
+}
+
+ExecutionResult simulate_gnnerator(const graph::Dataset& dataset, const gnn::ModelSpec& model,
+                                   const SimulationRequest& request) {
+  const LoweredModel plan = compile_for(dataset, model, request);
+  if (request.mode == SimMode::kTiming) {
+    return Accelerator::run(plan, nullptr);
+  }
+
+  GNNERATOR_CHECK_MSG(!dataset.features.empty(),
+                      "functional simulation needs materialised dataset features");
+  gnn::Tensor features(dataset.spec.num_nodes, dataset.spec.feature_dim, dataset.features);
+  const gnn::ModelWeights weights = gnn::init_weights(model, request.weight_seed);
+  RuntimeState state(plan, features, weights);
+  return Accelerator::run(plan, &state);
+}
+
+}  // namespace gnnerator::core

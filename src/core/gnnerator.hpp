@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/accelerator.hpp"
+#include "core/compiler.hpp"
+#include "core/config.hpp"
+#include "core/plan.hpp"
+#include "gnn/layers.hpp"
+#include "graph/datasets.hpp"
+
+namespace gnnerator::core {
+
+/// One-call simulation request: hardware config + dataflow + mode.
+struct SimulationRequest {
+  AcceleratorConfig config = AcceleratorConfig::table4();
+  DataflowOptions dataflow;
+  SimMode mode = SimMode::kTiming;
+  /// Weight init seed for functional runs.
+  std::uint64_t weight_seed = 7;
+};
+
+/// Builds a Table III network for a dataset: `hidden_layers` hidden layers
+/// of width `hidden` followed by the classification layer.
+[[nodiscard]] gnn::ModelSpec table3_model(gnn::LayerKind kind, const graph::DatasetSpec& spec,
+                                          std::size_t hidden = 16,
+                                          std::size_t hidden_layers = 1);
+
+/// Compiles and simulates `model` over `dataset` on GNNerator.
+/// Functional mode requires dataset.features to be materialised.
+[[nodiscard]] ExecutionResult simulate_gnnerator(const graph::Dataset& dataset,
+                                                 const gnn::ModelSpec& model,
+                                                 const SimulationRequest& request);
+
+/// Compile without running (plan inspection / tests).
+[[nodiscard]] LoweredModel compile_for(const graph::Dataset& dataset,
+                                       const gnn::ModelSpec& model,
+                                       const SimulationRequest& request);
+
+}  // namespace gnnerator::core

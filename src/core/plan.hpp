@@ -1,0 +1,175 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "dense/systolic.hpp"
+#include "gnn/layers.hpp"
+#include "graph/graph.hpp"
+#include "shard/cost_model.hpp"
+#include "shard/shard_grid.hpp"
+#include "shard/sizing.hpp"
+#include "shard/traversal.hpp"
+#include "sim/sync.hpp"
+
+namespace gnnerator::core {
+
+/// How much of the simulator to run.
+enum class SimMode {
+  kTiming,      ///< cycle counts only; no tensor arithmetic, no allocation
+  kFunctional,  ///< cycle counts plus full arithmetic (validated vs reference)
+};
+
+/// User-facing dataflow knobs (paper §IV).
+struct DataflowOptions {
+  /// Enables feature dimension-blocking (Algorithm 1). Disabled == the
+  /// conventional dataflow, i.e. block size = full feature dimension.
+  bool feature_blocking = true;
+  /// Feature block size B; 0 = auto (the Dense Engine array width, the
+  /// paper's default of 64).
+  std::size_t block_size = 0;
+  /// Force a traversal order; unset = choose per the Table I cost model.
+  std::optional<shard::Traversal> traversal;
+  /// HyGCN-style window sparsity elimination, the extension the paper
+  /// calls orthogonal ("can be added to GNNerator", §VI-A): the Shard
+  /// Feature Fetch Unit gathers only source rows that have edges in the
+  /// shard, instead of streaming the full interval slice, whenever the
+  /// gather is cheaper. Off by default (the paper's GNNerator).
+  bool sparsity_elimination = false;
+};
+
+/// Names a tensor held by the runtime: the output of `stage` within
+/// `layer`; stage == -1 is the layer's input (previous layer's output, or
+/// the dataset features for layer 0).
+struct TensorRef {
+  std::uint32_t layer = 0;
+  std::int32_t stage = -1;
+
+  friend bool operator==(const TensorRef&, const TensorRef&) = default;
+};
+
+/// A lowered Dense Engine op: timing fields plus a functional descriptor
+/// (interpreted by the runtime — the plan itself is pure data and can be
+/// inspected/tested without ever simulating).
+///
+/// Functional semantics:
+///   out[r, n] += sum_k A[r, k0 + k] * W[wrow_begin + k, n]
+///   for r in [row_begin, row_end), n in [n_begin, n_end),
+///   k in [0, k_end - k_begin); then activation if apply_act.
+struct GemmWork {
+  dense::GemmShape shape;
+
+  std::uint64_t a_dma_bytes = 0;
+  std::uint64_t w_dma_bytes = 0;
+  std::uint64_t psum_read_bytes = 0;
+  std::uint64_t out_write_bytes = 0;
+
+  sim::TokenId wait_token = sim::kNoToken;
+  sim::TokenId produce_token = sim::kNoToken;
+
+  // Functional descriptor.
+  TensorRef a;
+  std::uint32_t row_begin = 0;
+  std::uint32_t row_end = 0;
+  std::uint32_t k_begin = 0;
+  std::uint32_t k_end = 0;
+  std::uint32_t wrow_begin = 0;
+  std::uint32_t weight_index = 0;
+  std::uint32_t n_begin = 0;
+  std::uint32_t n_end = 0;
+  TensorRef out;
+  bool apply_act = false;
+  gnn::Activation act = gnn::Activation::kNone;
+  std::uint32_t layer = 0;
+  /// Trace tag (unique per op within a plan).
+  std::uint32_t tag = 0;
+};
+
+/// A lowered Graph Engine task: one shard x one feature block.
+///
+/// Functional semantics: for every edge (u -> v) of the shard,
+///   acc[v, d] (op)= coeff(u, v) * in[u, d]   for d in [d_begin, d_end);
+/// if init_accumulator, the [column interval x block] region of acc is
+/// first initialised to the op's identity (0, or -inf for max).
+struct AggWork {
+  std::uint64_t edge_dma_bytes = 0;
+  std::uint64_t src_dma_bytes = 0;
+  std::uint64_t dst_load_bytes = 0;
+  std::uint64_t dst_write_bytes = 0;
+  std::uint64_t onchip_edge_bytes = 0;
+  std::uint32_t num_edges = 0;
+  std::uint64_t compute_cycles = 0;
+  /// Apply + Reduce lane operations (2 x edges x block width); energy
+  /// accounting.
+  std::uint64_t lane_ops = 0;
+
+  sim::TokenId wait_token = sim::kNoToken;
+  sim::TokenId produce_token = sim::kNoToken;
+  bool signal_after_writeback = false;
+
+  // Functional descriptor.
+  std::uint32_t agg_stage = 0;  ///< index into LoweredModel::agg_stages
+  shard::ShardCoord coord;
+  std::uint32_t d_begin = 0;
+  std::uint32_t d_end = 0;
+  bool init_accumulator = false;
+  /// Trace tag (unique per task within a plan).
+  std::uint32_t tag = 0;
+};
+
+/// Per-aggregation-stage lowering decisions (one entry per Aggregate stage
+/// in the model, in execution order).
+struct AggStagePlan {
+  std::uint32_t layer = 0;
+  std::uint32_t stage_index = 0;  ///< index within layer_stages(layer)
+  gnn::AggregateOp op = gnn::AggregateOp::kSum;
+  std::size_t dims = 0;       ///< full aggregated dimensionality
+  std::size_t block = 0;      ///< B actually used (== dims when unblocked)
+  std::size_t num_blocks = 0;
+  shard::Traversal traversal = shard::Traversal::kDestStationary;
+  shard::ShardSizing sizing;
+  std::shared_ptr<const shard::ShardGrid> grid;  ///< over the self-loop-augmented graph
+  TensorRef input;
+  TensorRef output;
+  /// True when the consuming dense stage reads aggregated columns straight
+  /// from the shared scratchpad (fine-grained pipelining); false when the
+  /// aggregated features spill to DRAM and feature extraction is deferred
+  /// until a column has all blocks (psum footprint too large to keep
+  /// resident).
+  bool pipelined_consume = true;
+};
+
+/// Everything the compiler decided, ready for the runtime to execute.
+struct LoweredModel {
+  gnn::ModelSpec model;
+  AcceleratorConfig config;
+  DataflowOptions options;
+
+  /// Registered token names, index == TokenId (the runtime re-creates the
+  /// SyncBoard from these).
+  std::vector<std::string> token_names;
+
+  std::vector<GemmWork> dense_program;  ///< in Dense Engine issue order
+  std::vector<AggWork> graph_program;   ///< in Graph Engine issue order
+  std::vector<AggStagePlan> agg_stages;
+
+  /// The dataset graph with self loops added (aggregation runs over
+  /// N(u) ∪ u); shard grids reference this.
+  std::shared_ptr<const graph::Graph> agg_graph;
+  /// In-degrees of the *original* graph (self-loop-free), indexed by node —
+  /// the edge-coefficient inputs.
+  std::vector<std::uint32_t> base_in_degree;
+
+  /// Predicted off-chip traffic (bytes), for cross-checking against the
+  /// simulated DRAM counters.
+  std::uint64_t predicted_dram_bytes = 0;
+  /// Total dense MACs and graph lane-ops in the program (work invariants).
+  std::uint64_t total_macs = 0;
+  std::uint64_t total_edge_visits = 0;
+};
+
+}  // namespace gnnerator::core

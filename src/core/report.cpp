@@ -1,0 +1,72 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace gnnerator::core {
+
+namespace {
+double safe_div(double num, double den) { return den > 0.0 ? num / den : 0.0; }
+}  // namespace
+
+ExecutionReport make_report(const ExecutionResult& result, const LoweredModel& plan) {
+  ExecutionReport r;
+  const auto& s = result.stats;
+  const auto& config = plan.config;
+  r.cycles = result.cycles;
+  r.milliseconds = result.milliseconds(config.clock_ghz);
+
+  const auto total = static_cast<double>(std::max<std::uint64_t>(1, result.cycles));
+  const auto dense_busy = static_cast<double>(s.get("dense.busy_cycles"));
+  const auto graph_busy = static_cast<double>(s.get("graph.busy_cycles"));
+  r.dense_busy_frac = dense_busy / total;
+  r.graph_busy_frac = graph_busy / total;
+  r.dense_macs = s.get("dense.macs");
+  r.graph_lane_ops = s.get("graph.lane_ops");
+  r.edges_processed = s.get("graph.edges_processed");
+  r.dense_array_util =
+      safe_div(static_cast<double>(r.dense_macs),
+               dense_busy * static_cast<double>(config.dense.array.macs_per_cycle()));
+  r.graph_lane_util =
+      safe_div(static_cast<double>(r.graph_lane_ops),
+               graph_busy * static_cast<double>(config.graph.geometry.ops_per_cycle()));
+  r.dense_stall_token_cycles = s.get("dense.stall_token_cycles");
+  r.graph_stall_token_cycles = s.get("graph.stall_token_cycles");
+
+  r.dram_read_bytes = s.get("dram.read_bytes");
+  r.dram_write_bytes = s.get("dram.write_bytes");
+  r.dram_bw_util = safe_div(static_cast<double>(r.dram_read_bytes + r.dram_write_bytes),
+                            total * config.dram.bytes_per_cycle);
+  r.feature_read_bytes = s.get("graph.src_dma_bytes") + s.get("graph.dst_load_bytes");
+  r.edge_read_bytes = s.get("graph.edge_dma_bytes");
+
+  r.energy = estimate_energy(s, result.cycles, config.clock_ghz);
+  return r;
+}
+
+std::string format_report(const ExecutionReport& r) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  os << "cycles:            " << util::format_cycles(r.cycles) << "  (" << std::setprecision(3)
+     << r.milliseconds << " ms)\n"
+     << std::setprecision(1);
+  os << "dense engine:      busy " << 100.0 * r.dense_busy_frac << "%, array util "
+     << 100.0 * r.dense_array_util << "%, " << util::format_cycles(r.dense_macs) << " MACs, "
+     << util::format_cycles(r.dense_stall_token_cycles) << " stall-on-controller cycles\n";
+  os << "graph engine:      busy " << 100.0 * r.graph_busy_frac << "%, lane util "
+     << 100.0 * r.graph_lane_util << "%, " << util::format_cycles(r.edges_processed)
+     << " edge visits, " << util::format_cycles(r.graph_stall_token_cycles)
+     << " stall-on-controller cycles\n";
+  os << "off-chip traffic:  read " << util::format_bytes(r.dram_read_bytes) << ", write "
+     << util::format_bytes(r.dram_write_bytes) << " (bw util " << 100.0 * r.dram_bw_util
+     << "%)\n";
+  os << "  of which:        features " << util::format_bytes(r.feature_read_bytes)
+     << ", edges " << util::format_bytes(r.edge_read_bytes) << "\n";
+  os << std::setprecision(3) << format_energy(r.energy) << '\n';
+  return os.str();
+}
+
+}  // namespace gnnerator::core

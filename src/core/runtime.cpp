@@ -1,0 +1,131 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace gnnerator::core {
+
+RuntimeState::RuntimeState(const LoweredModel& plan, const gnn::Tensor& features,
+                           const gnn::ModelWeights& weights)
+    : plan_(plan), features_(features), weights_(weights) {
+  GNNERATOR_CHECK_MSG(features_.rows() == plan_.agg_graph->num_nodes(),
+                      "feature rows " << features_.rows() << " != V "
+                                      << plan_.agg_graph->num_nodes());
+  GNNERATOR_CHECK(features_.cols() == plan_.model.input_dim());
+  GNNERATOR_CHECK(weights_.layers.size() == plan_.model.layers.size());
+
+  const std::size_t num_nodes = features_.rows();
+  stage_outputs_.resize(plan_.model.layers.size());
+  for (std::size_t l = 0; l < plan_.model.layers.size(); ++l) {
+    const auto stages = gnn::layer_stages(plan_.model.layers[l]);
+    stage_outputs_[l].reserve(stages.size());
+    for (const gnn::StageSpec& stage : stages) {
+      const std::size_t dims =
+          stage.kind == gnn::StageSpec::Kind::kDense ? stage.out_dim : stage.dims;
+      stage_outputs_[l].emplace_back(num_nodes, dims);
+    }
+  }
+}
+
+const gnn::Tensor& RuntimeState::tensor(TensorRef ref) const {
+  if (ref.stage < 0) {
+    if (ref.layer == 0) {
+      return features_;
+    }
+    GNNERATOR_CHECK(ref.layer - 1 < stage_outputs_.size());
+    GNNERATOR_CHECK(!stage_outputs_[ref.layer - 1].empty());
+    return stage_outputs_[ref.layer - 1].back();
+  }
+  GNNERATOR_CHECK(ref.layer < stage_outputs_.size());
+  GNNERATOR_CHECK(static_cast<std::size_t>(ref.stage) < stage_outputs_[ref.layer].size());
+  return stage_outputs_[ref.layer][static_cast<std::size_t>(ref.stage)];
+}
+
+gnn::Tensor& RuntimeState::mutable_tensor(TensorRef ref) {
+  GNNERATOR_CHECK_MSG(ref.stage >= 0, "layer inputs are read-only");
+  GNNERATOR_CHECK(ref.layer < stage_outputs_.size());
+  GNNERATOR_CHECK(static_cast<std::size_t>(ref.stage) < stage_outputs_[ref.layer].size());
+  return stage_outputs_[ref.layer][static_cast<std::size_t>(ref.stage)];
+}
+
+const gnn::Tensor& RuntimeState::final_output() const {
+  GNNERATOR_CHECK(!stage_outputs_.empty() && !stage_outputs_.back().empty());
+  return stage_outputs_.back().back();
+}
+
+std::function<void()> RuntimeState::make_gemm_func(const GemmWork& op) {
+  return [this, op] {
+    const gnn::Tensor& a = tensor(op.a);
+    const gnn::Tensor& w = weights_.weight(op.layer, op.weight_index);
+    gnn::Tensor& out = mutable_tensor(op.out);
+    GNNERATOR_CHECK_MSG(op.k_end <= a.cols(), "GEMM k range exceeds A cols " << a.cols());
+    GNNERATOR_CHECK_MSG(op.wrow_begin + (op.k_end - op.k_begin) <= w.rows(),
+                        "GEMM weight rows out of range");
+    GNNERATOR_CHECK(op.n_end <= w.cols() && op.n_end <= out.cols());
+
+    for (std::uint32_t r = op.row_begin; r < op.row_end; ++r) {
+      const auto a_row = a.row(r);
+      auto out_row = out.row(r);
+      for (std::uint32_t k = op.k_begin; k < op.k_end; ++k) {
+        const float av = a_row[k];
+        if (av == 0.0f) {
+          continue;
+        }
+        const auto w_row = w.row(op.wrow_begin + (k - op.k_begin));
+        for (std::uint32_t n = op.n_begin; n < op.n_end; ++n) {
+          out_row[n] += av * w_row[n];
+        }
+      }
+    }
+    if (op.apply_act && op.act != gnn::Activation::kNone) {
+      for (std::uint32_t r = op.row_begin; r < op.row_end; ++r) {
+        auto out_row = out.row(r);
+        for (std::uint32_t n = op.n_begin; n < op.n_end; ++n) {
+          out_row[n] = gnn::apply_activation(op.act, out_row[n]);
+        }
+      }
+    }
+  };
+}
+
+std::function<void()> RuntimeState::make_agg_func(const AggWork& task) {
+  return [this, task] {
+    const AggStagePlan& stage = plan_.agg_stages[task.agg_stage];
+    const gnn::Tensor& in = tensor(stage.input);
+    gnn::Tensor& acc = mutable_tensor(stage.output);
+    const shard::ShardGrid& grid = *stage.grid;
+    const bool is_max = stage.op == gnn::AggregateOp::kMax;
+
+    if (task.init_accumulator) {
+      const float init = is_max ? -std::numeric_limits<float>::infinity() : 0.0f;
+      const graph::NodeId begin = grid.interval_begin(task.coord.col);
+      const graph::NodeId end = grid.interval_end(task.coord.col);
+      for (graph::NodeId v = begin; v < end; ++v) {
+        auto row = acc.row(v);
+        for (std::uint32_t d = task.d_begin; d < task.d_end; ++d) {
+          row[d] = init;
+        }
+      }
+    }
+
+    for (const graph::Edge& e : grid.shard_edges(task.coord)) {
+      const float coeff = gnn::aggregation_edge_coeff(
+          stage.op, plan_.base_in_degree[e.src], plan_.base_in_degree[e.dst]);
+      const auto in_row = in.row(e.src);
+      auto acc_row = acc.row(e.dst);
+      if (is_max) {
+        for (std::uint32_t d = task.d_begin; d < task.d_end; ++d) {
+          acc_row[d] = std::max(acc_row[d], in_row[d]);
+        }
+      } else {
+        for (std::uint32_t d = task.d_begin; d < task.d_end; ++d) {
+          acc_row[d] += coeff * in_row[d];
+        }
+      }
+    }
+  };
+}
+
+}  // namespace gnnerator::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "gnn/tensor.hpp"
+#include "gnn/weights.hpp"
+#include "graph/datasets.hpp"
+
+namespace gnnerator::core {
+
+/// Functional execution state: the tensors every stage reads and writes.
+/// The runtime interprets the plan's functional descriptors against these
+/// buffers — the simulator's arithmetic is therefore defined entirely by
+/// the compiler's lowering, which is exactly what the functional-equivalence
+/// tests pin against the reference executor.
+class RuntimeState {
+ public:
+  /// `features` is the [V x input_dim] layer-0 input. Allocates one output
+  /// tensor per (layer, stage).
+  RuntimeState(const LoweredModel& plan, const gnn::Tensor& features,
+               const gnn::ModelWeights& weights);
+
+  /// Resolves a TensorRef (stage == -1 -> the layer's input).
+  [[nodiscard]] const gnn::Tensor& tensor(TensorRef ref) const;
+  [[nodiscard]] gnn::Tensor& mutable_tensor(TensorRef ref);
+
+  /// The network output: last layer's last stage.
+  [[nodiscard]] const gnn::Tensor& final_output() const;
+
+  /// Builds the functional closure for a dense op / aggregation task.
+  [[nodiscard]] std::function<void()> make_gemm_func(const GemmWork& op);
+  [[nodiscard]] std::function<void()> make_agg_func(const AggWork& task);
+
+ private:
+  const LoweredModel& plan_;
+  const gnn::Tensor& features_;
+  const gnn::ModelWeights& weights_;
+  /// stage_outputs_[layer][stage] — output tensor of that stage.
+  std::vector<std::vector<gnn::Tensor>> stage_outputs_;
+};
+
+}  // namespace gnnerator::core

@@ -1,0 +1,15 @@
+#include "dense/activation_unit.hpp"
+
+namespace gnnerator::dense {
+
+void ActivationUnit::apply(gnn::Activation act, std::span<float> values) {
+  if (act == gnn::Activation::kNone) {
+    return;
+  }
+  for (float& x : values) {
+    x = gnn::apply_activation(act, x);
+  }
+  stats_.add("ops", values.size());
+}
+
+}  // namespace gnnerator::dense

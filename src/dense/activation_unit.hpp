@@ -1,0 +1,26 @@
+#pragma once
+
+#include <span>
+
+#include "gnn/layers.hpp"
+#include "sim/stats.hpp"
+
+namespace gnnerator::dense {
+
+/// The 1-D activation unit at the systolic array's output (paper §III-A).
+/// It is pipelined with the array drain, so it adds no cycles; what it does
+/// contribute is functional semantics and op counting.
+class ActivationUnit {
+ public:
+  ActivationUnit() : stats_("activation") {}
+
+  /// Applies `act` in place and counts ops.
+  void apply(gnn::Activation act, std::span<float> values);
+
+  [[nodiscard]] const sim::StatSet& stats() const { return stats_; }
+
+ private:
+  sim::StatSet stats_;
+};
+
+}  // namespace gnnerator::dense

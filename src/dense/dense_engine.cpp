@@ -1,0 +1,182 @@
+#include "dense/dense_engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gnnerator::dense {
+
+namespace {
+constexpr const char* kDmaClient = "dense";
+}
+
+DenseEngine::DenseEngine(DenseEngineConfig config, mem::DramModel& dram, sim::SyncBoard& sync,
+                         sim::Tracer* tracer)
+    : sim::Component("dense-engine"),
+      config_(config),
+      dram_(dram),
+      sync_(sync),
+      tracer_(tracer),
+      stats_("dense"),
+      input_buf_("dense.input", config.input_bank_bytes()),
+      weight_buf_("dense.weight", config.weight_bank_bytes()),
+      output_buf_("dense.output", config.output_bank_bytes()) {}
+
+void DenseEngine::enqueue(GemmOp op) {
+  GNNERATOR_CHECK_MSG(op.a_dma_bytes <= config_.input_bank_bytes(),
+                      "GemmOp A tile " << op.a_dma_bytes << " B exceeds input bank "
+                                       << config_.input_bank_bytes() << " B");
+  GNNERATOR_CHECK_MSG(op.w_dma_bytes <= config_.weight_bank_bytes(),
+                      "GemmOp W tile " << op.w_dma_bytes << " B exceeds weight bank "
+                                       << config_.weight_bank_bytes() << " B");
+  GNNERATOR_CHECK_MSG(op.psum_read_bytes + op.out_write_bytes <=
+                          2 * config_.output_bank_bytes(),
+                      "GemmOp psum traffic exceeds output buffer");
+  stats_.add("ops_enqueued");
+  queue_.push_back(std::move(op));
+}
+
+void DenseEngine::tick(sim::Cycle now) {
+  const bool was_busy = busy();
+  drain_writebacks(now);
+
+  // Compute stage.
+  if (computing_.has_value()) {
+    stats_.add("compute_cycles");
+    GNNERATOR_CHECK(compute_remaining_ > 0);
+    if (--compute_remaining_ == 0) {
+      finish_compute(now);
+    }
+  }
+  try_start_compute(now);
+  advance_fetch(now);
+
+  if (was_busy) {
+    stats_.add("busy_cycles");
+    if (!computing_.has_value()) {
+      stats_.add("array_idle_cycles");
+    }
+  }
+}
+
+void DenseEngine::finish_compute(sim::Cycle now) {
+  GemmOp& op = *computing_;
+  if (op.compute) {
+    op.compute();  // functional payload (GEMM arithmetic + activation)
+  }
+  stats_.add("macs", op.shape.macs());
+  stats_.add("ops_completed");
+  ++ops_completed_;
+  if (tracer_ != nullptr) {
+    tracer_->emit(now, name(), "gemm done tag=" + std::to_string(op.tag));
+  }
+
+  output_buf_.front().record_write(op.shape.m * op.shape.n * sizeof(float));
+  stats_.add("sram_write_bytes", op.shape.m * op.shape.n * sizeof(float));
+  if (op.out_write_bytes > 0) {
+    stats_.add("out_write_bytes", op.out_write_bytes);
+    const mem::DmaId dma = dram_.submit(mem::MemOp::kWrite, op.out_write_bytes, kDmaClient);
+    writebacks_.push_back(InFlightWriteback{dma, op.produce_token});
+    output_buf_.swap();
+  } else if (op.produce_token != sim::kNoToken) {
+    // Result stays on-chip (shared scratchpad hand-off): consumer may start
+    // immediately.
+    sync_.signal(op.produce_token);
+  }
+  computing_.reset();
+}
+
+void DenseEngine::try_start_compute(sim::Cycle now) {
+  if (computing_.has_value() || !ready_.has_value()) {
+    return;
+  }
+  computing_ = std::move(*ready_);
+  ready_.reset();
+  compute_remaining_ = gemm_cycles(config_.array, computing_->shape);
+  input_buf_.front().record_read(computing_->shape.m * computing_->shape.k * sizeof(float));
+  weight_buf_.front().record_read(computing_->shape.k * computing_->shape.n * sizeof(float));
+  stats_.add("sram_read_bytes",
+             (computing_->shape.m * computing_->shape.k + computing_->shape.k * computing_->shape.n) *
+                 sizeof(float));
+  if (tracer_ != nullptr) {
+    tracer_->emit(now, name(), "gemm start tag=" + std::to_string(computing_->tag) + " cycles=" +
+                                   std::to_string(compute_remaining_));
+  }
+}
+
+void DenseEngine::advance_fetch(sim::Cycle now) {
+  // Completion side: promote a finished fetch to the ready slot.
+  if (fetching_.has_value()) {
+    bool all_done = true;
+    for (const mem::DmaId dma : fetching_->dmas) {
+      if (!dram_.is_complete(dma)) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done && !ready_.has_value()) {
+      for (const mem::DmaId dma : fetching_->dmas) {
+        dram_.collect(dma);
+      }
+      input_buf_.swap();
+      weight_buf_.swap();
+      ready_ = std::move(fetching_->op);
+      fetching_.reset();
+      if (tracer_ != nullptr) {
+        tracer_->emit(now, name(), "fetch done tag=" + std::to_string(ready_->tag));
+      }
+    } else if (!all_done && !computing_.has_value()) {
+      stats_.add("stall_dma_cycles");
+    }
+    return;
+  }
+
+  // Issue side: start fetching the next op if its dependency is met.
+  if (queue_.empty()) {
+    return;
+  }
+  const GemmOp& head = queue_.front();
+  if (!sync_.is_signaled(head.wait_token)) {
+    if (!computing_.has_value() && !ready_.has_value()) {
+      stats_.add("stall_token_cycles");
+    }
+    return;
+  }
+  InFlightFetch fetch;
+  fetch.op = std::move(queue_.front());
+  queue_.pop_front();
+  fetch.dmas.push_back(dram_.submit(mem::MemOp::kRead, fetch.op.a_dma_bytes, kDmaClient));
+  fetch.dmas.push_back(dram_.submit(mem::MemOp::kRead, fetch.op.w_dma_bytes, kDmaClient));
+  fetch.dmas.push_back(dram_.submit(mem::MemOp::kRead, fetch.op.psum_read_bytes, kDmaClient));
+  input_buf_.back().record_write(fetch.op.a_dma_bytes);
+  weight_buf_.back().record_write(fetch.op.w_dma_bytes);
+  stats_.add("sram_write_bytes", fetch.op.a_dma_bytes + fetch.op.w_dma_bytes);
+  stats_.add("a_bytes", fetch.op.a_dma_bytes);
+  stats_.add("w_bytes", fetch.op.w_dma_bytes);
+  stats_.add("psum_read_bytes", fetch.op.psum_read_bytes);
+  if (tracer_ != nullptr) {
+    tracer_->emit(now, name(), "fetch start tag=" + std::to_string(fetch.op.tag));
+  }
+  fetching_ = std::move(fetch);
+}
+
+void DenseEngine::drain_writebacks(sim::Cycle) {
+  for (auto it = writebacks_.begin(); it != writebacks_.end();) {
+    if (dram_.is_complete(it->dma)) {
+      dram_.collect(it->dma);
+      if (it->token != sim::kNoToken) {
+        sync_.signal(it->token);
+      }
+      it = writebacks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool DenseEngine::busy() const {
+  return !queue_.empty() || fetching_.has_value() || ready_.has_value() ||
+         computing_.has_value() || !writebacks_.empty();
+}
+
+}  // namespace gnnerator::dense

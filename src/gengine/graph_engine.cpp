@@ -1,0 +1,181 @@
+#include "gengine/graph_engine.hpp"
+
+#include "util/check.hpp"
+
+namespace gnnerator::gengine {
+
+namespace {
+constexpr const char* kEdgeClient = "graph.edge";
+constexpr const char* kFeatClient = "graph.feat";
+constexpr const char* kWbClient = "graph.wb";
+}  // namespace
+
+GraphEngine::GraphEngine(GraphEngineConfig config, mem::DramModel& dram, sim::SyncBoard& sync,
+                         sim::Tracer* tracer)
+    : sim::Component("graph-engine"),
+      config_(config),
+      dram_(dram),
+      sync_(sync),
+      tracer_(tracer),
+      stats_("graph"),
+      feature_buf_("graph.feat", config.feature_scratch_bytes / 2),
+      edge_buf_("graph.edge", config.edge_buffer_bytes / 2) {}
+
+void GraphEngine::enqueue(ShardTask task) {
+  GNNERATOR_CHECK_MSG(task.src_dma_bytes + task.dst_load_bytes <= feature_buf_.bytes_per_bank(),
+                      "shard working set " << task.src_dma_bytes + task.dst_load_bytes
+                                           << " B exceeds feature bank "
+                                           << feature_buf_.bytes_per_bank() << " B");
+  stats_.add("tasks_enqueued");
+  queue_.push_back(std::move(task));
+}
+
+void GraphEngine::tick(sim::Cycle now) {
+  const bool was_busy = busy();
+  drain_writebacks(now);
+
+  if (computing_.has_value()) {
+    stats_.add("compute_cycles");
+    GNNERATOR_CHECK(compute_remaining_ > 0);
+    if (--compute_remaining_ == 0) {
+      finish_compute(now);
+    }
+  }
+  try_start_compute(now);
+  advance_fetch(now);
+
+  if (was_busy) {
+    stats_.add("busy_cycles");
+    if (!computing_.has_value()) {
+      stats_.add("gpe_idle_cycles");
+    }
+  }
+}
+
+void GraphEngine::finish_compute(sim::Cycle now) {
+  ShardTask& task = *computing_;
+  if (task.compute) {
+    task.compute();  // functional Apply/Reduce arithmetic
+  }
+  stats_.add("edges_processed", task.num_edges);
+  stats_.add("lane_ops", task.lane_ops);
+  stats_.add("tasks_completed");
+  ++tasks_completed_;
+  if (tracer_ != nullptr) {
+    tracer_->emit(now, name(), "shard done tag=" + std::to_string(task.tag));
+  }
+
+  if (task.dst_write_bytes > 0) {
+    const mem::DmaId dma = dram_.submit(mem::MemOp::kWrite, task.dst_write_bytes, kWbClient);
+    stats_.add("dst_write_bytes", task.dst_write_bytes);
+    writebacks_.push_back(InFlightWriteback{
+        dma, task.signal_after_writeback ? task.produce_token : sim::kNoToken});
+    if (!task.signal_after_writeback && task.produce_token != sim::kNoToken) {
+      sync_.signal(task.produce_token);
+    }
+    feature_buf_.front().record_read(task.dst_write_bytes);
+  } else if (task.produce_token != sim::kNoToken) {
+    sync_.signal(task.produce_token);
+  }
+  computing_.reset();
+}
+
+void GraphEngine::try_start_compute(sim::Cycle now) {
+  if (computing_.has_value() || !ready_.has_value()) {
+    return;
+  }
+  computing_ = std::move(*ready_);
+  ready_.reset();
+  compute_remaining_ = std::max<std::uint64_t>(1, computing_->compute_cycles);
+  if (computing_->onchip_edge_bytes > 0) {
+    edge_buf_.front().record_read(computing_->onchip_edge_bytes);
+    stats_.add("onchip_edge_bytes", computing_->onchip_edge_bytes);
+  }
+  // Compute-side SRAM reads: edge records plus one source-feature row read
+  // per edge per block pass (apply) and one accumulator read-modify-write.
+  const std::uint64_t edge_bytes =
+      std::max(computing_->edge_dma_bytes, computing_->onchip_edge_bytes);
+  stats_.add("sram_read_bytes", edge_bytes + 2 * computing_->lane_ops * sizeof(float));
+  if (tracer_ != nullptr) {
+    tracer_->emit(now, name(), "shard start tag=" + std::to_string(computing_->tag) +
+                                   " cycles=" + std::to_string(compute_remaining_));
+  }
+}
+
+void GraphEngine::advance_fetch(sim::Cycle now) {
+  if (fetching_.has_value()) {
+    bool all_done = true;
+    for (const mem::DmaId dma : fetching_->dmas) {
+      if (!dram_.is_complete(dma)) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done && !ready_.has_value()) {
+      for (const mem::DmaId dma : fetching_->dmas) {
+        dram_.collect(dma);
+      }
+      feature_buf_.swap();
+      edge_buf_.swap();
+      ready_ = std::move(fetching_->task);
+      fetching_.reset();
+      if (tracer_ != nullptr) {
+        tracer_->emit(now, name(), "fetch done tag=" + std::to_string(ready_->tag));
+      }
+    } else if (!all_done && !computing_.has_value()) {
+      stats_.add("stall_dma_cycles");
+    }
+    return;
+  }
+
+  if (queue_.empty()) {
+    return;
+  }
+  const ShardTask& head = queue_.front();
+  if (!sync_.is_signaled(head.wait_token)) {
+    if (!computing_.has_value() && !ready_.has_value()) {
+      stats_.add("stall_token_cycles");
+    }
+    return;
+  }
+  InFlightFetch fetch;
+  fetch.task = std::move(queue_.front());
+  queue_.pop_front();
+  // Shard Edge Fetch and Shard Feature Fetch units "work in parallel":
+  // independent DMA streams on their own clients.
+  fetch.dmas.push_back(dram_.submit(mem::MemOp::kRead, fetch.task.edge_dma_bytes, kEdgeClient));
+  fetch.dmas.push_back(dram_.submit(mem::MemOp::kRead, fetch.task.src_dma_bytes, kFeatClient));
+  fetch.dmas.push_back(dram_.submit(mem::MemOp::kRead, fetch.task.dst_load_bytes, kFeatClient));
+  stats_.add("edge_dma_bytes", fetch.task.edge_dma_bytes);
+  stats_.add("src_dma_bytes", fetch.task.src_dma_bytes);
+  stats_.add("dst_load_bytes", fetch.task.dst_load_bytes);
+  edge_buf_.back().record_write(fetch.task.edge_dma_bytes);
+  feature_buf_.back().record_write(fetch.task.src_dma_bytes + fetch.task.dst_load_bytes);
+  stats_.add("sram_write_bytes",
+             fetch.task.edge_dma_bytes + fetch.task.src_dma_bytes + fetch.task.dst_load_bytes);
+  if (tracer_ != nullptr) {
+    tracer_->emit(now, name(), "fetch start tag=" + std::to_string(fetch.task.tag));
+  }
+  fetching_ = std::move(fetch);
+}
+
+void GraphEngine::drain_writebacks(sim::Cycle) {
+  for (auto it = writebacks_.begin(); it != writebacks_.end();) {
+    if (dram_.is_complete(it->dma)) {
+      dram_.collect(it->dma);
+      if (it->token != sim::kNoToken) {
+        sync_.signal(it->token);
+      }
+      it = writebacks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool GraphEngine::busy() const {
+  return !queue_.empty() || fetching_.has_value() || ready_.has_value() ||
+         computing_.has_value() || !writebacks_.empty();
+}
+
+}  // namespace gnnerator::gengine

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "gengine/gpe.hpp"
+#include "gengine/shard_task.hpp"
+#include "mem/dram.hpp"
+#include "mem/scratchpad.hpp"
+#include "sim/kernel.hpp"
+#include "sim/stats.hpp"
+#include "sim/sync.hpp"
+#include "sim/trace.hpp"
+#include "util/units.hpp"
+
+namespace gnnerator::gengine {
+
+/// Provisioning of the Graph Engine (paper §III-B, Table IV: 2 TFLOPs of
+/// aggregation compute and 24 MiB of scratchpad).
+struct GraphEngineConfig {
+  GpeGeometry geometry;
+  /// Feature scratchpad (source features + destination accumulators,
+  /// double-buffered); the compiler's shard sizing must respect this.
+  std::uint64_t feature_scratch_bytes = 23 * util::kMiB;
+  /// Edge scratchpad: holds streamed shard edge chunks, or the whole edge
+  /// list when it fits (enabling on-chip re-processing across blocks).
+  std::uint64_t edge_buffer_bytes = 1 * util::kMiB;
+
+  [[nodiscard]] std::uint64_t total_sram_bytes() const {
+    return feature_scratch_bytes + edge_buffer_bytes;
+  }
+};
+
+/// Cycle-level model of the Graph Engine: an in-order queue of ShardTasks
+/// flowing through the four units of the paper —
+///
+///   Shard Edge Fetch + Shard Feature Fetch   (parallel DMA; stalls on the
+///       task's wait token: the Controller holding the Graph Engine until
+///       the Dense Engine has produced the needed z block),
+///   Shard Compute    (GPE array occupancy, precomputed per task),
+///   Shard Writeback  (accumulator DMA draining in the background).
+///
+/// Double-buffered scratchpads let the fetch of shard i+1 overlap the
+/// compute of shard i (paper: "the next shard is being prefetched while the
+/// current shard is being executed").
+class GraphEngine : public sim::Component {
+ public:
+  GraphEngine(GraphEngineConfig config, mem::DramModel& dram, sim::SyncBoard& sync,
+              sim::Tracer* tracer = nullptr);
+
+  void enqueue(ShardTask task);
+
+  void tick(sim::Cycle now) override;
+  [[nodiscard]] bool busy() const override;
+
+  [[nodiscard]] const GraphEngineConfig& config() const { return config_; }
+  [[nodiscard]] const sim::StatSet& stats() const { return stats_; }
+  [[nodiscard]] std::uint64_t tasks_completed() const { return tasks_completed_; }
+
+ private:
+  struct InFlightFetch {
+    ShardTask task;
+    std::vector<mem::DmaId> dmas;
+  };
+  struct InFlightWriteback {
+    mem::DmaId dma = mem::kInvalidDma;
+    sim::TokenId token = sim::kNoToken;
+  };
+
+  GraphEngineConfig config_;
+  mem::DramModel& dram_;
+  sim::SyncBoard& sync_;
+  sim::Tracer* tracer_;
+  sim::StatSet stats_;
+
+  mem::DoubleBuffer feature_buf_;
+  mem::DoubleBuffer edge_buf_;
+
+  std::deque<ShardTask> queue_;
+  std::optional<InFlightFetch> fetching_;
+  std::optional<ShardTask> ready_;
+  std::optional<ShardTask> computing_;
+  std::uint64_t compute_remaining_ = 0;
+  std::vector<InFlightWriteback> writebacks_;
+  std::uint64_t tasks_completed_ = 0;
+
+  void finish_compute(sim::Cycle now);
+  void try_start_compute(sim::Cycle now);
+  void advance_fetch(sim::Cycle now);
+  void drain_writebacks(sim::Cycle now);
+};
+
+}  // namespace gnnerator::gengine

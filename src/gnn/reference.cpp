@@ -1,0 +1,117 @@
+#include "gnn/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gnnerator::gnn {
+
+ReferenceExecutor::ReferenceExecutor(const graph::Graph& graph) : graph_(graph) {}
+
+float ReferenceExecutor::edge_coefficient(AggregateOp op, graph::NodeId src,
+                                          graph::NodeId dst) const {
+  return aggregation_edge_coeff(op, graph_.in_degree(src), graph_.in_degree(dst));
+}
+
+float ReferenceExecutor::self_coefficient(AggregateOp op, graph::NodeId u) const {
+  // Self contribution == synthetic self-loop edge (u, u).
+  return aggregation_edge_coeff(op, graph_.in_degree(u), graph_.in_degree(u));
+}
+
+Tensor ReferenceExecutor::aggregate(AggregateOp op, const Tensor& input) const {
+  GNNERATOR_CHECK_MSG(input.rows() == graph_.num_nodes(),
+                      "input rows " << input.rows() << " != V " << graph_.num_nodes());
+  const std::size_t dims = input.cols();
+  Tensor out(input.rows(), dims);
+
+  for (graph::NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    auto out_row = out.row(u);
+    const auto self_row = input.row(u);
+    // Seed with the self contribution.
+    const float self_coeff = self_coefficient(op, u);
+    for (std::size_t d = 0; d < dims; ++d) {
+      out_row[d] = self_coeff * self_row[d];
+    }
+    for (graph::NodeId v : graph_.in_neighbors(u)) {
+      const auto in_row = input.row(v);
+      if (op == AggregateOp::kMax) {
+        for (std::size_t d = 0; d < dims; ++d) {
+          out_row[d] = std::max(out_row[d], in_row[d]);
+        }
+      } else {
+        const float coeff = edge_coefficient(op, v, u);
+        for (std::size_t d = 0; d < dims; ++d) {
+          out_row[d] += coeff * in_row[d];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor ReferenceExecutor::dense(const Tensor& input, const Tensor& weight, Activation act) {
+  GNNERATOR_CHECK_MSG(input.cols() == weight.rows(),
+                      "GEMM dims: input " << input.rows() << "x" << input.cols() << " vs weight "
+                                          << weight.rows() << "x" << weight.cols());
+  Tensor out(input.rows(), weight.cols());
+  // i-k-j loop order: streams the weight row with unit stride.
+  for (std::size_t i = 0; i < input.rows(); ++i) {
+    const auto in_row = input.row(i);
+    auto out_row = out.row(i);
+    for (std::size_t k = 0; k < weight.rows(); ++k) {
+      const float a = in_row[k];
+      if (a == 0.0f) {
+        continue;  // bag-of-words inputs are sparse; skip zero rows
+      }
+      const auto w_row = weight.row(k);
+      for (std::size_t j = 0; j < weight.cols(); ++j) {
+        out_row[j] += a * w_row[j];
+      }
+    }
+  }
+  if (act != Activation::kNone) {
+    for (std::size_t i = 0; i < out.rows(); ++i) {
+      for (float& x : out.row(i)) {
+        x = apply_activation(act, x);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor ReferenceExecutor::run_layer(const LayerSpec& layer, const std::vector<Tensor>& weights,
+                                    const Tensor& input) const {
+  GNNERATOR_CHECK(input.cols() == layer.in_dim);
+  Tensor current = input;  // value of the running stage pipeline
+  for (const StageSpec& stage : layer_stages(layer)) {
+    const Tensor& primary =
+        stage.input == StageSpec::Input::kLayerInput ? input : current;
+    if (stage.kind == StageSpec::Kind::kAggregate) {
+      current = aggregate(stage.op, primary);
+    } else {
+      GNNERATOR_CHECK(stage.weight_index < weights.size());
+      const Tensor& w = weights[stage.weight_index];
+      if (stage.concat_layer_input) {
+        current = dense(Tensor::concat_cols(primary, input), w, stage.activation);
+      } else {
+        current = dense(primary, w, stage.activation);
+      }
+    }
+  }
+  GNNERATOR_CHECK(current.cols() == layer.out_dim);
+  return current;
+}
+
+Tensor ReferenceExecutor::run_model(const ModelSpec& model, const ModelWeights& weights,
+                                    const Tensor& input) const {
+  validate_model(model);
+  GNNERATOR_CHECK(weights.layers.size() == model.layers.size());
+  Tensor h = input;
+  for (std::size_t l = 0; l < model.layers.size(); ++l) {
+    h = run_layer(model.layers[l], weights.layers[l], h);
+  }
+  return h;
+}
+
+}  // namespace gnnerator::gnn

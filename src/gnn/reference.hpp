@@ -1,0 +1,53 @@
+#pragma once
+
+#include "gnn/layers.hpp"
+#include "gnn/tensor.hpp"
+#include "gnn/weights.hpp"
+#include "graph/graph.hpp"
+
+namespace gnnerator::gnn {
+
+/// Golden functional model: a straightforward CPU implementation of the
+/// Table III networks, with no sharding, blocking or pipelining. The
+/// accelerator's functional simulation must match this bit-for-... well,
+/// float-for-float up to associativity (sum order differs, so comparisons
+/// use a small tolerance; max aggregation is exact).
+///
+/// Aggregation semantics (all include the self node, per Eq. 1/2):
+///   kSum:     out[u] = Σ_{v∈N(u)} in[v] + in[u]
+///   kMean:    out[u] = (Σ_{v∈N(u)} in[v] + in[u]) / (|N(u)| + 1)
+///   kMax:     out[u] = max(max_{v∈N(u)} in[v], in[u])
+///   kGcnNorm: out[u] = Σ_{v∈N(u)} in[v]/sqrt((d_u+1)(d_v+1)) + in[u]/(d_u+1)
+/// where N(u) are in-neighbours (edges v -> u) and d_x = |N(x)|.
+class ReferenceExecutor {
+ public:
+  explicit ReferenceExecutor(const graph::Graph& graph);
+
+  /// Runs the full stack; `input` is [V x input_dim].
+  [[nodiscard]] Tensor run_model(const ModelSpec& model, const ModelWeights& weights,
+                                 const Tensor& input) const;
+
+  /// Runs a single layer.
+  [[nodiscard]] Tensor run_layer(const LayerSpec& layer, const std::vector<Tensor>& weights,
+                                 const Tensor& input) const;
+
+  /// One aggregation over the graph.
+  [[nodiscard]] Tensor aggregate(AggregateOp op, const Tensor& input) const;
+
+  /// GEMM + activation: out = act(in · w), in [V x K], w [K x N].
+  [[nodiscard]] static Tensor dense(const Tensor& input, const Tensor& weight, Activation act);
+
+  /// The per-edge scale the Apply Unit uses for edge (src -> dst), as a
+  /// function of the aggregation op and endpoint degrees. Exposed so the
+  /// accelerator's functional Graph Engine shares the exact same arithmetic.
+  [[nodiscard]] float edge_coefficient(AggregateOp op, graph::NodeId src,
+                                       graph::NodeId dst) const;
+
+  /// The scale applied to the self contribution of node u.
+  [[nodiscard]] float self_coefficient(AggregateOp op, graph::NodeId u) const;
+
+ private:
+  const graph::Graph& graph_;
+};
+
+}  // namespace gnnerator::gnn

@@ -1,0 +1,67 @@
+#include "gnn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gnnerator::gnn {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, std::vector<float> values)
+    : rows_(rows), cols_(cols), data_(std::move(values)) {
+  GNNERATOR_CHECK_MSG(data_.size() == rows_ * cols_,
+                      "tensor init with " << data_.size() << " values for shape " << rows_ << "x"
+                                          << cols_);
+}
+
+float& Tensor::at(std::size_t r, std::size_t c) {
+  GNNERATOR_CHECK_MSG(r < rows_ && c < cols_,
+                      "index (" << r << "," << c << ") out of " << rows_ << "x" << cols_);
+  return data_[r * cols_ + c];
+}
+
+float Tensor::at(std::size_t r, std::size_t c) const {
+  GNNERATOR_CHECK_MSG(r < rows_ && c < cols_,
+                      "index (" << r << "," << c << ") out of " << rows_ << "x" << cols_);
+  return data_[r * cols_ + c];
+}
+
+std::span<float> Tensor::row(std::size_t r) {
+  GNNERATOR_CHECK(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const float> Tensor::row(std::size_t r) const {
+  GNNERATOR_CHECK(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+Tensor Tensor::concat_cols(const Tensor& a, const Tensor& b) {
+  GNNERATOR_CHECK_MSG(a.rows() == b.rows(),
+                      "concat rows mismatch " << a.rows() << " vs " << b.rows());
+  Tensor out(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    auto dst = out.row(r);
+    const auto ra = a.row(r);
+    const auto rb = b.row(r);
+    std::copy(ra.begin(), ra.end(), dst.begin());
+    std::copy(rb.begin(), rb.end(), dst.begin() + static_cast<std::ptrdiff_t>(a.cols()));
+  }
+  return out;
+}
+
+float Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
+  GNNERATOR_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    worst = std::max(worst, std::fabs(a.data_[i] - b.data_[i]));
+  }
+  return worst;
+}
+
+}  // namespace gnnerator::gnn

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gnnerator::gnn {
+
+/// Dense row-major fp32 matrix. The only tensor shape GNN inference needs is
+/// 2-D: [nodes x feature dims] for activations and [in dims x out dims] for
+/// weights. Deliberately minimal — no views, no broadcasting — so the
+/// functional simulator and reference executor stay easy to audit.
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::size_t rows, std::size_t cols);
+  Tensor(std::size_t rows, std::size_t cols, std::vector<float> values);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] float& at(std::size_t r, std::size_t c);
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] std::span<float> row(std::size_t r);
+  [[nodiscard]] std::span<const float> row(std::size_t r) const;
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+
+  void fill(float value);
+
+  /// Horizontal concatenation [a | b]; row counts must match.
+  static Tensor concat_cols(const Tensor& a, const Tensor& b);
+
+  /// Largest absolute elementwise difference; shapes must match.
+  static float max_abs_diff(const Tensor& a, const Tensor& b);
+
+  friend bool operator==(const Tensor&, const Tensor&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace gnnerator::gnn

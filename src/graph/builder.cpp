@@ -1,0 +1,71 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gnnerator::graph {
+
+GraphBuilder::GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {
+  GNNERATOR_CHECK(num_nodes > 0);
+}
+
+GraphBuilder& GraphBuilder::add_edge(NodeId src, NodeId dst) {
+  GNNERATOR_CHECK_MSG(src < num_nodes_ && dst < num_nodes_,
+                      "edge (" << src << "," << dst << ") out of range for V=" << num_nodes_);
+  edges_.push_back(Edge{src, dst});
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::add_undirected_edge(NodeId a, NodeId b) {
+  add_edge(a, b);
+  if (a != b) {
+    add_edge(b, a);
+  }
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::add_self_loops() {
+  canonicalize();
+  std::vector<bool> has_loop(num_nodes_, false);
+  for (const Edge& e : edges_) {
+    if (e.src == e.dst) {
+      has_loop[e.src] = true;
+    }
+  }
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    if (!has_loop[v]) {
+      edges_.push_back(Edge{v, v});
+    }
+  }
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::symmetrize() {
+  const std::size_t n = edges_.size();
+  edges_.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Edge e = edges_[i];
+    if (e.src != e.dst) {
+      edges_.push_back(Edge{e.dst, e.src});
+    }
+  }
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::remove_self_loops() {
+  std::erase_if(edges_, [](const Edge& e) { return e.src == e.dst; });
+  return *this;
+}
+
+Graph GraphBuilder::build() {
+  canonicalize();
+  return Graph(num_nodes_, edges_);
+}
+
+void GraphBuilder::canonicalize() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+}
+
+}  // namespace gnnerator::graph

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/types.hpp"
+
+namespace gnnerator::graph {
+
+/// Incremental graph constructor. Collects edges in any order, then
+/// canonicalises (sort + dedup) in `build()`.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes);
+
+  /// Adds a directed edge; ids must be < num_nodes. Duplicates are allowed
+  /// and removed at build time.
+  GraphBuilder& add_edge(NodeId src, NodeId dst);
+
+  /// Adds both (src, dst) and (dst, src).
+  GraphBuilder& add_undirected_edge(NodeId a, NodeId b);
+
+  /// Adds (v, v) for every node that does not already have a self loop.
+  /// GCN-style networks aggregate over N(u) ∪ u; callers that want the self
+  /// contribution materialised as edges use this.
+  GraphBuilder& add_self_loops();
+
+  /// Adds the reverse of every edge currently collected (symmetrises).
+  GraphBuilder& symmetrize();
+
+  /// Removes self loops collected so far.
+  GraphBuilder& remove_self_loops();
+
+  [[nodiscard]] std::size_t pending_edges() const { return edges_.size(); }
+  [[nodiscard]] NodeId num_nodes() const { return num_nodes_; }
+
+  /// Produces the immutable graph. The builder can keep being used after
+  /// build(); it retains the (now canonical) edge set.
+  [[nodiscard]] Graph build();
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+
+  void canonicalize();
+};
+
+}  // namespace gnnerator::graph

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gnnerator::graph {
+
+/// Static description of a benchmark dataset (paper Table II).
+struct DatasetSpec {
+  std::string name;
+  NodeId num_nodes = 0;
+  std::size_t num_edges = 0;   // directed edge count (symmetric pairs doubled)
+  std::size_t feature_dim = 0; // input feature dimensionality
+  std::size_t num_classes = 0; // output dimensionality of the final layer
+  double paper_size_mb = 0.0;  // "Size" column of Table II
+
+  /// Bytes of the node feature matrix at fp32.
+  [[nodiscard]] std::uint64_t feature_bytes() const {
+    return static_cast<std::uint64_t>(num_nodes) * feature_dim * sizeof(float);
+  }
+  /// Bytes of the edge list at 2 x 4-byte node ids.
+  [[nodiscard]] std::uint64_t edge_bytes() const {
+    return static_cast<std::uint64_t>(num_edges) * 2 * sizeof(NodeId);
+  }
+};
+
+/// A materialised dataset: structure plus (optionally) features and labels.
+///
+/// SUBSTITUTION NOTE (see DESIGN.md §2): the Planetoid files are not
+/// available offline, so the graph is a deterministic synthetic stand-in
+/// that matches |V|, |E| and the feature dimension of Table II exactly, is
+/// symmetric (citation graphs are used undirected), has no self loops (the
+/// GNN layers add the self contribution per Eq. 1), and has a heavy-tailed
+/// degree profile. Accelerator timing depends on those structural
+/// quantities, not on feature semantics.
+struct Dataset {
+  DatasetSpec spec;
+  Graph graph;
+  /// Row-major [num_nodes x feature_dim]; empty when materialised
+  /// structure-only (timing runs do not read feature values).
+  std::vector<float> features;
+  /// One class id per node; empty when structure-only.
+  std::vector<std::int32_t> labels;
+};
+
+/// The three Table II datasets: "cora", "citeseer", "pubmed".
+const std::vector<DatasetSpec>& table2_datasets();
+
+/// Looks up a Table II dataset by (case-insensitive) name.
+std::optional<DatasetSpec> find_dataset(std::string_view name);
+
+/// Deterministically materialises a dataset from its spec. The same
+/// (spec, seed) always produces the same graph/features.
+Dataset make_dataset(const DatasetSpec& spec, std::uint64_t seed = 1,
+                     bool with_features = true);
+
+/// Convenience: look up by name and materialise. Throws CheckError for an
+/// unknown name.
+Dataset make_dataset_by_name(std::string_view name, std::uint64_t seed = 1,
+                             bool with_features = true);
+
+}  // namespace gnnerator::graph

@@ -1,0 +1,76 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gnnerator::graph {
+
+std::vector<std::size_t> out_degree_sequence(const Graph& graph) {
+  std::vector<std::size_t> degrees(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    degrees[v] = graph.out_degree(v);
+  }
+  return degrees;
+}
+
+namespace {
+
+double gini(std::vector<std::size_t> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * static_cast<double>(values[i]);
+    total += static_cast<double>(values[i]);
+  }
+  if (total == 0.0) {
+    return 0.0;
+  }
+  const auto n = static_cast<double>(values.size());
+  return (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+}
+
+}  // namespace
+
+GraphStats compute_stats(const Graph& graph) {
+  GraphStats s;
+  s.num_nodes = graph.num_nodes();
+  s.num_edges = graph.num_edges();
+  s.num_self_loops = graph.num_self_loops();
+  s.symmetric = graph.is_symmetric();
+
+  std::vector<std::size_t> degrees = out_degree_sequence(graph);
+  s.min_out_degree = degrees.empty() ? 0 : *std::min_element(degrees.begin(), degrees.end());
+  s.max_out_degree = degrees.empty() ? 0 : *std::max_element(degrees.begin(), degrees.end());
+  s.mean_out_degree = graph.num_nodes() == 0
+                          ? 0.0
+                          : static_cast<double>(graph.num_edges()) /
+                                static_cast<double>(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    s.max_in_degree = std::max(s.max_in_degree, graph.in_degree(v));
+    if (graph.out_degree(v) == 0 && graph.in_degree(v) == 0) {
+      ++s.isolated_nodes;
+    }
+  }
+  s.degree_gini = gini(std::move(degrees));
+  return s;
+}
+
+std::string format_stats(const GraphStats& s) {
+  std::ostringstream os;
+  os << "nodes:           " << s.num_nodes << '\n'
+     << "edges:           " << s.num_edges << '\n'
+     << "self loops:      " << s.num_self_loops << '\n'
+     << "isolated nodes:  " << s.isolated_nodes << '\n'
+     << "out degree:      min " << s.min_out_degree << ", max " << s.max_out_degree << ", mean "
+     << s.mean_out_degree << '\n'
+     << "max in degree:   " << s.max_in_degree << '\n'
+     << "symmetric:       " << (s.symmetric ? "yes" : "no") << '\n'
+     << "degree gini:     " << s.degree_gini << '\n';
+  return os.str();
+}
+
+}  // namespace gnnerator::graph

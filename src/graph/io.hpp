@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace gnnerator::graph {
+
+/// Plain-text edge-list format:
+///
+///   # gnnerator-graph v1
+///   <num_nodes> <num_edges>
+///   <src> <dst>
+///   ...
+///
+/// Lines starting with '#' after the header are ignored (comments).
+/// Writing always emits the canonical sorted order; loading accepts any
+/// order and canonicalises.
+
+void save_graph(std::ostream& out, const Graph& graph);
+void save_graph_file(const std::string& path, const Graph& graph);
+
+Graph load_graph(std::istream& in);
+Graph load_graph_file(const std::string& path);
+
+}  // namespace gnnerator::graph

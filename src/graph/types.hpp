@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace gnnerator::graph {
+
+/// Node identifier. 32 bits covers every dataset in the paper (max 19,717
+/// vertices for Pubmed) with room for synthetic scaling studies.
+using NodeId = std::uint32_t;
+
+/// Directed edge (src -> dst). Aggregation reads the source feature and
+/// accumulates into the destination, matching the paper's shard grid where
+/// rows are source intervals and columns are destination intervals (Fig. 1).
+struct Edge {
+  NodeId src = 0;
+  NodeId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+struct EdgeHash {
+  std::size_t operator()(const Edge& e) const noexcept {
+    // 64-bit mix of the packed pair; good enough for dedup sets.
+    std::uint64_t k = (static_cast<std::uint64_t>(e.src) << 32) | e.dst;
+    k ^= k >> 33;
+    k *= 0xFF51AFD7ED558CCDULL;
+    k ^= k >> 33;
+    return static_cast<std::size_t>(k);
+  }
+};
+
+}  // namespace gnnerator::graph

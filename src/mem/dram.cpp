@@ -1,0 +1,110 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace gnnerator::mem {
+
+DramModel::DramModel(Config config, std::string name)
+    : sim::Component(std::move(name)), config_(config), stats_("dram") {
+  GNNERATOR_CHECK(config_.bytes_per_cycle > 0.0);
+  GNNERATOR_CHECK(config_.transaction_bytes > 0);
+}
+
+DmaId DramModel::submit(MemOp op, std::uint64_t bytes, const std::string& client) {
+  const DmaId id = next_id_++;
+  Transfer t;
+  t.op = op;
+  t.client = client;
+  t.remaining = util::round_up(bytes, config_.transaction_bytes);
+  if (bytes == 0) {
+    // Zero-byte transfers represent "operand already on-chip": complete
+    // instantly and touch no DRAM state.
+    t.remaining = 0;
+    t.last_byte_granted = true;
+    t.complete_at = 0;
+    transfers_.emplace(id, std::move(t));
+    return id;
+  }
+  stats_.add(op == MemOp::kRead ? "read_bytes" : "write_bytes", t.remaining);
+  stats_.add("bytes." + client, t.remaining);
+  stats_.add("transfers");
+  transfers_.emplace(id, std::move(t));
+  active_.push_back(id);
+  return id;
+}
+
+bool DramModel::is_complete(DmaId id) const {
+  const auto it = transfers_.find(id);
+  GNNERATOR_CHECK_MSG(it != transfers_.end(), "polling unknown DMA id " << id);
+  const Transfer& t = it->second;
+  return t.last_byte_granted && last_tick_ >= t.complete_at;
+}
+
+void DramModel::collect(DmaId id) {
+  GNNERATOR_CHECK_MSG(is_complete(id), "collecting incomplete DMA id " << id);
+  transfers_.erase(id);
+}
+
+void DramModel::tick(sim::Cycle now) {
+  last_tick_ = now + 1;  // completions with complete_at <= now+1 are visible next cycle
+  if (active_.empty()) {
+    grant_credit_ = std::min(grant_credit_ + config_.bytes_per_cycle, config_.bytes_per_cycle);
+    return;
+  }
+  stats_.add("busy_cycles");
+  grant_credit_ += config_.bytes_per_cycle;
+
+  // Round-robin grants in transaction units until the cycle budget is spent
+  // or nothing is left to serve.
+  while (grant_credit_ >= static_cast<double>(config_.transaction_bytes) && !active_.empty()) {
+    const DmaId id = active_.front();
+    active_.pop_front();
+    auto it = transfers_.find(id);
+    GNNERATOR_CHECK(it != transfers_.end());
+    Transfer& t = it->second;
+
+    const std::uint64_t grant = std::min<std::uint64_t>(t.remaining, config_.transaction_bytes);
+    t.remaining -= grant;
+    grant_credit_ -= static_cast<double>(grant);
+    stats_.add("granted_bytes", grant);
+
+    if (t.remaining == 0) {
+      t.last_byte_granted = true;
+      t.complete_at = now + config_.latency_cycles;
+    } else {
+      active_.push_back(id);
+    }
+  }
+  // Unused credit does not bank beyond one cycle's worth: DRAM cannot burst
+  // above its pin bandwidth.
+  grant_credit_ = std::min(grant_credit_, config_.bytes_per_cycle);
+}
+
+bool DramModel::busy() const {
+  if (!active_.empty()) {
+    return true;
+  }
+  // Latency shadows: granted but not yet complete.
+  for (const auto& [id, t] : transfers_) {
+    if (t.last_byte_granted && t.complete_at > last_tick_ && t.remaining == 0 &&
+        t.complete_at != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t DramModel::in_flight() const {
+  std::size_t count = 0;
+  for (const auto& [id, t] : transfers_) {
+    if (!t.last_byte_granted || t.complete_at > last_tick_) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace gnnerator::mem

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "sim/kernel.hpp"
+#include "sim/stats.hpp"
+
+namespace gnnerator::mem {
+
+/// Direction of a DMA transfer, from the accelerator's point of view.
+enum class MemOp { kRead, kWrite };
+
+/// Handle for an in-flight DMA transfer.
+using DmaId = std::uint64_t;
+inline constexpr DmaId kInvalidDma = std::numeric_limits<DmaId>::max();
+
+/// Bandwidth-arbitrated off-chip memory model (the paper's shared "feature
+/// memory DRAM", Table IV: 256 GB/s for GNNerator and HyGCN, 616 GB/s for
+/// the 2080 Ti).
+///
+/// Model: a total grant budget of `bytes_per_cycle` is distributed
+/// round-robin over all outstanding transfers in units of
+/// `transaction_bytes` (a transfer's byte count is first rounded up to the
+/// transaction size — a 4-byte read still occupies a 64 B burst, which is
+/// exactly the gather-granularity waste that makes sparse feature access
+/// expensive). A transfer completes `latency_cycles` after its last byte is
+/// granted.
+///
+/// Engines submit transfers and poll for completion; the round-robin cursor
+/// makes concurrent clients (Dense Engine, Graph Engine units) share
+/// bandwidth fairly, which is how the two memory controllers of the paper
+/// contend for the same DRAM channels.
+class DramModel : public sim::Component {
+ public:
+  struct Config {
+    double bytes_per_cycle = 256.0;  ///< 256 GB/s at 1 GHz
+    sim::Cycle latency_cycles = 100;
+    std::uint64_t transaction_bytes = 64;
+  };
+
+  explicit DramModel(Config config, std::string name = "dram");
+
+  /// Queues a transfer of `bytes` (rounded up to whole transactions).
+  /// `client` tags per-client traffic statistics. Zero-byte submissions are
+  /// legal and complete immediately (no DRAM touch).
+  DmaId submit(MemOp op, std::uint64_t bytes, const std::string& client);
+
+  /// True once the transfer has fully completed (all bytes granted and the
+  /// latency elapsed). Polling an unknown/already-collected id is an error.
+  [[nodiscard]] bool is_complete(DmaId id) const;
+
+  /// Forgets a completed transfer (bounded memory over long runs). Must be
+  /// complete.
+  void collect(DmaId id);
+
+  void tick(sim::Cycle now) override;
+  [[nodiscard]] bool busy() const override;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const sim::StatSet& stats() const { return stats_; }
+  [[nodiscard]] sim::StatSet& stats() { return stats_; }
+
+  /// Outstanding (incomplete) transfer count.
+  [[nodiscard]] std::size_t in_flight() const;
+
+ private:
+  struct Transfer {
+    MemOp op = MemOp::kRead;
+    std::uint64_t remaining = 0;           // bytes still to grant
+    sim::Cycle complete_at = 0;            // valid once remaining == 0
+    bool last_byte_granted = false;
+    std::string client;
+  };
+
+  Config config_;
+  sim::StatSet stats_;
+  DmaId next_id_ = 0;
+  std::unordered_map<DmaId, Transfer> transfers_;
+  std::deque<DmaId> active_;       // transfers with remaining > 0, RR order
+  double grant_credit_ = 0.0;      // fractional bytes_per_cycle accumulator
+  sim::Cycle last_tick_ = 0;
+};
+
+}  // namespace gnnerator::mem

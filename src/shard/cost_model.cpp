@@ -1,0 +1,44 @@
+#include "shard/cost_model.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace gnnerator::shard {
+
+ShardCost analytic_shard_cost(std::uint32_t grid_dim, double input_residency, Traversal t) {
+  GNNERATOR_CHECK(grid_dim > 0);
+  GNNERATOR_CHECK(input_residency >= 0.0);
+  const auto S = static_cast<double>(grid_dim);
+  const double I = input_residency;
+  ShardCost cost;
+  switch (t) {
+    case Traversal::kSourceStationary:
+      cost.reads = S * I + (S - 1.0) * S - S + 1.0;
+      cost.writes = S * S - S + 1.0;
+      break;
+    case Traversal::kDestStationary:
+      cost.reads = (S * S - S + 1.0) * I;
+      cost.writes = S;
+      break;
+  }
+  return cost;
+}
+
+Traversal choose_traversal(std::uint32_t grid_dim, double input_residency, double write_weight) {
+  const double src =
+      analytic_shard_cost(grid_dim, input_residency, Traversal::kSourceStationary)
+          .total(write_weight);
+  const double dst =
+      analytic_shard_cost(grid_dim, input_residency, Traversal::kDestStationary)
+          .total(write_weight);
+  return dst <= src ? Traversal::kDestStationary : Traversal::kSourceStationary;
+}
+
+std::string format_cost(const ShardCost& cost) {
+  std::ostringstream os;
+  os << "reads=" << cost.reads << " writes=" << cost.writes << " total=" << cost.total();
+  return os.str();
+}
+
+}  // namespace gnnerator::shard

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "shard/traversal.hpp"
+
+namespace gnnerator::shard {
+
+/// Analytical off-chip transfer cost of walking an S x S shard grid in an
+/// S-pattern (paper Table I). Costs are in units of shard-interval feature
+/// transfers: one unit moves one interval's worth of features (n nodes x B
+/// dims) on or off chip.
+///
+///   SRC stationary:  reads  = S*I + (S-1)*S - S + 1     writes = S^2 - S + 1
+///   DST stationary:  reads  = (S^2 - S + 1) * I         writes = S
+///
+/// where S is the grid dimension and I is the maximum number of *input*
+/// interval-features that must be resident at one time (I scales the read
+/// side because every streamed shard must re-fetch its input features).
+/// The serpentine walk saves the S-1 boundary reloads, hence the "+1 - S"
+/// corrections relative to a naive S^2 walk.
+struct ShardCost {
+  double reads = 0.0;
+  double writes = 0.0;
+
+  [[nodiscard]] double total(double write_weight = 1.0) const {
+    return reads + write_weight * writes;
+  }
+};
+
+/// Table I, verbatim.
+[[nodiscard]] ShardCost analytic_shard_cost(std::uint32_t grid_dim, double input_residency,
+                                            Traversal t);
+
+/// Chooses the traversal with the lower total cost (ties go to
+/// dest-stationary, which is also what graph-first pipelining wants: column
+/// completion is the producer hand-off point).
+[[nodiscard]] Traversal choose_traversal(std::uint32_t grid_dim, double input_residency,
+                                         double write_weight = 1.0);
+
+/// Human-readable one-liner for logs/benches.
+[[nodiscard]] std::string format_cost(const ShardCost& cost);
+
+}  // namespace gnnerator::shard

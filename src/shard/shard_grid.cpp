@@ -1,0 +1,120 @@
+#include "shard/shard_grid.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace gnnerator::shard {
+
+ShardGrid::ShardGrid(const graph::Graph& graph, NodeId nodes_per_shard)
+    : num_nodes_(graph.num_nodes()), nodes_per_shard_(nodes_per_shard) {
+  GNNERATOR_CHECK(nodes_per_shard_ > 0);
+  dim_ = static_cast<std::uint32_t>(util::ceil_div(num_nodes_, nodes_per_shard_));
+  GNNERATOR_CHECK(dim_ > 0);
+
+  const std::size_t num_shards = static_cast<std::size_t>(dim_) * dim_;
+  auto shard_of = [&](const Edge& e) -> std::size_t {
+    const std::size_t row = e.src / nodes_per_shard_;
+    const std::size_t col = e.dst / nodes_per_shard_;
+    return row * dim_ + col;
+  };
+
+  // Counting sort of edges into shard buckets.
+  offsets_.assign(num_shards + 1, 0);
+  for (const Edge& e : graph.edges()) {
+    ++offsets_[shard_of(e) + 1];
+  }
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    offsets_[s + 1] += offsets_[s];
+  }
+  edges_.resize(graph.num_edges());
+  {
+    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (const Edge& e : graph.edges()) {
+      edges_[cursor[shard_of(e)]++] = e;
+    }
+  }
+  // Destination-major order inside each shard.
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    std::sort(edges_.begin() + static_cast<std::ptrdiff_t>(offsets_[s]),
+              edges_.begin() + static_cast<std::ptrdiff_t>(offsets_[s + 1]),
+              [](const Edge& a, const Edge& b) {
+                return a.dst != b.dst ? a.dst < b.dst : a.src < b.src;
+              });
+  }
+
+  // Distinct active sources / destinations per shard.
+  source_offsets_.assign(num_shards + 1, 0);
+  dest_offsets_.assign(num_shards + 1, 0);
+  std::vector<NodeId> scratch;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const auto begin = edges_.begin() + static_cast<std::ptrdiff_t>(offsets_[s]);
+    const auto end = edges_.begin() + static_cast<std::ptrdiff_t>(offsets_[s + 1]);
+
+    scratch.clear();
+    for (auto it = begin; it != end; ++it) {
+      scratch.push_back(it->src);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    sources_.insert(sources_.end(), scratch.begin(), scratch.end());
+    source_offsets_[s + 1] = sources_.size();
+
+    scratch.clear();
+    for (auto it = begin; it != end; ++it) {
+      scratch.push_back(it->dst);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+    dests_.insert(dests_.end(), scratch.begin(), scratch.end());
+    dest_offsets_[s + 1] = dests_.size();
+  }
+}
+
+NodeId ShardGrid::interval_begin(std::uint32_t idx) const {
+  GNNERATOR_CHECK(idx < dim_);
+  return idx * nodes_per_shard_;
+}
+
+NodeId ShardGrid::interval_end(std::uint32_t idx) const {
+  GNNERATOR_CHECK(idx < dim_);
+  return std::min<NodeId>(num_nodes_, (idx + 1) * nodes_per_shard_);
+}
+
+NodeId ShardGrid::interval_size(std::uint32_t idx) const {
+  return interval_end(idx) - interval_begin(idx);
+}
+
+std::size_t ShardGrid::shard_index(ShardCoord c) const {
+  GNNERATOR_CHECK_MSG(c.row < dim_ && c.col < dim_,
+                      "shard (" << c.row << "," << c.col << ") out of grid dim " << dim_);
+  return static_cast<std::size_t>(c.row) * dim_ + c.col;
+}
+
+std::span<const Edge> ShardGrid::shard_edges(ShardCoord c) const {
+  const std::size_t s = shard_index(c);
+  return {edges_.data() + offsets_[s], offsets_[s + 1] - offsets_[s]};
+}
+
+std::span<const NodeId> ShardGrid::shard_sources(ShardCoord c) const {
+  const std::size_t s = shard_index(c);
+  return {sources_.data() + source_offsets_[s], source_offsets_[s + 1] - source_offsets_[s]};
+}
+
+std::span<const NodeId> ShardGrid::shard_dests(ShardCoord c) const {
+  const std::size_t s = shard_index(c);
+  return {dests_.data() + dest_offsets_[s], dest_offsets_[s + 1] - dest_offsets_[s]};
+}
+
+std::size_t ShardGrid::num_nonempty_shards() const {
+  std::size_t count = 0;
+  for (std::size_t s = 0; s + 1 < offsets_.size(); ++s) {
+    if (offsets_[s + 1] > offsets_[s]) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace gnnerator::shard

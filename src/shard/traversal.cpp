@@ -1,0 +1,43 @@
+#include "shard/traversal.hpp"
+
+#include "util/check.hpp"
+
+namespace gnnerator::shard {
+
+std::string_view traversal_name(Traversal t) {
+  switch (t) {
+    case Traversal::kSourceStationary:
+      return "src-stationary";
+    case Traversal::kDestStationary:
+      return "dst-stationary";
+  }
+  return "unknown";
+}
+
+std::vector<ShardCoord> make_traversal(std::uint32_t grid_dim, Traversal t) {
+  GNNERATOR_CHECK(grid_dim > 0);
+  std::vector<ShardCoord> order;
+  order.reserve(static_cast<std::size_t>(grid_dim) * grid_dim);
+  for (std::uint32_t outer = 0; outer < grid_dim; ++outer) {
+    for (std::uint32_t step = 0; step < grid_dim; ++step) {
+      // Serpentine: odd outer indices walk the inner dimension backwards.
+      const std::uint32_t inner = (outer % 2 == 0) ? step : grid_dim - 1 - step;
+      if (t == Traversal::kDestStationary) {
+        order.push_back(ShardCoord{inner, outer});  // fixed col, varying row
+      } else {
+        order.push_back(ShardCoord{outer, inner});  // fixed row, varying col
+      }
+    }
+  }
+  return order;
+}
+
+std::uint32_t stationary_index(ShardCoord c, Traversal t) {
+  return t == Traversal::kDestStationary ? c.col : c.row;
+}
+
+std::uint32_t streaming_index(ShardCoord c, Traversal t) {
+  return t == Traversal::kDestStationary ? c.row : c.col;
+}
+
+}  // namespace gnnerator::shard

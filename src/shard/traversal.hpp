@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "shard/shard_grid.hpp"
+
+namespace gnnerator::shard {
+
+/// Order in which the 2-D shard grid is walked (paper §IV-A, Fig. 1).
+///
+/// * kSourceStationary — walk a row at a time: the source interval's
+///   features stay on-chip for the whole row while destination accumulators
+///   are written back and reloaded at every shard.
+/// * kDestStationary — walk a column at a time: the destination interval's
+///   accumulators stay on-chip until fully aggregated, while source features
+///   are reloaded per shard. The column completion points are where the
+///   Dense Engine may consume aggregated nodes (graph-first networks).
+enum class Traversal { kSourceStationary, kDestStationary };
+
+[[nodiscard]] std::string_view traversal_name(Traversal t);
+
+/// Serpentine ("S-pattern") walk of an S x S grid. For kDestStationary the
+/// outer loop is over columns with row direction alternating per column (so
+/// one source interval is shared across the column boundary); symmetric for
+/// kSourceStationary. Matches the cost accounting of Table I, which assumes
+/// an S-pattern.
+[[nodiscard]] std::vector<ShardCoord> make_traversal(std::uint32_t grid_dim, Traversal t);
+
+/// Index of the stationary interval for a shard under traversal `t`
+/// (col for dest-stationary, row for source-stationary).
+[[nodiscard]] std::uint32_t stationary_index(ShardCoord c, Traversal t);
+
+/// Index of the streaming (reloaded-per-shard) interval.
+[[nodiscard]] std::uint32_t streaming_index(ShardCoord c, Traversal t);
+
+}  // namespace gnnerator::shard

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace gnnerator::sim {
+
+/// Bounded FIFO connecting pipeline stages inside an engine. Capacity models
+/// the depth of a hardware queue: a full FIFO back-pressures the producer
+/// (push is a checked error when full — callers must test can_push first,
+/// mirroring a valid/ready handshake).
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t capacity) : capacity_(capacity) {
+    GNNERATOR_CHECK(capacity_ > 0);
+  }
+
+  [[nodiscard]] bool can_push() const { return items_.size() < capacity_; }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void push(T item) {
+    GNNERATOR_CHECK_MSG(can_push(), "push into full FIFO (capacity " << capacity_ << ")");
+    items_.push_back(std::move(item));
+  }
+
+  [[nodiscard]] const T& front() const {
+    GNNERATOR_CHECK(!items_.empty());
+    return items_.front();
+  }
+
+  T pop() {
+    GNNERATOR_CHECK(!items_.empty());
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void clear() { items_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+};
+
+}  // namespace gnnerator::sim

@@ -1,0 +1,41 @@
+#include "sim/kernel.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace gnnerator::sim {
+
+void SimKernel::add(Component& component) { components_.push_back(&component); }
+
+Cycle SimKernel::run(Cycle max_cycles) {
+  GNNERATOR_CHECK(!components_.empty());
+  while (now_ < max_cycles) {
+    bool any_busy = false;
+    for (Component* c : components_) {
+      if (c->busy()) {
+        any_busy = true;
+        break;
+      }
+    }
+    if (!any_busy) {
+      return now_;
+    }
+    for (Component* c : components_) {
+      c->tick(now_);
+    }
+    ++now_;
+  }
+
+  std::ostringstream os;
+  os << "simulation exceeded " << max_cycles << " cycles; busy components:";
+  for (Component* c : components_) {
+    if (c->busy()) {
+      os << ' ' << c->name();
+    }
+  }
+  GNNERATOR_CHECK_MSG(false, os.str());
+  return now_;  // unreachable
+}
+
+}  // namespace gnnerator::sim

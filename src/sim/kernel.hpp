@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gnnerator::sim {
+
+/// Simulated clock cycle. The accelerator is modeled at 1 GHz, so a cycle is
+/// also a nanosecond; conversions to wall time happen only in reporting.
+using Cycle = std::uint64_t;
+
+/// A cycle-stepped hardware component. The kernel calls `tick` exactly once
+/// per simulated cycle on every registered component, in registration order
+/// (which is therefore part of the model's determinism contract — memory is
+/// registered first so grants are visible to engines in the same cycle).
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  /// Advance one cycle.
+  virtual void tick(Cycle now) = 0;
+
+  /// True while the component still has queued or in-flight work. The
+  /// kernel stops when every component reports idle.
+  [[nodiscard]] virtual bool busy() const = 0;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// Deterministic single-threaded simulation driver.
+class SimKernel {
+ public:
+  /// Registers a component (non-owning; the caller keeps ownership and must
+  /// outlive the kernel run).
+  void add(Component& component);
+
+  /// Ticks all components until none is busy, or until `max_cycles` elapse.
+  /// Returns the cycle count at stop. Throws CheckError when the limit is
+  /// hit while components are still busy — a limit hit means deadlock or a
+  /// model bug, never a valid result.
+  Cycle run(Cycle max_cycles = 50'000'000'000ULL);
+
+  [[nodiscard]] Cycle now() const { return now_; }
+  [[nodiscard]] std::size_t num_components() const { return components_.size(); }
+
+ private:
+  std::vector<Component*> components_;
+  Cycle now_ = 0;
+};
+
+}  // namespace gnnerator::sim

@@ -1,0 +1,43 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace gnnerator::sim {
+
+StatSet::StatSet(std::string prefix) : prefix_(std::move(prefix)) {}
+
+void StatSet::add(const std::string& name, std::uint64_t delta) { counters_[name] += delta; }
+
+void StatSet::set_max(const std::string& name, std::uint64_t candidate) {
+  auto& slot = counters_[name];
+  slot = std::max(slot, candidate);
+}
+
+std::uint64_t StatSet::get(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void StatSet::merge(const StatSet& other) {
+  for (const auto& [name, value] : other.counters_) {
+    const std::string merged =
+        other.prefix_.empty() ? name : other.prefix_ + "." + name;
+    counters_[merged] += value;
+  }
+}
+
+std::string StatSet::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << (prefix_.empty() ? "" : prefix_ + ".") << name << " = "
+       << util::format_cycles(value) << '\n';
+  }
+  return os.str();
+}
+
+void StatSet::clear() { counters_.clear(); }
+
+}  // namespace gnnerator::sim

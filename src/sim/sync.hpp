@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace gnnerator::sim {
+
+/// Identifier of a producer/consumer synchronisation token.
+using TokenId = std::uint32_t;
+
+/// Sentinel meaning "no dependency".
+inline constexpr TokenId kNoToken = std::numeric_limits<TokenId>::max();
+
+/// One-shot token scoreboard: the mechanism behind the GNNerator Controller
+/// (paper §III-C). Producers (e.g. the Graph Engine finishing a destination
+/// column for a feature block) signal tokens; consumers (e.g. the Dense
+/// Engine's partial GEMM on that column) stall until their wait token is
+/// signalled. Tokens are single-assignment — signalling twice is a model
+/// bug and throws.
+class SyncBoard {
+ public:
+  /// Registers a token; `debug_name` shows up in deadlock diagnostics.
+  TokenId create(std::string debug_name);
+
+  void signal(TokenId token);
+
+  /// kNoToken is always satisfied.
+  [[nodiscard]] bool is_signaled(TokenId token) const;
+
+  [[nodiscard]] std::size_t size() const { return signaled_.size(); }
+  [[nodiscard]] std::size_t num_signaled() const { return num_signaled_; }
+  [[nodiscard]] const std::string& name(TokenId token) const;
+
+  /// Names of all unsignalled tokens (deadlock diagnostics).
+  [[nodiscard]] std::vector<std::string> pending_names() const;
+
+ private:
+  std::vector<bool> signaled_;
+  std::vector<std::string> names_;
+  std::size_t num_signaled_ = 0;
+};
+
+}  // namespace gnnerator::sim

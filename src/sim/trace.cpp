@@ -1,0 +1,30 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace gnnerator::sim {
+
+void Tracer::enable(std::size_t max_events) {
+  enabled_ = true;
+  max_events_ = max_events;
+  events_.reserve(std::min<std::size_t>(max_events, 4096));
+}
+
+void Tracer::disable() { enabled_ = false; }
+
+void Tracer::emit(Cycle cycle, std::string_view component, std::string_view what) {
+  if (!enabled_ || events_.size() >= max_events_) {
+    return;
+  }
+  events_.push_back(TraceEvent{cycle, std::string(component), std::string(what)});
+}
+
+std::string Tracer::to_string() const {
+  std::ostringstream os;
+  for (const TraceEvent& e : events_) {
+    os << e.cycle << ' ' << e.component << ": " << e.what << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace gnnerator::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace gnnerator::sim {
+
+/// One traced event: a component did something interesting at a cycle.
+struct TraceEvent {
+  Cycle cycle = 0;
+  std::string component;
+  std::string what;
+};
+
+/// Optional event recorder. Hardware models call `emit` unconditionally;
+/// recording only happens when a sink is attached, so tracing costs nothing
+/// in benchmark runs. Used by tests to assert pipeline interleavings and by
+/// the examples to show execution timelines.
+class Tracer {
+ public:
+  /// A disabled tracer drops events.
+  Tracer() = default;
+
+  void enable(std::size_t max_events = 1'000'000);
+  void disable();
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void emit(Cycle cycle, std::string_view component, std::string_view what);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Renders "cycle component: what" lines.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  bool enabled_ = false;
+  std::size_t max_events_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace gnnerator::sim

@@ -1,0 +1,92 @@
+#include "util/args.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace gnnerator::util {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) {
+    program_ = argv[0];
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(token));
+      continue;
+    }
+    token.erase(0, 2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      named_[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    // `--key value` when the next token is not itself an option; otherwise a
+    // bare boolean flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      named_[token] = argv[i + 1];
+      ++i;
+    } else {
+      named_[token] = "";
+    }
+  }
+}
+
+bool Args::has(const std::string& name) const { return named_.contains(name); }
+
+std::string Args::get(const std::string& name, const std::string& fallback) const {
+  const auto it = named_.find(name);
+  return it == named_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) {
+    return fallback;
+  }
+  try {
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(it->second, &pos);
+    GNNERATOR_CHECK(pos == it->second.size());
+    return value;
+  } catch (const std::exception&) {
+    GNNERATOR_CHECK_MSG(false, "malformed integer for --" << name << ": '" << it->second << "'");
+  }
+  return fallback;  // unreachable
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) {
+    return fallback;
+  }
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(it->second, &pos);
+    GNNERATOR_CHECK(pos == it->second.size());
+    return value;
+  } catch (const std::exception&) {
+    GNNERATOR_CHECK_MSG(false, "malformed double for --" << name << ": '" << it->second << "'");
+  }
+  return fallback;  // unreachable
+}
+
+bool Args::get_bool(const std::string& name, bool fallback) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "no" || v == "off") {
+    return false;
+  }
+  GNNERATOR_CHECK_MSG(false, "malformed bool for --" << name << ": '" << v << "'");
+  return fallback;  // unreachable
+}
+
+}  // namespace gnnerator::util

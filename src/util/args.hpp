@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gnnerator::util {
+
+/// Tiny command-line parser for the examples and benchmark drivers.
+/// Accepts `--key=value`, `--key value` and boolean `--flag` forms.
+/// Unrecognised positional arguments are collected in order.
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// True if `--name` appeared (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Raw string value, or `fallback` if absent.
+  [[nodiscard]] std::string get(const std::string& name, const std::string& fallback = "") const;
+
+  /// Typed getters; throw CheckError on malformed values.
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+  [[nodiscard]] const std::string& program_name() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> named_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gnnerator::util

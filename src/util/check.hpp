@@ -1,0 +1,53 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gnnerator::util {
+
+/// Error thrown when a runtime invariant of the library is violated.
+/// All GNNERATOR_CHECK failures throw this type so that callers (and tests)
+/// can catch misuse deterministically instead of aborting the process.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "GNNERATOR_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace gnnerator::util
+
+/// Runtime invariant check. Active in all build types: the simulator's
+/// correctness claims rest on these, and their cost is negligible relative
+/// to simulation work.
+#define GNNERATOR_CHECK(expr)                                                   \
+  do {                                                                          \
+    if (!(expr)) {                                                              \
+      ::gnnerator::util::detail::check_failed(#expr, __FILE__, __LINE__, "");   \
+    }                                                                           \
+  } while (false)
+
+/// Invariant check with a streamed message, e.g.
+///   GNNERATOR_CHECK_MSG(a < b, "a=" << a << " must precede b=" << b);
+#define GNNERATOR_CHECK_MSG(expr, stream_expr)                                  \
+  do {                                                                          \
+    if (!(expr)) {                                                              \
+      std::ostringstream gnnerator_check_os_;                                   \
+      gnnerator_check_os_ << stream_expr;                                       \
+      ::gnnerator::util::detail::check_failed(#expr, __FILE__, __LINE__,        \
+                                              gnnerator_check_os_.str());       \
+    }                                                                           \
+  } while (false)

@@ -1,0 +1,68 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace gnnerator::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : columns_(header.size()) {
+  GNNERATOR_CHECK(columns_ > 0);
+  emit_row(header);
+  rows_ = 0;  // header is not a data row
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  GNNERATOR_CHECK_MSG(cells.size() == columns_,
+                      "CSV row arity " << cells.size() << " != " << columns_);
+  emit_row(cells);
+  ++rows_;
+}
+
+void CsvWriter::add_row(std::initializer_list<double> values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    cells.push_back(os.str());
+  }
+  add_row(cells);
+}
+
+std::string CsvWriter::to_string() const { return body_.str(); }
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  GNNERATOR_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << body_.str();
+  GNNERATOR_CHECK_MSG(out.good(), "write failed for " << path);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    return cell;
+  }
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      quoted += "\"\"";
+    } else {
+      quoted += c;
+    }
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::emit_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    body_ << escape(cells[i]);
+    body_ << (i + 1 == cells.size() ? "\n" : ",");
+  }
+}
+
+}  // namespace gnnerator::util

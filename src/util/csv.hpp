@@ -1,0 +1,41 @@
+#pragma once
+
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gnnerator::util {
+
+/// Minimal CSV writer (RFC-4180 quoting) used by examples and the benchmark
+/// harness to dump sweep results for offline plotting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header arity.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Convenience overload converting arithmetic values with full precision.
+  void add_row(std::initializer_list<double> values);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_; }
+
+  /// Serialises header + rows.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes to a file; throws CheckError on I/O failure.
+  void write_file(const std::string& path) const;
+
+  /// Quotes a single cell per RFC 4180 (only when needed).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+  std::ostringstream body_;
+
+  void emit_row(const std::vector<std::string>& cells);
+};
+
+}  // namespace gnnerator::util

@@ -1,0 +1,56 @@
+#include "util/log.hpp"
+
+#include <cctype>
+#include <iostream>
+
+namespace gnnerator::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}  // namespace
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "trace";
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "info";
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, std::string_view component, std::string_view message) {
+  if (level < g_level || level == LogLevel::kOff) {
+    return;
+  }
+  std::cerr << '[' << log_level_name(level) << "] " << component << ": " << message << '\n';
+}
+
+}  // namespace gnnerator::util

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace gnnerator::util {
+
+/// Severity levels, ordered from most to least verbose.
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Returns the canonical lowercase name of a level ("trace" .. "off").
+std::string_view log_level_name(LogLevel level);
+
+/// Parses a level name (case-insensitive); returns kInfo for unknown names.
+LogLevel parse_log_level(std::string_view name);
+
+/// Process-wide minimum severity. Messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits a single formatted line to stderr:  [level] component: message
+/// Thread-compatible (the library is single-threaded by design; the
+/// simulator is deterministic and runs on one thread).
+void log_message(LogLevel level, std::string_view component, std::string_view message);
+
+namespace detail {
+
+/// Builder that assembles a message with ostream syntax and emits on
+/// destruction; used by the GNNERATOR_LOG macro.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component) : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, component_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace gnnerator::util
+
+/// Streamed logging with early-out when the level is disabled:
+///   GNNERATOR_LOG(kDebug, "dram") << "grant " << bytes << " B";
+#define GNNERATOR_LOG(level, component)                                     \
+  if (::gnnerator::util::LogLevel::level < ::gnnerator::util::log_level()) { \
+  } else                                                                     \
+    ::gnnerator::util::detail::LogLine(::gnnerator::util::LogLevel::level, (component))

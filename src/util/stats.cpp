@@ -1,0 +1,93 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gnnerator::util {
+
+double geomean(std::span<const double> values) {
+  GNNERATOR_CHECK(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    GNNERATOR_CHECK_MSG(v > 0.0, "geomean requires positive values, got " << v);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double mean(std::span<const double> values) {
+  GNNERATOR_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    acc += (v - m) * (v - m);
+  }
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double min_value(std::span<const double> values) {
+  GNNERATOR_CHECK(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  GNNERATOR_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  ++count_;
+}
+
+double RunningStats::mean() const {
+  GNNERATOR_CHECK(count_ > 0);
+  return sum_ / static_cast<double>(count_);
+}
+
+double RunningStats::min() const {
+  GNNERATOR_CHECK(count_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  GNNERATOR_CHECK(count_ > 0);
+  return max_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins) {
+  GNNERATOR_CHECK(bins > 0);
+  GNNERATOR_CHECK(hi > lo);
+}
+
+void Histogram::add(double value) {
+  const double unit = (value - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(unit * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const {
+  GNNERATOR_CHECK(bin < counts_.size());
+  return counts_[bin];
+}
+
+}  // namespace gnnerator::util

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gnnerator::util {
+
+/// Geometric mean of strictly positive values (the paper reports Gmean
+/// speedups in Figs. 3 and 5). Throws CheckError on empty or non-positive
+/// input.
+double geomean(std::span<const double> values);
+
+/// Arithmetic mean. Throws on empty input.
+double mean(std::span<const double> values);
+
+/// Population standard deviation. Throws on empty input.
+double stddev(std::span<const double> values);
+
+/// Minimum / maximum. Throw on empty input.
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+
+/// Simple accumulator for streaming summaries (counts, mean, min, max).
+class RunningStats {
+ public:
+  void add(double value);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Histogram with fixed-width bins over [lo, hi); out-of-range samples clamp
+/// to the boundary bins. Used for degree-distribution reporting.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  [[nodiscard]] std::size_t bin_count(std::size_t bin) const;
+  [[nodiscard]] std::size_t num_bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace gnnerator::util

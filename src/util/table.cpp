@@ -1,0 +1,99 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace gnnerator::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  bool digit_seen = false;
+  for (char c : s) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (std::isdigit(uc)) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != 'x' && c != '%' && c != 'e') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  GNNERATOR_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  GNNERATOR_CHECK_MSG(cells.size() == header_.size(),
+                      "row arity " << cells.size() << " != header arity " << header_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      continue;
+    }
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, '-');
+      os << (c + 1 == width.size() ? "\n" : "+");
+    }
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells, bool force_left) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const bool right = !force_left && looks_numeric(cells[c]);
+      os << ' ' << (right ? std::setiosflags(std::ios::right) : std::setiosflags(std::ios::left))
+         << std::setw(static_cast<int>(width[c])) << cells[c] << std::resetiosflags(std::ios::adjustfield)
+         << ' ';
+      os << (c + 1 == cells.size() ? "\n" : "|");
+    }
+  };
+
+  emit_row(header_, /*force_left=*/true);
+  emit_rule();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      emit_rule();
+    } else {
+      emit_row(row.cells, /*force_left=*/false);
+    }
+  }
+  return os.str();
+}
+
+std::string Table::speedup(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value << 'x';
+  return os.str();
+}
+
+std::string Table::fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+}  // namespace gnnerator::util

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gnnerator::util {
+
+/// Column-aligned plain-text table used by the benchmark harness to print
+/// paper-style tables (Table I/II/IV/V and the figure series).
+///
+/// Usage:
+///   Table t({"Dataset", "Vertices", "Edges"});
+///   t.add_row({"CORA", "2708", "10556"});
+///   std::cout << t.to_string();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void add_separator();
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_columns() const { return header_.size(); }
+
+  /// Renders the table with a header rule, right-padding every column to its
+  /// widest cell. Numeric-looking cells are right-aligned.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Formats a double with `digits` fractional digits and a trailing 'x'
+  /// (speedup notation used throughout the paper's figures).
+  static std::string speedup(double value, int digits = 1);
+
+  /// Formats a double with fixed fractional digits.
+  static std::string fixed(double value, int digits = 2);
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace gnnerator::util

@@ -1,0 +1,272 @@
+// End-to-end tests of the GNNerator accelerator simulation: the functional
+// output of the compiled, sharded, blocked, pipelined execution must match
+// the reference CPU executor for every network, dataflow option and engine
+// geometry. This is the test that proves Algorithm 1 is implemented
+// correctly.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/accelerator.hpp"
+#include "core/compiler.hpp"
+#include "core/gnnerator.hpp"
+#include "core/runtime.hpp"
+#include "gnn/reference.hpp"
+#include "gnn/weights.hpp"
+#include "graph/generate.hpp"
+#include "util/prng.hpp"
+#include "util/units.hpp"
+
+namespace gnnerator {
+namespace {
+
+using core::AcceleratorConfig;
+using core::DataflowOptions;
+using core::LoweredModel;
+using core::SimulationRequest;
+
+/// Small accelerator config so that tiny test graphs still produce
+/// multi-shard grids (exercising the interesting paths).
+AcceleratorConfig small_config() {
+  AcceleratorConfig c = AcceleratorConfig::table4();
+  c.graph.feature_scratch_bytes = 96 * util::kKiB;
+  c.graph.edge_buffer_bytes = 16 * util::kKiB;
+  c.dense.input_buffer_bytes = 64 * util::kKiB;
+  c.dense.weight_buffer_bytes = 64 * util::kKiB;
+  c.dense.output_buffer_bytes = 64 * util::kKiB;
+  c.dense.array.rows = 16;
+  c.dense.array.cols = 16;
+  c.graph.geometry.num_gpes = 4;
+  c.graph.geometry.simd_lanes = 8;
+  return c;
+}
+
+gnn::Tensor random_features(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  util::Prng prng(seed);
+  gnn::Tensor t(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      t.at(r, c) = static_cast<float>(prng.uniform(-1.0, 1.0));
+    }
+  }
+  return t;
+}
+
+/// Runs the accelerator functionally and compares against the reference.
+void expect_matches_reference(const graph::Graph& g, const gnn::ModelSpec& model,
+                              const AcceleratorConfig& config, const DataflowOptions& options,
+                              float tolerance = 2e-4f) {
+  const gnn::Tensor features = random_features(g.num_nodes(), model.input_dim(), 99);
+  const gnn::ModelWeights weights = gnn::init_weights(model, 42);
+
+  const LoweredModel plan = core::compile_model(g, model, config, options);
+  core::RuntimeState state(plan, features, weights);
+  const core::ExecutionResult result = core::Accelerator::run(plan, &state);
+
+  ASSERT_TRUE(result.output.has_value());
+  const gnn::ReferenceExecutor reference(g);
+  const gnn::Tensor expected = reference.run_model(model, weights, features);
+
+  ASSERT_EQ(result.output->rows(), expected.rows());
+  ASSERT_EQ(result.output->cols(), expected.cols());
+  EXPECT_LE(gnn::Tensor::max_abs_diff(*result.output, expected), tolerance)
+      << "accelerator output diverges from reference";
+  EXPECT_GT(result.cycles, 0u);
+}
+
+graph::Graph test_graph(std::uint64_t seed, graph::NodeId n = 120, std::size_t edges = 600) {
+  util::Prng prng(seed);
+  return graph::symmetrized(graph::power_law(n, edges, 1.5, prng));
+}
+
+TEST(AcceleratorFunctional, GcnMatchesReference) {
+  const auto g = test_graph(1);
+  const auto model = gnn::ModelSpec::gcn(40, 16, 7);
+  expect_matches_reference(g, model, small_config(), DataflowOptions{});
+}
+
+TEST(AcceleratorFunctional, SageMeanMatchesReference) {
+  const auto g = test_graph(2);
+  const auto model = gnn::ModelSpec::graphsage(40, 16, 7);
+  expect_matches_reference(g, model, small_config(), DataflowOptions{});
+}
+
+TEST(AcceleratorFunctional, SagePoolMatchesReference) {
+  const auto g = test_graph(3);
+  const auto model = gnn::ModelSpec::graphsage_pool(40, 16, 7);
+  expect_matches_reference(g, model, small_config(), DataflowOptions{});
+}
+
+TEST(AcceleratorFunctional, GcnWithoutBlockingMatchesReference) {
+  const auto g = test_graph(4);
+  const auto model = gnn::ModelSpec::gcn(40, 16, 7);
+  DataflowOptions options;
+  options.feature_blocking = false;
+  expect_matches_reference(g, model, small_config(), options);
+}
+
+TEST(AcceleratorFunctional, ThreeLayerGcnMatchesReference) {
+  const auto g = test_graph(5);
+  const auto model = gnn::ModelSpec::gcn(24, 12, 5, /*hidden_layers=*/2);
+  expect_matches_reference(g, model, small_config(), DataflowOptions{});
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: every (network, block size, traversal, blocking) point must
+// be functionally exact. This is the paper's Algorithm 1 swept across its
+// parameter space.
+// ---------------------------------------------------------------------------
+using SweepParam = std::tuple<gnn::LayerKind, std::size_t /*block*/, int /*traversal*/,
+                              bool /*blocking*/>;
+
+class DataflowSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DataflowSweep, MatchesReference) {
+  const auto [kind, block, traversal_code, blocking] = GetParam();
+  const auto g = test_graph(7, 90, 420);
+
+  gnn::ModelSpec model;
+  const std::size_t in_dim = 36;
+  switch (kind) {
+    case gnn::LayerKind::kGcn:
+      model = gnn::ModelSpec::gcn(in_dim, 10, 4);
+      break;
+    case gnn::LayerKind::kSageMean:
+      model = gnn::ModelSpec::graphsage(in_dim, 10, 4);
+      break;
+    case gnn::LayerKind::kSagePool:
+      model = gnn::ModelSpec::graphsage_pool(in_dim, 10, 4);
+      break;
+  }
+
+  DataflowOptions options;
+  options.feature_blocking = blocking;
+  options.block_size = block;
+  if (traversal_code == 1) {
+    options.traversal = shard::Traversal::kSourceStationary;
+  } else if (traversal_code == 2) {
+    options.traversal = shard::Traversal::kDestStationary;
+  }
+  expect_matches_reference(test_graph(7, 90, 420), model, small_config(), options);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNetworksAllDataflows, DataflowSweep,
+    ::testing::Combine(::testing::Values(gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean,
+                                         gnn::LayerKind::kSagePool),
+                       ::testing::Values(std::size_t{4}, std::size_t{8}, std::size_t{16},
+                                         std::size_t{64}),
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Values(true, false)));
+
+// ---------------------------------------------------------------------------
+// Orthogonal knobs that must never change results: the dense dataflow and
+// sparsity elimination.
+// ---------------------------------------------------------------------------
+using KnobParam = std::tuple<gnn::LayerKind, int /*os dataflow*/, bool /*sparsity*/>;
+
+class OrthogonalKnobSweep : public ::testing::TestWithParam<KnobParam> {};
+
+TEST_P(OrthogonalKnobSweep, MatchesReference) {
+  const auto [kind, use_os, sparsity] = GetParam();
+  gnn::ModelSpec model;
+  switch (kind) {
+    case gnn::LayerKind::kGcn:
+      model = gnn::ModelSpec::gcn(36, 10, 4);
+      break;
+    case gnn::LayerKind::kSageMean:
+      model = gnn::ModelSpec::graphsage(36, 10, 4);
+      break;
+    case gnn::LayerKind::kSagePool:
+      model = gnn::ModelSpec::graphsage_pool(36, 10, 4);
+      break;
+  }
+  AcceleratorConfig config = small_config();
+  config.dense.array.dataflow = use_os != 0 ? dense::SystolicDataflow::kOutputStationary
+                                            : dense::SystolicDataflow::kWeightStationary;
+  DataflowOptions options;
+  options.block_size = 8;
+  options.sparsity_elimination = sparsity;
+  expect_matches_reference(test_graph(29, 110, 520), model, config, options);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DenseDataflowAndSparsity, OrthogonalKnobSweep,
+    ::testing::Combine(::testing::Values(gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean,
+                                         gnn::LayerKind::kSagePool),
+                       ::testing::Values(0, 1), ::testing::Values(false, true)));
+
+// ---------------------------------------------------------------------------
+// Geometry sweep: engine shapes must never change results, only cycles.
+// ---------------------------------------------------------------------------
+class GeometrySweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GeometrySweep, MatchesReference) {
+  const auto [gpes, array_dim] = GetParam();
+  AcceleratorConfig config = small_config();
+  config.graph.geometry.num_gpes = static_cast<std::uint32_t>(gpes);
+  config.dense.array.rows = static_cast<std::uint32_t>(array_dim);
+  config.dense.array.cols = static_cast<std::uint32_t>(array_dim);
+  const auto model = gnn::ModelSpec::graphsage(30, 12, 5);
+  expect_matches_reference(test_graph(11), model, config, DataflowOptions{});
+}
+
+INSTANTIATE_TEST_SUITE_P(EngineShapes, GeometrySweep,
+                         ::testing::Combine(::testing::Values(1, 2, 8, 32),
+                                            ::testing::Values(8, 32, 64)));
+
+// ---------------------------------------------------------------------------
+// Timing-mode sanity.
+// ---------------------------------------------------------------------------
+TEST(AcceleratorTiming, TimingModeNeedsNoFeatures) {
+  const auto g = test_graph(13);
+  const auto model = gnn::ModelSpec::gcn(64, 16, 7);
+  const core::LoweredModel plan =
+      core::compile_model(g, model, small_config(), DataflowOptions{});
+  const auto result = core::Accelerator::run(plan, nullptr);
+  EXPECT_FALSE(result.output.has_value());
+  EXPECT_GT(result.cycles, 0u);
+}
+
+TEST(AcceleratorTiming, TimingIndependentOfFunctionalMode) {
+  const auto g = test_graph(17);
+  const auto model = gnn::ModelSpec::gcn(48, 16, 7);
+  const core::LoweredModel plan =
+      core::compile_model(g, model, small_config(), DataflowOptions{});
+
+  const auto timing_only = core::Accelerator::run(plan, nullptr);
+
+  const gnn::Tensor features = random_features(g.num_nodes(), 48, 5);
+  const gnn::ModelWeights weights = gnn::init_weights(model, 42);
+  core::RuntimeState state(plan, features, weights);
+  const auto functional = core::Accelerator::run(plan, &state);
+
+  EXPECT_EQ(timing_only.cycles, functional.cycles)
+      << "functional execution must not perturb timing";
+}
+
+TEST(AcceleratorTiming, MoreBandwidthNeverSlower) {
+  const auto g = test_graph(19, 200, 1400);
+  const auto model = gnn::ModelSpec::gcn(96, 16, 7);
+  AcceleratorConfig base = small_config();
+  const auto plan_base = core::compile_model(g, model, base, DataflowOptions{});
+  const auto cycles_base = core::Accelerator::run(plan_base, nullptr).cycles;
+
+  AcceleratorConfig fast = base.with_double_bandwidth();
+  const auto plan_fast = core::compile_model(g, model, fast, DataflowOptions{});
+  const auto cycles_fast = core::Accelerator::run(plan_fast, nullptr).cycles;
+
+  EXPECT_LE(cycles_fast, cycles_base);
+}
+
+TEST(AcceleratorTiming, DeterministicCycles) {
+  const auto g = test_graph(23);
+  const auto model = gnn::ModelSpec::graphsage(40, 16, 7);
+  const auto plan = core::compile_model(g, model, small_config(), DataflowOptions{});
+  const auto a = core::Accelerator::run(plan, nullptr).cycles;
+  const auto b = core::Accelerator::run(plan, nullptr).cycles;
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace gnnerator

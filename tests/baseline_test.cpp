@@ -1,0 +1,172 @@
+// Tests for the baseline models: the GPU roofline (RTX 2080 Ti) and the
+// HyGCN-style accelerator model.
+#include <gtest/gtest.h>
+
+#include "baseline/gpu_model.hpp"
+#include "baseline/hygcn_model.hpp"
+#include "core/gnnerator.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generate.hpp"
+#include "util/prng.hpp"
+
+namespace gnnerator::baseline {
+namespace {
+
+graph::DatasetSpec cora_spec() { return *graph::find_dataset("cora"); }
+
+// ------------------------------------------------------------------- gpu --
+TEST(GpuModel, UtilizationBoundedAndMonotonic) {
+  const GpuModel gpu;
+  EXPECT_GT(gpu.gemm_utilization(16, 4), 0.0);
+  EXPECT_LE(gpu.gemm_utilization(1 << 20, 1 << 20), gpu.config().gemm_base_util + 1e-12);
+  // Wider N improves utilization.
+  EXPECT_LT(gpu.gemm_utilization(4096, 16), gpu.gemm_utilization(4096, 512));
+}
+
+TEST(GpuModel, GatherEfficiencyGrowsWithWidth) {
+  const GpuModel gpu;
+  EXPECT_LT(gpu.gather_efficiency(16), gpu.gather_efficiency(500));
+  EXPECT_LE(gpu.gather_efficiency(500), gpu.gather_efficiency(4000));
+  EXPECT_LE(gpu.gather_efficiency(100000), gpu.config().gather_eff_max);
+  EXPECT_GE(gpu.gather_efficiency(1), gpu.config().gather_eff_base);
+}
+
+TEST(GpuModel, GemmTimeScalesWithWork) {
+  const GpuModel gpu;
+  EXPECT_LT(gpu.gemm_time_s(1000, 100, 16), gpu.gemm_time_s(1000, 1000, 16));
+  EXPECT_LT(gpu.gemm_time_s(1000, 100, 16), gpu.gemm_time_s(10000, 100, 16));
+}
+
+TEST(GpuModel, TinyKernelsDominatedByOverhead) {
+  const GpuModel gpu;
+  const double tiny = gpu.gemm_time_s(10, 10, 10);
+  EXPECT_NEAR(tiny, gpu.config().gemm_overhead_s, gpu.config().gemm_overhead_s * 0.1);
+}
+
+TEST(GpuModel, MaterializedMaxAggregationCostsMore) {
+  const GpuModel gpu;
+  EXPECT_GT(gpu.aggregate_time_s(3000, 12000, 512, true),
+            gpu.aggregate_time_s(3000, 12000, 512, false));
+}
+
+TEST(GpuModel, BreakdownSumsToTotal) {
+  const GpuModel gpu;
+  const auto model = core::table3_model(gnn::LayerKind::kSagePool, cora_spec());
+  const auto stages = gpu.breakdown(model, cora_spec());
+  double sum = 0.0;
+  for (const auto& s : stages) {
+    EXPECT_GT(s.seconds, 0.0);
+    sum += s.seconds;
+  }
+  EXPECT_NEAR(sum, gpu.model_time_s(model, cora_spec()), 1e-12);
+  // SagePool: 3 stages per layer x 2 layers.
+  EXPECT_EQ(stages.size(), 6u);
+}
+
+TEST(GpuModel, PoolPathSlowerThanMeanPath) {
+  // DGL's pool aggregator (wide fc_pool + edge materialisation) costs more
+  // than the mean aggregator on the same dataset.
+  const GpuModel gpu;
+  const auto pool = core::table3_model(gnn::LayerKind::kSagePool, cora_spec());
+  const auto mean = core::table3_model(gnn::LayerKind::kSageMean, cora_spec());
+  EXPECT_GT(gpu.model_time_s(pool, cora_spec()), gpu.model_time_s(mean, cora_spec()));
+}
+
+// ----------------------------------------------------------------- hygcn --
+graph::Graph small_graph() {
+  util::Prng prng(5);
+  return graph::symmetrized(graph::power_law(300, 1800, 1.8, prng));
+}
+
+TEST(HygcnModel, LayerCyclesPositiveAndComposed) {
+  const HygcnModel hygcn;
+  const auto g = small_graph();
+  const gnn::LayerSpec layer{gnn::LayerKind::kGcn, 128, 16, gnn::Activation::kRelu};
+  const auto cycles = hygcn.layer_cycles(g, layer);
+  EXPECT_GT(cycles.aggregation_dma, 0u);
+  EXPECT_GT(cycles.aggregation_compute, 0u);
+  EXPECT_GT(cycles.combination, 0u);
+  // Pipelined total = max of the overlapping parts.
+  EXPECT_EQ(cycles.total, std::max({cycles.aggregation_dma, cycles.aggregation_compute,
+                                    cycles.combination}));
+}
+
+TEST(HygcnModel, SparsityEliminationReducesTraffic) {
+  HygcnConfig with;
+  with.sparsity_elimination = true;
+  // Shrink the window so elimination matters even on a small test graph.
+  with.buffer_bytes = 256 * 1024;
+  HygcnConfig without = with;
+  without.sparsity_elimination = false;
+  const auto g = small_graph();
+  const gnn::LayerSpec layer{gnn::LayerKind::kGcn, 128, 16, gnn::Activation::kRelu};
+  const auto dma_with = HygcnModel(with).layer_cycles(g, layer).aggregation_dma;
+  const auto dma_without = HygcnModel(without).layer_cycles(g, layer).aggregation_dma;
+  EXPECT_LT(dma_with, dma_without);
+}
+
+TEST(HygcnModel, SagePoolStagesSerialize) {
+  // Dense-first networks cannot pipeline on HyGCN: the total is a sum of
+  // stage maxima, strictly greater than any single component.
+  const HygcnModel hygcn;
+  const auto g = small_graph();
+  const gnn::LayerSpec layer{gnn::LayerKind::kSagePool, 128, 16, gnn::Activation::kRelu};
+  const auto cycles = hygcn.layer_cycles(g, layer);
+  EXPECT_GT(cycles.total, cycles.aggregation_dma);
+  EXPECT_GT(cycles.total, cycles.combination / 2);
+}
+
+TEST(HygcnModel, ModelCyclesSumLayers) {
+  const HygcnModel hygcn;
+  const auto g = small_graph();
+  const auto model = gnn::ModelSpec::gcn(128, 16, 7);
+  std::uint64_t expected = 0;
+  for (const auto& layer : model.layers) {
+    expected += hygcn.layer_cycles(g, layer).total;
+  }
+  EXPECT_EQ(hygcn.simulate_cycles(g, model), expected);
+}
+
+TEST(HygcnModel, MillisecondConversion) {
+  const HygcnModel hygcn;
+  EXPECT_DOUBLE_EQ(hygcn.milliseconds(1'000'000), 1.0);  // 1 GHz
+}
+
+// --------------------------------------------------- paper-shape checks --
+TEST(PaperShape, BlockedGnneratorBeatsHygcnOnGcn) {
+  // Table V's headline: with feature blocking GNNerator outperforms HyGCN
+  // on GCN across the Table II datasets (paper: 2.3-3.8x).
+  const graph::Dataset ds = graph::make_dataset_by_name("cora", 1, false);
+  const auto model = core::table3_model(gnn::LayerKind::kGcn, ds.spec);
+
+  const HygcnModel hygcn;
+  const double hygcn_ms = hygcn.milliseconds(hygcn.simulate_cycles(ds.graph, model));
+
+  core::SimulationRequest request;
+  const auto result = core::simulate_gnnerator(ds, model, request);
+  const double gnn_ms = result.milliseconds(request.config.clock_ghz);
+
+  EXPECT_GT(hygcn_ms / gnn_ms, 1.5) << "blocked GNNerator should clearly beat HyGCN";
+  EXPECT_LT(hygcn_ms / gnn_ms, 8.0) << "but not implausibly so";
+}
+
+TEST(PaperShape, GnneratorBeatsGpuOnEverySuitePoint) {
+  // Fig. 3: every blocked benchmark point is at least as fast as the GPU.
+  const GpuModel gpu;
+  for (const char* name : {"cora", "citeseer", "pubmed"}) {
+    const graph::Dataset ds = graph::make_dataset_by_name(name, 1, false);
+    for (const auto kind : {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean,
+                            gnn::LayerKind::kSagePool}) {
+      const auto model = core::table3_model(kind, ds.spec);
+      core::SimulationRequest request;
+      const auto result = core::simulate_gnnerator(ds, model, request);
+      const double gnn_ms = result.milliseconds(1.0);
+      const double gpu_ms = gpu.model_time_s(model, ds.spec) * 1e3;
+      EXPECT_GT(gpu_ms / gnn_ms, 1.0)
+          << name << "-" << gnn::layer_kind_name(kind) << " should beat the GPU";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gnnerator::baseline

@@ -1,0 +1,127 @@
+// Tests for the energy/area estimators and the execution report.
+#include <gtest/gtest.h>
+
+#include "core/energy.hpp"
+#include "core/gnnerator.hpp"
+#include "core/report.hpp"
+#include "graph/datasets.hpp"
+
+namespace gnnerator::core {
+namespace {
+
+TEST(Energy, ZeroStatsZeroDynamicEnergy) {
+  sim::StatSet stats;
+  const auto e = estimate_energy(stats, /*cycles=*/0);
+  EXPECT_DOUBLE_EQ(e.dram_mj, 0.0);
+  EXPECT_DOUBLE_EQ(e.sram_mj, 0.0);
+  EXPECT_DOUBLE_EQ(e.dense_compute_mj, 0.0);
+  EXPECT_DOUBLE_EQ(e.graph_compute_mj, 0.0);
+  EXPECT_DOUBLE_EQ(e.static_mj, 0.0);
+}
+
+TEST(Energy, ComponentsScaleLinearly) {
+  sim::StatSet stats;
+  stats.add("dram.read_bytes", 1'000'000);
+  stats.add("dense.macs", 2'000'000);
+  EnergyParams params;
+  const auto e1 = estimate_energy(stats, 1000, 1.0, params);
+  stats.add("dram.read_bytes", 1'000'000);  // double the traffic
+  const auto e2 = estimate_energy(stats, 1000, 1.0, params);
+  EXPECT_NEAR(e2.dram_mj, 2.0 * e1.dram_mj, 1e-12);
+  EXPECT_NEAR(e2.dense_compute_mj, e1.dense_compute_mj, 1e-12);
+}
+
+TEST(Energy, StaticEnergyTracksTime) {
+  sim::StatSet stats;
+  EnergyParams params;
+  params.static_mw = 100.0;
+  const auto e = estimate_energy(stats, 1'000'000, 1.0, params);  // 1 ms
+  EXPECT_NEAR(e.static_mj, 0.1, 1e-12);  // 100 mW * 1 ms
+}
+
+TEST(Energy, EdpCombinesEnergyAndDelay) {
+  sim::StatSet stats;
+  stats.add("dram.read_bytes", 50'000'000);
+  const auto e = estimate_energy(stats, 1'000'000);
+  EXPECT_NEAR(e.edp(2.0), e.total_mj() * 2.0, 1e-12);
+}
+
+TEST(Energy, FormatMentionsComponents) {
+  const std::string s = format_energy(EnergyBreakdown{1, 2, 3, 4, 5});
+  EXPECT_NE(s.find("dram=1"), std::string::npos);
+  EXPECT_NE(s.find("total=15"), std::string::npos);
+}
+
+TEST(Area, Table4LandsNearPaperValue) {
+  const double area = estimate_area_mm2(AcceleratorConfig::table4());
+  EXPECT_GT(area, 12.0);
+  EXPECT_LT(area, 17.0);  // paper: 14.5 mm^2
+}
+
+TEST(Area, MonotoneInResources) {
+  const auto base = AcceleratorConfig::table4();
+  const double a0 = estimate_area_mm2(base);
+  EXPECT_GT(estimate_area_mm2(base.with_double_graph_memory()), a0);
+  EXPECT_GT(estimate_area_mm2(base.with_double_dense_compute()), a0);
+  // Bandwidth is off-chip: no area change in this model.
+  EXPECT_DOUBLE_EQ(estimate_area_mm2(base.with_double_bandwidth()), a0);
+}
+
+TEST(Report, BuildsConsistentSummary) {
+  const graph::Dataset ds = graph::make_dataset_by_name("cora", 1, false);
+  const auto model = table3_model(gnn::LayerKind::kGcn, ds.spec);
+  SimulationRequest request;
+  const LoweredModel plan = compile_for(ds, model, request);
+  const auto result = Accelerator::run(plan, nullptr);
+  const ExecutionReport report = make_report(result, plan);
+
+  EXPECT_EQ(report.cycles, result.cycles);
+  EXPECT_GT(report.milliseconds, 0.0);
+  EXPECT_GT(report.dense_busy_frac, 0.0);
+  EXPECT_LE(report.dense_busy_frac, 1.0);
+  EXPECT_GT(report.graph_busy_frac, 0.0);
+  EXPECT_LE(report.graph_busy_frac, 1.0);
+  EXPECT_GT(report.dense_array_util, 0.0);
+  EXPECT_LE(report.dense_array_util, 1.0);
+  EXPECT_GT(report.graph_lane_util, 0.0);
+  EXPECT_LE(report.graph_lane_util, 1.0);
+  EXPECT_GT(report.dram_bw_util, 0.0);
+  EXPECT_LE(report.dram_bw_util, 1.0);
+  EXPECT_GT(report.dram_read_bytes, 0u);
+  EXPECT_GT(report.energy.total_mj(), 0.0);
+  // Lane ops == 2 * edge visits * block width summed; must be nonzero and
+  // bounded by 2 * edges * max-dims.
+  EXPECT_GT(report.graph_lane_ops, report.edges_processed);
+}
+
+TEST(Report, FormatContainsKeyLines) {
+  const graph::Dataset ds = graph::make_dataset_by_name("cora", 1, false);
+  const auto model = table3_model(gnn::LayerKind::kGcn, ds.spec);
+  SimulationRequest request;
+  const LoweredModel plan = compile_for(ds, model, request);
+  const auto result = Accelerator::run(plan, nullptr);
+  const std::string s = format_report(make_report(result, plan));
+  EXPECT_NE(s.find("dense engine"), std::string::npos);
+  EXPECT_NE(s.find("graph engine"), std::string::npos);
+  EXPECT_NE(s.find("off-chip traffic"), std::string::npos);
+  EXPECT_NE(s.find("energy"), std::string::npos);
+}
+
+TEST(Report, BlockingReducesTotalEnergy) {
+  // The paper's motivation in energy terms: fewer DRAM bytes => less
+  // energy, since DRAM dominates.
+  const graph::Dataset ds = graph::make_dataset_by_name("citeseer", 1, false);
+  const auto model = table3_model(gnn::LayerKind::kGcn, ds.spec);
+  SimulationRequest blocked;
+  SimulationRequest unblocked;
+  unblocked.dataflow.feature_blocking = false;
+  const auto run_energy = [&](const SimulationRequest& r) {
+    const LoweredModel plan = compile_for(ds, model, r);
+    const auto result = Accelerator::run(plan, nullptr);
+    return estimate_energy(result.stats, result.cycles).total_mj();
+  };
+  EXPECT_LT(run_energy(blocked), run_energy(unblocked));
+}
+
+}  // namespace
+}  // namespace gnnerator::core

@@ -1,0 +1,180 @@
+// Tests for the memory substrate: DRAM bandwidth arbitration, latency,
+// transaction rounding, fairness, and scratchpad capacity accounting.
+#include <gtest/gtest.h>
+
+#include "mem/dram.hpp"
+#include "mem/scratchpad.hpp"
+#include "sim/kernel.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace gnnerator::mem {
+namespace {
+
+/// Ticks the DRAM until the given transfer completes; returns cycles taken.
+sim::Cycle run_until_complete(DramModel& dram, DmaId id, sim::Cycle limit = 100000) {
+  sim::Cycle now = 0;
+  while (!dram.is_complete(id)) {
+    dram.tick(now++);
+    GNNERATOR_CHECK(now < limit);
+  }
+  return now;
+}
+
+DramModel::Config fast_config() {
+  DramModel::Config c;
+  c.bytes_per_cycle = 256.0;
+  c.latency_cycles = 10;
+  c.transaction_bytes = 64;
+  return c;
+}
+
+TEST(Dram, BandwidthBoundsTransferTime) {
+  DramModel dram(fast_config());
+  // 256 KiB at 256 B/cycle: >= 1024 cycles of grants + latency.
+  const DmaId id = dram.submit(MemOp::kRead, 256 * util::kKiB, "test");
+  const sim::Cycle cycles = run_until_complete(dram, id);
+  EXPECT_GE(cycles, 1024u);
+  EXPECT_LE(cycles, 1024u + 10u + 2u);
+}
+
+TEST(Dram, LatencyAppliedAfterLastByte) {
+  DramModel dram(fast_config());
+  const DmaId id = dram.submit(MemOp::kRead, 64, "test");
+  // One transaction granted in cycle 0; completes at 0 + latency.
+  const sim::Cycle cycles = run_until_complete(dram, id);
+  EXPECT_GE(cycles, 10u);
+  EXPECT_LE(cycles, 12u);
+}
+
+TEST(Dram, ZeroByteTransfersCompleteImmediately) {
+  DramModel dram(fast_config());
+  const DmaId id = dram.submit(MemOp::kRead, 0, "test");
+  EXPECT_TRUE(dram.is_complete(id));
+  EXPECT_FALSE(dram.busy());
+  dram.collect(id);
+}
+
+TEST(Dram, RoundsUpToTransactionSize) {
+  DramModel dram(fast_config());
+  dram.submit(MemOp::kRead, 1, "test");
+  EXPECT_EQ(dram.stats().get("read_bytes"), 64u);
+  dram.submit(MemOp::kWrite, 65, "test");
+  EXPECT_EQ(dram.stats().get("write_bytes"), 128u);
+}
+
+TEST(Dram, FairRoundRobinBetweenClients) {
+  DramModel dram(fast_config());
+  const DmaId a = dram.submit(MemOp::kRead, 64 * util::kKiB, "a");
+  const DmaId b = dram.submit(MemOp::kRead, 64 * util::kKiB, "b");
+  sim::Cycle now = 0;
+  while (!dram.is_complete(a) || !dram.is_complete(b)) {
+    dram.tick(now++);
+    GNNERATOR_CHECK(now < 10000);
+  }
+  // Equal-size concurrent transfers must finish within a whisker of each
+  // other: both take ~2x the solo time.
+  const auto solo_grant_cycles = 64 * util::kKiB / 256;
+  EXPECT_GE(now, 2 * solo_grant_cycles);
+  EXPECT_LE(now, 2 * solo_grant_cycles + 16);
+}
+
+TEST(Dram, ConcurrentTransfersShareBandwidth) {
+  // One long and one short transfer: the short one should not wait for the
+  // long one to finish (round-robin, not FIFO).
+  DramModel dram(fast_config());
+  const DmaId long_id = dram.submit(MemOp::kRead, 256 * util::kKiB, "long");
+  const DmaId short_id = dram.submit(MemOp::kRead, 4 * util::kKiB, "short");
+  const sim::Cycle short_done = run_until_complete(dram, short_id);
+  EXPECT_FALSE(dram.is_complete(long_id));
+  // Short transfer: 64 transactions at ~half bandwidth => ~32+ cycles, far
+  // below the 1024 grant cycles of the long one.
+  EXPECT_LT(short_done, 200u);
+}
+
+TEST(Dram, PerClientTrafficAccounted) {
+  DramModel dram(fast_config());
+  dram.submit(MemOp::kRead, 128, "alpha");
+  dram.submit(MemOp::kWrite, 64, "beta");
+  EXPECT_EQ(dram.stats().get("bytes.alpha"), 128u);
+  EXPECT_EQ(dram.stats().get("bytes.beta"), 64u);
+}
+
+TEST(Dram, PollingUnknownIdThrows) {
+  DramModel dram(fast_config());
+  EXPECT_THROW((void)dram.is_complete(99), util::CheckError);
+}
+
+TEST(Dram, CollectRequiresCompletion) {
+  DramModel dram(fast_config());
+  const DmaId id = dram.submit(MemOp::kRead, 1024, "test");
+  EXPECT_THROW(dram.collect(id), util::CheckError);
+  run_until_complete(dram, id);
+  EXPECT_NO_THROW(dram.collect(id));
+  EXPECT_THROW((void)dram.is_complete(id), util::CheckError);  // forgotten
+}
+
+TEST(Dram, FractionalBandwidthAccumulates) {
+  DramModel::Config c;
+  c.bytes_per_cycle = 32.0;  // half a transaction per cycle
+  c.latency_cycles = 0;
+  c.transaction_bytes = 64;
+  DramModel dram(c);
+  const DmaId id = dram.submit(MemOp::kRead, 640, "test");  // 10 transactions
+  const sim::Cycle cycles = run_until_complete(dram, id);
+  EXPECT_GE(cycles, 19u);  // 640 B / 32 B-per-cycle = 20
+  EXPECT_LE(cycles, 22u);
+}
+
+TEST(Dram, BusyReflectsOutstandingWork) {
+  DramModel dram(fast_config());
+  EXPECT_FALSE(dram.busy());
+  const DmaId id = dram.submit(MemOp::kRead, 1024, "test");
+  EXPECT_TRUE(dram.busy());
+  run_until_complete(dram, id);
+  dram.collect(id);
+  EXPECT_FALSE(dram.busy());
+}
+
+// ------------------------------------------------------------ scratchpad --
+TEST(Scratchpad, AllocateReleaseAndPeak) {
+  Scratchpad pad("pad", 1024);
+  pad.allocate(500);
+  pad.allocate(200);
+  EXPECT_EQ(pad.allocated(), 700u);
+  pad.release(600);
+  EXPECT_EQ(pad.allocated(), 100u);
+  EXPECT_EQ(pad.peak_allocated(), 700u);
+}
+
+TEST(Scratchpad, OverflowThrows) {
+  Scratchpad pad("pad", 100);
+  pad.allocate(80);
+  EXPECT_FALSE(pad.fits(30));
+  EXPECT_THROW(pad.allocate(30), util::CheckError);
+  EXPECT_THROW(pad.release(90), util::CheckError);
+}
+
+TEST(Scratchpad, AccessCountersAccumulate) {
+  Scratchpad pad("pad", 1024);
+  pad.record_read(100);
+  pad.record_read(50);
+  pad.record_write(10);
+  EXPECT_EQ(pad.stats().get("read_bytes"), 150u);
+  EXPECT_EQ(pad.stats().get("write_bytes"), 10u);
+}
+
+TEST(DoubleBuffer, SwapExchangesRoles) {
+  DoubleBuffer buf("db", 512);
+  buf.front().allocate(100);
+  EXPECT_EQ(buf.front().allocated(), 100u);
+  EXPECT_EQ(buf.back().allocated(), 0u);
+  buf.swap();
+  EXPECT_EQ(buf.front().allocated(), 0u);
+  EXPECT_EQ(buf.back().allocated(), 100u);
+  EXPECT_EQ(buf.swap_count(), 1u);
+  EXPECT_EQ(buf.bytes_per_bank(), 512u);
+}
+
+}  // namespace
+}  // namespace gnnerator::mem

@@ -1,0 +1,288 @@
+// Unit tests for the utility layer: PRNG, tables, CSV, stats, args, units.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/args.hpp"
+#include "util/check.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace gnnerator::util {
+namespace {
+
+// ---------------------------------------------------------------- checks --
+TEST(Check, ThrowsCheckErrorWithContext) {
+  try {
+    GNNERATOR_CHECK_MSG(1 == 2, "context " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(GNNERATOR_CHECK(2 + 2 == 4));
+}
+
+// ------------------------------------------------------------------ prng --
+TEST(Prng, DeterministicForSameSeed) {
+  Prng a(123);
+  Prng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, UniformBoundRespected) {
+  Prng prng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(prng.uniform_u64(17), 17u);
+  }
+}
+
+TEST(Prng, UniformBoundZeroThrows) {
+  Prng prng(7);
+  EXPECT_THROW(prng.uniform_u64(0), CheckError);
+}
+
+TEST(Prng, UniformIntInclusiveRange) {
+  Prng prng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = prng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, UniformDoublesInHalfOpenUnitInterval) {
+  Prng prng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = prng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Prng, NormalMomentsRoughlyStandard) {
+  Prng prng(17);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = prng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.08);
+}
+
+TEST(Prng, PermutationIsValid) {
+  Prng prng(19);
+  const auto p = prng.permutation(257);
+  std::set<std::uint32_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(Prng, WeightedIndexFollowsWeights) {
+  Prng prng(23);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[prng.weighted_index(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Prng, WeightedIndexRejectsBadInput) {
+  Prng prng(29);
+  EXPECT_THROW(prng.weighted_index({}), CheckError);
+  EXPECT_THROW(prng.weighted_index({-1.0, 2.0}), CheckError);
+  EXPECT_THROW(prng.weighted_index({0.0, 0.0}), CheckError);
+}
+
+TEST(Prng, ForkedStreamsAreIndependent) {
+  Prng parent(31);
+  Prng a = parent.fork(1);
+  Prng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// ----------------------------------------------------------------- table --
+TEST(Table, AlignsColumnsAndCountsRows) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, SpeedupAndFixedFormatting) {
+  EXPECT_EQ(Table::speedup(3.14159), "3.1x");
+  EXPECT_EQ(Table::speedup(2.0, 2), "2.00x");
+  EXPECT_EQ(Table::fixed(1.5, 3), "1.500");
+}
+
+// ------------------------------------------------------------------- csv --
+TEST(Csv, WritesHeaderAndRows) {
+  CsvWriter csv({"x", "y"});
+  csv.add_row({"1", "2"});
+  EXPECT_EQ(csv.to_string(), "x,y\n1,2\n");
+  EXPECT_EQ(csv.num_rows(), 1u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, RejectsArityMismatch) {
+  CsvWriter csv({"x", "y"});
+  EXPECT_THROW(csv.add_row({"1", "2", "3"}), CheckError);
+}
+
+// ----------------------------------------------------------------- stats --
+TEST(Stats, GeomeanOfPowersOfTwo) {
+  const std::vector<double> v = {1.0, 4.0};
+  EXPECT_NEAR(geomean(v), 2.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const std::vector<double> v = {1.0, 0.0};
+  EXPECT_THROW(geomean(v), CheckError);
+  EXPECT_THROW(geomean(std::vector<double>{}), CheckError);
+}
+
+TEST(Stats, MeanMinMaxStddev) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(min_value(v), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 4.0);
+  EXPECT_NEAR(stddev(v), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, RunningStatsTracksExtremes) {
+  RunningStats rs;
+  EXPECT_THROW((void)rs.mean(), CheckError);
+  rs.add(2.0);
+  rs.add(-1.0);
+  rs.add(5.0);
+  EXPECT_EQ(rs.count(), 3u);
+  EXPECT_DOUBLE_EQ(rs.min(), -1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 2.0);
+}
+
+TEST(Stats, HistogramBinsAndClamps) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 4
+  h.add(-3.0);  // clamps to 0
+  h.add(42.0);  // clamps to 4
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+// ------------------------------------------------------------------ args --
+TEST(Args, ParsesAllForms) {
+  const char* argv[] = {"prog", "--key=value", "--flag", "--num", "42", "positional"};
+  Args args(6, argv);
+  EXPECT_EQ(args.get("key"), "value");
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_TRUE(args.get_bool("flag", false));
+  EXPECT_EQ(args.get_int("num", 0), 42);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(args.get_int("missing", -1), -1);
+}
+
+TEST(Args, MalformedNumbersThrow) {
+  const char* argv[] = {"prog", "--num=abc"};
+  Args args(2, argv);
+  EXPECT_THROW((void)args.get_int("num", 0), CheckError);
+}
+
+TEST(Args, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=yes", "--d=off"};
+  Args args(5, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+}
+
+// ----------------------------------------------------------------- units --
+TEST(Units, CeilDivAndRoundUp) {
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_EQ(round_up(10, 64), 64u);
+  EXPECT_EQ(round_up(64, 64), 64u);
+  EXPECT_EQ(round_up(65, 64), 128u);
+}
+
+TEST(Units, ByteFormatting) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2 * kMiB), "2.0 MiB");
+  EXPECT_EQ(format_bytes(24 * kMiB), "24.0 MiB");
+}
+
+TEST(Units, CycleFormattingWithSeparators) {
+  EXPECT_EQ(format_cycles(1), "1");
+  EXPECT_EQ(format_cycles(1234), "1,234");
+  EXPECT_EQ(format_cycles(1234567), "1,234,567");
+}
+
+TEST(Log, LevelParsingRoundTrip) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(log_level_name(LogLevel::kError), "error");
+  EXPECT_EQ(parse_log_level("nonsense"), LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace gnnerator::util
