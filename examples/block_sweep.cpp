@@ -6,6 +6,7 @@
 #include <iostream>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/gnnerator.hpp"
 #include "util/args.hpp"
 #include "util/csv.hpp"
@@ -37,17 +38,20 @@ int main(int argc, char** argv) {
                        "grid_dim"});
   util::Table table({"B", "Cycles", "ms", "DRAM read (MB)", "S"});
 
+  core::Engine engine(core::EngineOptions{.num_threads = 1});
   double base_ms = 0.0;
   for (const std::size_t b : blocks) {
     core::SimulationRequest request;
     request.dataflow.block_size = b;
-    const core::LoweredModel plan = core::compile_for(dataset, model, request);
-    const auto result = core::Accelerator::run(plan, nullptr);
+    // plan_for and run share the Engine's plan cache: the sweep compiles
+    // each block size once, and the run is a cache hit.
+    const auto plan = engine.plan_for(dataset, model, request);
+    const auto result = engine.run(dataset, model, request);
     const double ms = result.milliseconds(request.config.clock_ghz);
     if (b == 64) {
       base_ms = ms;
     }
-    const auto grid_dim = plan.agg_stages.front().sizing.grid_dim;
+    const auto grid_dim = plan->agg_stages.front().sizing.grid_dim;
     csv.add_row({std::to_string(b), std::to_string(result.cycles), util::Table::fixed(ms, 4),
                  std::to_string(result.stats.get("dram.read_bytes")),
                  std::to_string(result.stats.get("dram.write_bytes")),

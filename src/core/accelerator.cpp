@@ -1,5 +1,6 @@
 #include "core/accelerator.hpp"
 
+#include "core/executor.hpp"
 #include "dense/dense_engine.hpp"
 #include "gengine/graph_engine.hpp"
 #include "mem/dram.hpp"
@@ -9,7 +10,25 @@
 namespace gnnerator::core {
 
 ExecutionResult Accelerator::run(const LoweredModel& plan, RuntimeState* state,
-                                 sim::Tracer* tracer) {
+                                 sim::Tracer* tracer, ThreadPool* pool) {
+  plan.config.validate();  // fail before any functional work, not after
+  if (state != nullptr) {
+    // Functional arithmetic is decoupled from the cycle simulation: the
+    // executor runs the plan's compute program up front (on the Engine's
+    // pool when given), then the timing kernel runs without closures.
+    // Work-item order within each conflict chain matches engine issue
+    // order, so outputs are bit-identical to the old inline path and
+    // invariant to the pool size.
+    FunctionalExecutor(pool).execute(plan, *state);
+  }
+  ExecutionResult result = run_timing(plan, tracer);
+  if (state != nullptr) {
+    result.output = state->final_output();
+  }
+  return result;
+}
+
+ExecutionResult Accelerator::run_timing(const LoweredModel& plan, sim::Tracer* tracer) {
   plan.config.validate();
 
   GnneratorController controller;
@@ -32,9 +51,6 @@ ExecutionResult Accelerator::run(const LoweredModel& plan, RuntimeState* state,
     hw.wait_token = op.wait_token;
     hw.produce_token = op.produce_token;
     hw.tag = op.tag;
-    if (state != nullptr) {
-      hw.compute = state->make_gemm_func(op);
-    }
     dense_engine.enqueue(std::move(hw));
   }
   for (const AggWork& task : plan.graph_program) {
@@ -51,9 +67,6 @@ ExecutionResult Accelerator::run(const LoweredModel& plan, RuntimeState* state,
     hw.produce_token = task.produce_token;
     hw.signal_after_writeback = task.signal_after_writeback;
     hw.tag = task.tag;
-    if (state != nullptr) {
-      hw.compute = state->make_agg_func(task);
-    }
     graph_engine.enqueue(std::move(hw));
   }
 
@@ -73,9 +86,6 @@ ExecutionResult Accelerator::run(const LoweredModel& plan, RuntimeState* state,
   result.stats.merge(graph_engine.stats());
   result.stats.add("cycles", result.cycles);
   result.stats.add("tokens", controller.board().size());
-  if (state != nullptr) {
-    result.output = state->final_output();
-  }
   return result;
 }
 

@@ -30,12 +30,20 @@ struct ExecutionResult {
 /// Controller. Instantiates the hardware models from the plan's
 /// AcceleratorConfig, loads both engine programs, and runs the cycle-level
 /// simulation to completion.
+class ThreadPool;
+
 class Accelerator {
  public:
-  /// Runs the plan. `state` supplies functional closures (nullptr =>
-  /// timing-only). `tracer`, if non-null, records pipeline events.
+  /// Runs the plan. With a non-null `state` the functional program executes
+  /// first (via the FunctionalExecutor, on `pool` if given, else serially)
+  /// and the result carries the network output; the cycle simulation itself
+  /// is always timing-only. `tracer`, if non-null, records pipeline events.
+  /// This is the single orchestration path — the Engine delegates here.
   static ExecutionResult run(const LoweredModel& plan, RuntimeState* state,
-                             sim::Tracer* tracer = nullptr);
+                             sim::Tracer* tracer = nullptr, ThreadPool* pool = nullptr);
+
+  /// The deterministic single-threaded cycle simulation, no arithmetic.
+  static ExecutionResult run_timing(const LoweredModel& plan, sim::Tracer* tracer = nullptr);
 };
 
 }  // namespace gnnerator::core

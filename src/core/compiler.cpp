@@ -461,6 +461,9 @@ LoweredModel Compiler::compile(const gnn::ModelSpec& model) {
                   op.a = stage.input == StageSpec::Input::kLayerInput
                              ? TensorRef{l, -1}
                              : TensorRef{l, static_cast<std::int32_t>(s) - 1};
+                  // Layer inputs are raw features or ReLU'd activations —
+                  // keep the zero-skip; anything else is dense.
+                  op.a_maybe_sparse = op.a.stage < 0;
                   op.row_begin = m0;
                   op.row_end = m1;
                   op.k_begin = static_cast<std::uint32_t>(k0);
@@ -543,6 +546,9 @@ LoweredModel Compiler::compile(const gnn::ModelSpec& model) {
               op.layer = l;
               op.shape = dense::GemmShape{m1 - m0, kk1 - kk0, nn1 - nn0};
               op.a = a_ref;
+              // Aggregated inputs (stage >= 0) are dense; the h-part reads
+              // the sparse-ish layer input.
+              op.a_maybe_sparse = a_ref.stage < 0;
               op.row_begin = m0;
               op.row_end = m1;
               op.k_begin = static_cast<std::uint32_t>(kk0);

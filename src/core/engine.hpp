@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/gnnerator.hpp"
+#include "core/plan_cache.hpp"
+#include "graph/datasets.hpp"
+
+namespace gnnerator::core {
+
+struct EngineOptions {
+  /// Worker-pool parallelism (functional arithmetic, run_batch requests).
+  /// Counts the calling thread; 1 = fully serial, 0 = hardware concurrency.
+  std::size_t num_threads = 0;
+  /// LRU capacity of the plan cache; 0 disables caching.
+  std::size_t plan_cache_capacity = 64;
+};
+
+/// A reusable GNNerator simulation service: owns a plan cache keyed by
+/// (dataset, model, accelerator config, dataflow options), a dataset
+/// registry, and a worker pool.
+///
+/// One configured Engine serves many requests:
+///   * repeated identical requests reuse the compiled LoweredModel instead
+///     of re-running the compiler (observable via cache_stats()),
+///   * functional-mode arithmetic runs on the worker pool, partitioned into
+///     conflict-free chains — outputs are bitwise identical for every
+///     thread count,
+///   * run_batch executes independent requests concurrently.
+///
+/// The timing simulation itself stays deterministic and single-threaded per
+/// request (the cycle kernel's tick order is part of the model's
+/// determinism contract); threads only ever carry functional arithmetic and
+/// whole independent requests.
+///
+/// Thread-safety: the plan cache and dataset registry are internally
+/// locked, and registry entries are shared_ptr-backed — re-registering a
+/// name while requests against it are in flight is safe (they finish on
+/// the old snapshot). A reference obtained from dataset() is only
+/// guaranteed until that name is re-registered. run/run_batch may be
+/// called from any one thread at a time; calls from inside the Engine's
+/// own pool tasks would deadlock and are not supported.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers a dataset under its spec name (the id batch requests use).
+  /// Re-registering the same name replaces the dataset.
+  const graph::Dataset& add_dataset(graph::Dataset dataset);
+  [[nodiscard]] bool has_dataset(std::string_view name) const;
+  /// Throws CheckError for an unknown name.
+  [[nodiscard]] const graph::Dataset& dataset(std::string_view name) const;
+
+  /// Simulates `model` over `dataset` (explicit-dataset form; the request's
+  /// dataset/model fields are ignored). The plan is cached by the graph's
+  /// structural fingerprint.
+  ExecutionResult run(const graph::Dataset& dataset, const gnn::ModelSpec& model,
+                      const SimulationRequest& request);
+
+  /// Simulates request.model over the registered dataset named
+  /// request.dataset.
+  ExecutionResult run(const SimulationRequest& request);
+
+  /// Executes independent requests concurrently on the worker pool;
+  /// results[i] corresponds to requests[i]. Each request's functional
+  /// arithmetic runs serially inside its slot (request-level parallelism
+  /// already saturates the pool), so results are identical to run().
+  std::vector<ExecutionResult> run_batch(std::span<const SimulationRequest> requests);
+
+  /// The compiled plan a request would execute (cached).
+  std::shared_ptr<const LoweredModel> plan_for(const graph::Dataset& dataset,
+                                               const gnn::ModelSpec& model,
+                                               const SimulationRequest& request);
+
+  [[nodiscard]] PlanCacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] std::size_t plan_cache_size() const { return cache_.size(); }
+  [[nodiscard]] std::size_t num_threads() const { return pool_.parallelism(); }
+
+ private:
+  /// A registered dataset plus its memoized structural fingerprint (the
+  /// plan-cache dataset key), hashed once at registration instead of per
+  /// request.
+  struct Registered {
+    std::shared_ptr<const graph::Dataset> dataset;
+    std::string fingerprint;
+  };
+
+  [[nodiscard]] Registered registered(std::string_view name) const;
+  ExecutionResult run_impl(const graph::Dataset& dataset, const gnn::ModelSpec& model,
+                           const SimulationRequest& request, ThreadPool* functional_pool,
+                           const std::string* dataset_key = nullptr);
+  std::shared_ptr<const LoweredModel> plan_for_key(const graph::Dataset& dataset,
+                                                   const gnn::ModelSpec& model,
+                                                   const SimulationRequest& request,
+                                                   std::string_view dataset_key);
+
+  PlanCache cache_;
+  ThreadPool pool_;
+  mutable std::mutex datasets_mutex_;
+  std::map<std::string, Registered, std::less<>> datasets_;
+};
+
+}  // namespace gnnerator::core

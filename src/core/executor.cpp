@@ -1,0 +1,288 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace gnnerator::core {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+ThreadPool::ThreadPool(std::size_t parallelism) {
+  if (parallelism == 0) {
+    parallelism = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(parallelism - 1);
+  for (std::size_t i = 0; i + 1 < parallelism; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::drain(Batch& batch) {
+  const auto& tasks = *batch.tasks;
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= tasks.size()) {
+      return;
+    }
+    try {
+      tasks[i]();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!batch.error) {
+        batch.error = std::current_exception();
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (++batch.completed == tasks.size()) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || batch_ != nullptr; });
+      if (stop_) {
+        return;
+      }
+      batch = batch_;
+      ++batch->active_workers;
+    }
+    drain(*batch);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --batch->active_workers;
+      if (batch_ == batch) {
+        batch_ = nullptr;  // every task is claimed; stop further adoption
+      }
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_all(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) {
+    return;
+  }
+  if (workers_.empty() || tasks.size() == 1) {
+    // Same semantics as the parallel path: every task runs even if an
+    // earlier one throws, and the first error surfaces afterwards —
+    // behaviour must not depend on the pool size.
+    std::exception_ptr error;
+    for (const auto& task : tasks) {
+      try {
+        task();
+      } catch (...) {
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+    }
+    if (error) {
+      std::rethrow_exception(error);
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  Batch batch;
+  batch.tasks = &tasks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_ = &batch;
+  }
+  work_cv_.notify_all();
+  drain(batch);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (batch_ == &batch) {
+      batch_ = nullptr;
+    }
+    done_cv_.wait(lock, [&] {
+      return batch.completed == tasks.size() && batch.active_workers == 0;
+    });
+  }
+  if (batch.error) {
+    std::rethrow_exception(batch.error);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FunctionalExecutor
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One plan work item, tagged with which program it came from. Items keep
+/// their program order inside a phase/chain.
+struct Item {
+  bool is_gemm = false;
+  std::uint32_t index = 0;
+};
+
+/// Merges half-open intervals on one axis into maximal overlapping
+/// segments; maps an interval back to the segment containing it. Two work
+/// items overlap on the axis iff they land in the same segment (strictly
+/// adjacent intervals stay distinct).
+class SegmentIndex {
+ public:
+  void add(std::uint32_t begin, std::uint32_t end) { intervals_.emplace_back(begin, end); }
+
+  void build() {
+    std::sort(intervals_.begin(), intervals_.end());
+    for (const auto& [begin, end] : intervals_) {
+      if (!merged_.empty() && begin < merged_.back().second) {
+        merged_.back().second = std::max(merged_.back().second, end);
+      } else {
+        merged_.emplace_back(begin, end);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t segment_of(std::uint32_t begin) const {
+    // Last segment with segment.begin <= begin.
+    auto it = std::upper_bound(merged_.begin(), merged_.end(),
+                               std::make_pair(begin, std::numeric_limits<std::uint32_t>::max()));
+    GNNERATOR_CHECK(it != merged_.begin());
+    return static_cast<std::size_t>(std::prev(it) - merged_.begin());
+  }
+
+ private:
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> intervals_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> merged_;
+};
+
+/// Partitions one phase's GEMM ops into conflict chains: ops whose
+/// [row) x [n) write regions overlap share a chain (k-splits and
+/// different-series chunks accumulate into the same tile and must keep
+/// program order); disjoint regions may run concurrently. Overlap is
+/// resolved through merged segments per axis — conservative (transitively
+/// merged segments may group ops that do not pairwise overlap) but never
+/// splits a genuine conflict.
+std::vector<std::vector<Item>> gemm_chains(const LoweredModel& plan,
+                                           const std::vector<Item>& items) {
+  SegmentIndex n_segments;
+  for (const Item& item : items) {
+    const GemmWork& op = plan.dense_program[item.index];
+    n_segments.add(op.n_begin, op.n_end);
+  }
+  n_segments.build();
+
+  std::map<std::size_t, SegmentIndex> rows_of_nseg;
+  for (const Item& item : items) {
+    const GemmWork& op = plan.dense_program[item.index];
+    rows_of_nseg[n_segments.segment_of(op.n_begin)].add(op.row_begin, op.row_end);
+  }
+  for (auto& [nseg, rows] : rows_of_nseg) {
+    rows.build();
+  }
+
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<Item>> chains;
+  for (const Item& item : items) {
+    const GemmWork& op = plan.dense_program[item.index];
+    const std::size_t nseg = n_segments.segment_of(op.n_begin);
+    const std::size_t rseg = rows_of_nseg.at(nseg).segment_of(op.row_begin);
+    chains[{nseg, rseg}].push_back(item);
+  }
+
+  std::vector<std::vector<Item>> result;
+  result.reserve(chains.size());
+  for (auto& [key, chain] : chains) {
+    result.push_back(std::move(chain));
+  }
+  return result;
+}
+
+/// Shard tasks write the [destination interval x feature block] region of
+/// the stage accumulator: the grid's column intervals and the block grid are
+/// both disjoint partitions, so (column, d_begin) is an exact region key.
+std::vector<std::vector<Item>> agg_chains(const LoweredModel& plan,
+                                          const std::vector<Item>& items) {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<Item>> chains;
+  for (const Item& item : items) {
+    const AggWork& task = plan.graph_program[item.index];
+    chains[{task.coord.col, task.d_begin}].push_back(item);
+  }
+  std::vector<std::vector<Item>> result;
+  result.reserve(chains.size());
+  for (auto& [key, chain] : chains) {
+    result.push_back(std::move(chain));
+  }
+  return result;
+}
+
+void run_item(RuntimeState& state, const LoweredModel& plan, const Item& item) {
+  if (item.is_gemm) {
+    state.run_gemm(plan.dense_program[item.index]);
+  } else {
+    state.run_agg(plan.graph_program[item.index]);
+  }
+}
+
+}  // namespace
+
+void FunctionalExecutor::execute(const LoweredModel& plan, RuntimeState& state) const {
+  // Group work by output tensor; (layer, stage) order is dependency order —
+  // every stage reads only earlier stages' outputs (or the layer input).
+  std::map<std::pair<std::uint32_t, std::int32_t>, std::vector<Item>> phases;
+  for (std::uint32_t i = 0; i < plan.dense_program.size(); ++i) {
+    const TensorRef out = plan.dense_program[i].out;
+    phases[{out.layer, out.stage}].push_back(Item{true, i});
+  }
+  for (std::uint32_t i = 0; i < plan.graph_program.size(); ++i) {
+    const AggWork& task = plan.graph_program[i];
+    const TensorRef out = plan.agg_stages[task.agg_stage].output;
+    phases[{out.layer, out.stage}].push_back(Item{false, i});
+  }
+
+  for (const auto& [key, items] : phases) {
+    // A stage is either dense or aggregate — a phase never mixes programs
+    // (mixing would leave the relative order of the two programs undefined).
+    GNNERATOR_CHECK(!items.empty());
+    for (const Item& item : items) {
+      GNNERATOR_CHECK(item.is_gemm == items.front().is_gemm);
+    }
+
+    if (pool_ == nullptr || pool_->parallelism() == 1) {
+      // Serial: program order is chain order for every chain at once.
+      for (const Item& item : items) {
+        run_item(state, plan, item);
+      }
+      continue;
+    }
+
+    const std::vector<std::vector<Item>> chains =
+        items.front().is_gemm ? gemm_chains(plan, items) : agg_chains(plan, items);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(chains.size());
+    for (const std::vector<Item>& chain : chains) {
+      tasks.emplace_back([&state, &plan, &chain] {
+        for (const Item& item : chain) {
+          run_item(state, plan, item);
+        }
+      });
+    }
+    pool_->run_all(tasks);
+  }
+}
+
+}  // namespace gnnerator::core

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "core/runtime.hpp"
+
+namespace gnnerator::core {
+
+/// Fixed-size worker pool. `parallelism` counts the calling thread: a pool
+/// constructed with parallelism 1 spawns no workers and `run_all` degrades
+/// to a plain serial loop, which is how the single-threaded compatibility
+/// paths avoid any thread machinery.
+///
+/// `run_all` blocks until every task has finished; the calling thread
+/// participates in draining the task list. Tasks of one batch must not call
+/// `run_all` on the same pool (the Engine never nests: batch-level tasks run
+/// their functional work serially).
+class ThreadPool {
+ public:
+  /// `parallelism` == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t parallelism);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism including the caller of run_all.
+  [[nodiscard]] std::size_t parallelism() const { return workers_.size() + 1; }
+
+  /// Runs all tasks, in any order, across the workers and the calling
+  /// thread; returns when the last one finishes. If tasks throw, the first
+  /// exception is rethrown here (after all tasks have been drained).
+  void run_all(const std::vector<std::function<void()>>& tasks);
+
+ private:
+  struct Batch {
+    const std::vector<std::function<void()>>* tasks = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::size_t completed = 0;     // guarded by pool mutex
+    std::size_t active_workers = 0;  // guarded by pool mutex
+    std::exception_ptr error;      // guarded by pool mutex
+  };
+
+  void worker_loop();
+  /// Claims and runs tasks of `batch` until none are left.
+  void drain(Batch& batch);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: a batch arrived / shutdown
+  std::condition_variable done_cv_;  // caller: batch fully executed
+  Batch* batch_ = nullptr;           // guarded by mutex_
+  bool stop_ = false;                // guarded by mutex_
+  std::mutex run_mutex_;             // one run_all at a time
+  std::vector<std::thread> workers_;
+};
+
+/// Runs a plan's functional program — the tensor arithmetic only, no cycle
+/// accounting — against a RuntimeState.
+///
+/// Work items are grouped into *phases*, one per (layer, stage) output
+/// tensor, executed in stage order so every input tensor is complete before
+/// a consumer reads it. Within a phase, items are partitioned into *conflict
+/// chains*: items whose write regions overlap (k-split GEMM accumulation
+/// onto one output tile, shard tasks accumulating into one destination
+/// interval x feature block) land in the same chain and run in program
+/// order; distinct chains write disjoint regions and run concurrently.
+/// Region overlap is computed by merging row and column intervals, not by
+/// exact-key matching — the compiler's h-part and z̄-part series tile the
+/// same rows with different chunk sizes.
+///
+/// Because chains only ever interleave writes to disjoint regions, the
+/// output is bitwise identical for every pool size, including the serial
+/// in-issue-order execution the one-shot simulator used.
+class FunctionalExecutor {
+ public:
+  /// `pool` == nullptr runs every chain on the calling thread.
+  explicit FunctionalExecutor(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  void execute(const LoweredModel& plan, RuntimeState& state) const;
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace gnnerator::core

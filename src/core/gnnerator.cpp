@@ -1,7 +1,6 @@
 #include "core/gnnerator.hpp"
 
-#include "core/runtime.hpp"
-#include "gnn/weights.hpp"
+#include "core/engine.hpp"
 #include "util/check.hpp"
 
 namespace gnnerator::core {
@@ -29,17 +28,10 @@ LoweredModel compile_for(const graph::Dataset& dataset, const gnn::ModelSpec& mo
 
 ExecutionResult simulate_gnnerator(const graph::Dataset& dataset, const gnn::ModelSpec& model,
                                    const SimulationRequest& request) {
-  const LoweredModel plan = compile_for(dataset, model, request);
-  if (request.mode == SimMode::kTiming) {
-    return Accelerator::run(plan, nullptr);
-  }
-
-  GNNERATOR_CHECK_MSG(!dataset.features.empty(),
-                      "functional simulation needs materialised dataset features");
-  gnn::Tensor features(dataset.spec.num_nodes, dataset.spec.feature_dim, dataset.features);
-  const gnn::ModelWeights weights = gnn::init_weights(model, request.weight_seed);
-  RuntimeState state(plan, features, weights);
-  return Accelerator::run(plan, &state);
+  // One-shot semantics preserved: a throwaway serial Engine with a
+  // single-entry cache (the plan is compiled once and dropped with it).
+  Engine engine(EngineOptions{.num_threads = 1, .plan_cache_capacity = 1});
+  return engine.run(dataset, model, request);
 }
 
 }  // namespace gnnerator::core

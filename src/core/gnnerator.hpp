@@ -11,13 +11,20 @@
 
 namespace gnnerator::core {
 
-/// One-call simulation request: hardware config + dataflow + mode.
+/// One simulation request: hardware config + dataflow + mode, plus (for the
+/// Engine's batch API) which dataset and model to run.
 struct SimulationRequest {
   AcceleratorConfig config = AcceleratorConfig::table4();
   DataflowOptions dataflow;
   SimMode mode = SimMode::kTiming;
   /// Weight init seed for functional runs.
   std::uint64_t weight_seed = 7;
+  /// Id of a dataset registered with the Engine. Used by
+  /// Engine::run(request) / Engine::run_batch; the explicit-dataset
+  /// overloads (and simulate_gnnerator) ignore it.
+  std::string dataset;
+  /// Model to run. Same scope as `dataset`.
+  gnn::ModelSpec model;
 };
 
 /// Builds a Table III network for a dataset: `hidden_layers` hidden layers
@@ -28,6 +35,11 @@ struct SimulationRequest {
 
 /// Compiles and simulates `model` over `dataset` on GNNerator.
 /// Functional mode requires dataset.features to be materialised.
+///
+/// Compatibility wrapper over the Engine subsystem (core/engine.hpp): each
+/// call builds a fresh single-threaded Engine, so nothing is cached across
+/// calls. Long-lived callers (benchmark sweeps, serving scenarios) should
+/// hold an Engine instead.
 [[nodiscard]] ExecutionResult simulate_gnnerator(const graph::Dataset& dataset,
                                                  const gnn::ModelSpec& model,
                                                  const SimulationRequest& request);

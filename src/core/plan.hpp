@@ -84,6 +84,10 @@ struct GemmWork {
   TensorRef out;
   bool apply_act = false;
   gnn::Activation act = gnn::Activation::kNone;
+  /// True when A plausibly contains many zeros (raw dataset features or a
+  /// ReLU'd activation); the functional kernel keeps its row zero-skip only
+  /// then. Aggregated inputs are dense and take the branch-free inner loop.
+  bool a_maybe_sparse = true;
   std::uint32_t layer = 0;
   /// Trace tag (unique per op within a plan).
   std::uint32_t tag = 0;

@@ -1,0 +1,148 @@
+#include "core/plan_cache.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "shard/traversal.hpp"
+#include "util/check.hpp"
+
+namespace gnnerator::core {
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const LoweredModel> PlanCache::get_or_compile(
+    const std::string& key,
+    const std::function<std::shared_ptr<const LoweredModel>()>& compile) {
+  if (capacity_ == 0) {
+    return compile();
+  }
+
+  std::shared_future<std::shared_ptr<const LoweredModel>> join;
+  std::promise<std::shared_ptr<const LoweredModel>> promise;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = index_.find(key); it != index_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      return it->second->second;
+    }
+    if (auto it = inflight_.find(key); it != inflight_.end()) {
+      ++stats_.hits;  // reused, not recompiled — another thread is on it
+      join = it->second;
+    } else {
+      ++stats_.misses;
+      inflight_.emplace(key, promise.get_future().share());
+    }
+  }
+  if (join.valid()) {
+    return join.get();  // rethrows the compiler's error, if any
+  }
+
+  std::shared_ptr<const LoweredModel> plan;
+  try {
+    plan = compile();
+    GNNERATOR_CHECK_MSG(plan != nullptr, "plan compile callback returned null");
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(key);
+    // A racing compile of the same key may have inserted already; keep the
+    // existing entry and share it (both plans are equivalent).
+    if (auto it = index_.find(key); it == index_.end()) {
+      lru_.emplace_front(key, plan);
+      index_.emplace(key, lru_.begin());
+      while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+      }
+    }
+  }
+  promise.set_value(plan);
+  return plan;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+namespace {
+
+class Fnv1a {
+ public:
+  void mix(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (value >> (8 * i)) & 0xff;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace
+
+std::string graph_fingerprint(const graph::Graph& graph) {
+  Fnv1a fnv;
+  fnv.mix(graph.num_nodes());
+  fnv.mix(graph.num_edges());
+  for (const graph::Edge& e : graph.edges()) {
+    fnv.mix((static_cast<std::uint64_t>(e.src) << 32) | e.dst);
+  }
+  std::ostringstream os;
+  os << "g" << std::hex << fnv.value();
+  return os.str();
+}
+
+std::string plan_cache_key(std::string_view dataset_key, const gnn::ModelSpec& model,
+                           const AcceleratorConfig& config, const DataflowOptions& options) {
+  std::ostringstream os;
+  // Round-trip precision for the double-valued fields (clock, bandwidth):
+  // configs differing past the default 6 significant digits must not
+  // collide on one key.
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << dataset_key << '|' << model.name;
+  for (const gnn::LayerSpec& layer : model.layers) {
+    os << ';' << static_cast<int>(layer.kind) << ',' << layer.in_dim << ',' << layer.out_dim
+       << ',' << static_cast<int>(layer.activation);
+  }
+  os << '|' << config.name << ',' << config.clock_ghz << ',' << config.dense.array.rows << 'x'
+     << config.dense.array.cols << ',' << static_cast<int>(config.dense.array.dataflow) << ','
+     << config.dense.input_buffer_bytes << ',' << config.dense.weight_buffer_bytes << ','
+     << config.dense.output_buffer_bytes << ',' << config.graph.geometry.num_gpes << ','
+     << config.graph.geometry.simd_lanes << ',' << config.graph.feature_scratch_bytes << ','
+     << config.graph.edge_buffer_bytes << ',' << config.dram.bytes_per_cycle << ','
+     << config.dram.latency_cycles << ',' << config.dram.transaction_bytes;
+  os << '|' << options.feature_blocking << ',' << options.block_size << ',';
+  if (options.traversal.has_value()) {
+    os << shard::traversal_name(*options.traversal);
+  } else {
+    os << "auto";
+  }
+  os << ',' << options.sparsity_elimination;
+  return os.str();
+}
+
+}  // namespace gnnerator::core

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/plan.hpp"
+#include "gnn/layers.hpp"
+#include "graph/graph.hpp"
+
+namespace gnnerator::core {
+
+/// Counters exposed by PlanCache::stats(). `hits` includes lookups that
+/// joined an in-flight compilation of the same key (the plan was still
+/// reused, not recompiled).
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Thread-safe LRU cache of compiled plans, keyed by the full simulation
+/// identity: (dataset, model, accelerator config, dataflow options). The
+/// 700-line compiler run is the expensive part of a simulation request;
+/// repeated requests reuse the shared LoweredModel.
+///
+/// Compilation is single-flight: concurrent lookups of the same missing key
+/// compile once and share the result; distinct keys compile concurrently
+/// (the lock is dropped around the compile callback).
+class PlanCache {
+ public:
+  /// `capacity` == 0 disables caching entirely (every lookup compiles).
+  explicit PlanCache(std::size_t capacity);
+
+  /// Returns the cached plan for `key`, or runs `compile` and caches its
+  /// result. `compile` may throw; the error propagates to every waiter and
+  /// nothing is cached.
+  std::shared_ptr<const LoweredModel> get_or_compile(
+      const std::string& key,
+      const std::function<std::shared_ptr<const LoweredModel>()>& compile);
+
+  [[nodiscard]] PlanCacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void clear();
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const LoweredModel>>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Most-recently-used first.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  /// Keys being compiled right now; joiners wait on the shared_future.
+  std::unordered_map<std::string, std::shared_future<std::shared_ptr<const LoweredModel>>>
+      inflight_;
+  PlanCacheStats stats_;
+};
+
+/// Builds the cache key for one simulation identity. `dataset_key` names the
+/// graph (registered dataset id or structural fingerprint); the rest
+/// serialises every compiler input that shapes the plan.
+[[nodiscard]] std::string plan_cache_key(std::string_view dataset_key,
+                                         const gnn::ModelSpec& model,
+                                         const AcceleratorConfig& config,
+                                         const DataflowOptions& options);
+
+/// Structural fingerprint of a graph (FNV-1a over |V|, |E| and the edge
+/// list) — the dataset key for graphs not registered under a name.
+[[nodiscard]] std::string graph_fingerprint(const graph::Graph& graph);
+
+}  // namespace gnnerator::core

@@ -55,16 +55,18 @@ const gnn::Tensor& RuntimeState::final_output() const {
   return stage_outputs_.back().back();
 }
 
-std::function<void()> RuntimeState::make_gemm_func(const GemmWork& op) {
-  return [this, op] {
-    const gnn::Tensor& a = tensor(op.a);
-    const gnn::Tensor& w = weights_.weight(op.layer, op.weight_index);
-    gnn::Tensor& out = mutable_tensor(op.out);
-    GNNERATOR_CHECK_MSG(op.k_end <= a.cols(), "GEMM k range exceeds A cols " << a.cols());
-    GNNERATOR_CHECK_MSG(op.wrow_begin + (op.k_end - op.k_begin) <= w.rows(),
-                        "GEMM weight rows out of range");
-    GNNERATOR_CHECK(op.n_end <= w.cols() && op.n_end <= out.cols());
+void RuntimeState::run_gemm(const GemmWork& op) {
+  const gnn::Tensor& a = tensor(op.a);
+  const gnn::Tensor& w = weights_.weight(op.layer, op.weight_index);
+  gnn::Tensor& out = mutable_tensor(op.out);
+  GNNERATOR_CHECK_MSG(op.k_end <= a.cols(), "GEMM k range exceeds A cols " << a.cols());
+  GNNERATOR_CHECK_MSG(op.wrow_begin + (op.k_end - op.k_begin) <= w.rows(),
+                      "GEMM weight rows out of range");
+  GNNERATOR_CHECK(op.n_end <= w.cols() && op.n_end <= out.cols());
 
+  if (op.a_maybe_sparse) {
+    // Sparse-ish A (raw features, ReLU'd activations): skipping a zero row
+    // saves the whole N loop.
     for (std::uint32_t r = op.row_begin; r < op.row_end; ++r) {
       const auto a_row = a.row(r);
       auto out_row = out.row(r);
@@ -79,53 +81,71 @@ std::function<void()> RuntimeState::make_gemm_func(const GemmWork& op) {
         }
       }
     }
-    if (op.apply_act && op.act != gnn::Activation::kNone) {
-      for (std::uint32_t r = op.row_begin; r < op.row_end; ++r) {
-        auto out_row = out.row(r);
+  } else {
+    // Dense A (aggregated features): the branch only costs; drop it.
+    for (std::uint32_t r = op.row_begin; r < op.row_end; ++r) {
+      const auto a_row = a.row(r);
+      auto out_row = out.row(r);
+      for (std::uint32_t k = op.k_begin; k < op.k_end; ++k) {
+        const float av = a_row[k];
+        const auto w_row = w.row(op.wrow_begin + (k - op.k_begin));
         for (std::uint32_t n = op.n_begin; n < op.n_end; ++n) {
-          out_row[n] = gnn::apply_activation(op.act, out_row[n]);
+          out_row[n] += av * w_row[n];
         }
       }
     }
-  };
+  }
+  if (op.apply_act) {
+    // Dispatch on the activation kind once, outside the element loop.
+    switch (op.act) {
+      case gnn::Activation::kNone:
+        break;
+      case gnn::Activation::kRelu:
+        for (std::uint32_t r = op.row_begin; r < op.row_end; ++r) {
+          auto out_row = out.row(r);
+          for (std::uint32_t n = op.n_begin; n < op.n_end; ++n) {
+            out_row[n] = out_row[n] > 0.0f ? out_row[n] : 0.0f;
+          }
+        }
+        break;
+    }
+  }
 }
 
-std::function<void()> RuntimeState::make_agg_func(const AggWork& task) {
-  return [this, task] {
-    const AggStagePlan& stage = plan_.agg_stages[task.agg_stage];
-    const gnn::Tensor& in = tensor(stage.input);
-    gnn::Tensor& acc = mutable_tensor(stage.output);
-    const shard::ShardGrid& grid = *stage.grid;
-    const bool is_max = stage.op == gnn::AggregateOp::kMax;
+void RuntimeState::run_agg(const AggWork& task) {
+  const AggStagePlan& stage = plan_.agg_stages[task.agg_stage];
+  const gnn::Tensor& in = tensor(stage.input);
+  gnn::Tensor& acc = mutable_tensor(stage.output);
+  const shard::ShardGrid& grid = *stage.grid;
+  const bool is_max = stage.op == gnn::AggregateOp::kMax;
 
-    if (task.init_accumulator) {
-      const float init = is_max ? -std::numeric_limits<float>::infinity() : 0.0f;
-      const graph::NodeId begin = grid.interval_begin(task.coord.col);
-      const graph::NodeId end = grid.interval_end(task.coord.col);
-      for (graph::NodeId v = begin; v < end; ++v) {
-        auto row = acc.row(v);
-        for (std::uint32_t d = task.d_begin; d < task.d_end; ++d) {
-          row[d] = init;
-        }
+  if (task.init_accumulator) {
+    const float init = is_max ? -std::numeric_limits<float>::infinity() : 0.0f;
+    const graph::NodeId begin = grid.interval_begin(task.coord.col);
+    const graph::NodeId end = grid.interval_end(task.coord.col);
+    for (graph::NodeId v = begin; v < end; ++v) {
+      auto row = acc.row(v);
+      for (std::uint32_t d = task.d_begin; d < task.d_end; ++d) {
+        row[d] = init;
       }
     }
+  }
 
-    for (const graph::Edge& e : grid.shard_edges(task.coord)) {
-      const float coeff = gnn::aggregation_edge_coeff(
-          stage.op, plan_.base_in_degree[e.src], plan_.base_in_degree[e.dst]);
-      const auto in_row = in.row(e.src);
-      auto acc_row = acc.row(e.dst);
-      if (is_max) {
-        for (std::uint32_t d = task.d_begin; d < task.d_end; ++d) {
-          acc_row[d] = std::max(acc_row[d], in_row[d]);
-        }
-      } else {
-        for (std::uint32_t d = task.d_begin; d < task.d_end; ++d) {
-          acc_row[d] += coeff * in_row[d];
-        }
+  for (const graph::Edge& e : grid.shard_edges(task.coord)) {
+    const float coeff = gnn::aggregation_edge_coeff(
+        stage.op, plan_.base_in_degree[e.src], plan_.base_in_degree[e.dst]);
+    const auto in_row = in.row(e.src);
+    auto acc_row = acc.row(e.dst);
+    if (is_max) {
+      for (std::uint32_t d = task.d_begin; d < task.d_end; ++d) {
+        acc_row[d] = std::max(acc_row[d], in_row[d]);
+      }
+    } else {
+      for (std::uint32_t d = task.d_begin; d < task.d_end; ++d) {
+        acc_row[d] += coeff * in_row[d];
       }
     }
-  };
+  }
 }
 
 }  // namespace gnnerator::core

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "core/plan.hpp"
@@ -29,9 +28,12 @@ class RuntimeState {
   /// The network output: last layer's last stage.
   [[nodiscard]] const gnn::Tensor& final_output() const;
 
-  /// Builds the functional closure for a dense op / aggregation task.
-  [[nodiscard]] std::function<void()> make_gemm_func(const GemmWork& op);
-  [[nodiscard]] std::function<void()> make_agg_func(const AggWork& task);
+  /// Executes one work item's arithmetic directly. Safe to call from
+  /// multiple threads for items whose write regions are disjoint (the
+  /// FunctionalExecutor's conflict chains guarantee that); items that
+  /// accumulate into the same region must run in program order.
+  void run_gemm(const GemmWork& op);
+  void run_agg(const AggWork& task);
 
  private:
   const LoweredModel& plan_;

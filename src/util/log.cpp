@@ -1,12 +1,17 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cctype>
 #include <iostream>
+#include <mutex>
 
 namespace gnnerator::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+/// Serialises the stderr write so concurrent executor workers never
+/// interleave half-lines.
+std::mutex g_write_mutex;
 }  // namespace
 
 std::string_view log_level_name(LogLevel level) {
@@ -42,14 +47,15 @@ LogLevel parse_log_level(std::string_view name) {
   return LogLevel::kInfo;
 }
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, std::string_view component, std::string_view message) {
-  if (level < g_level || level == LogLevel::kOff) {
+  if (level < log_level() || level == LogLevel::kOff) {
     return;
   }
+  std::lock_guard<std::mutex> lock(g_write_mutex);
   std::cerr << '[' << log_level_name(level) << "] " << component << ": " << message << '\n';
 }
 

@@ -20,8 +20,10 @@ void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// Emits a single formatted line to stderr:  [level] component: message
-/// Thread-compatible (the library is single-threaded by design; the
-/// simulator is deterministic and runs on one thread).
+/// Thread-safe: the Engine's functional executor and batch API run real
+/// worker threads, so the write is serialised by a process-wide mutex
+/// (lines never interleave) and the level is atomic. The cycle-level
+/// simulator itself remains deterministic and single-threaded.
 void log_message(LogLevel level, std::string_view component, std::string_view message);
 
 namespace detail {

@@ -1,0 +1,223 @@
+// Tests for the Engine subsystem (core/engine.hpp, core/plan_cache.hpp):
+// plan-cache behaviour, thread-count invariance of functional outputs, and
+// batch determinism — the PR's acceptance criteria.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/gnnerator.hpp"
+#include "core/plan_cache.hpp"
+#include "graph/datasets.hpp"
+#include "util/check.hpp"
+
+namespace gnnerator::core {
+namespace {
+
+SimulationRequest timing_request() {
+  SimulationRequest request;
+  request.mode = SimMode::kTiming;
+  return request;
+}
+
+TEST(PlanCache, HitMissAndEviction) {
+  PlanCache cache(2);
+  int compiles = 0;
+  const auto compile_stub = [&compiles] {
+    ++compiles;
+    return std::make_shared<const LoweredModel>();
+  };
+
+  const auto a1 = cache.get_or_compile("a", compile_stub);
+  const auto a2 = cache.get_or_compile("a", compile_stub);
+  EXPECT_EQ(a1.get(), a2.get());  // shared, not recompiled
+  EXPECT_EQ(compiles, 1);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  (void)cache.get_or_compile("b", compile_stub);
+  (void)cache.get_or_compile("c", compile_stub);  // evicts "a" (LRU)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  (void)cache.get_or_compile("a", compile_stub);  // miss again
+  EXPECT_EQ(compiles, 4);
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(PlanCache, LruRefreshOnHit) {
+  PlanCache cache(2);
+  int compiles = 0;
+  const auto compile_stub = [&compiles] {
+    ++compiles;
+    return std::make_shared<const LoweredModel>();
+  };
+  (void)cache.get_or_compile("a", compile_stub);
+  (void)cache.get_or_compile("b", compile_stub);
+  (void)cache.get_or_compile("a", compile_stub);  // refresh "a"
+  (void)cache.get_or_compile("c", compile_stub);  // evicts "b", not "a"
+  (void)cache.get_or_compile("a", compile_stub);  // still resident
+  EXPECT_EQ(compiles, 3);
+}
+
+TEST(PlanCache, ZeroCapacityDisablesCaching) {
+  PlanCache cache(0);
+  int compiles = 0;
+  const auto compile_stub = [&compiles] {
+    ++compiles;
+    return std::make_shared<const LoweredModel>();
+  };
+  (void)cache.get_or_compile("a", compile_stub);
+  (void)cache.get_or_compile("a", compile_stub);
+  EXPECT_EQ(compiles, 2);
+}
+
+TEST(PlanCache, CompileErrorPropagatesAndCachesNothing) {
+  PlanCache cache(4);
+  EXPECT_THROW(
+      (void)cache.get_or_compile(
+          "bad", []() -> std::shared_ptr<const LoweredModel> {
+            throw util::CheckError("infeasible configuration");
+          }),
+      util::CheckError);
+  EXPECT_EQ(cache.size(), 0u);
+  // The key is retryable after a failure.
+  int compiles = 0;
+  (void)cache.get_or_compile("bad", [&compiles] {
+    ++compiles;
+    return std::make_shared<const LoweredModel>();
+  });
+  EXPECT_EQ(compiles, 1);
+}
+
+TEST(Engine, RepeatedRequestHitsPlanCache) {
+  const graph::Dataset ds = graph::make_dataset_by_name("cora", 1, /*with_features=*/false);
+  const auto model = table3_model(gnn::LayerKind::kGcn, ds.spec);
+  Engine engine(EngineOptions{.num_threads = 1});
+
+  const auto first = engine.run(ds, model, timing_request());
+  EXPECT_EQ(engine.cache_stats().misses, 1u);
+  EXPECT_EQ(engine.cache_stats().hits, 0u);
+
+  const auto second = engine.run(ds, model, timing_request());
+  EXPECT_EQ(engine.cache_stats().misses, 1u);  // no recompile
+  EXPECT_EQ(engine.cache_stats().hits, 1u);
+  EXPECT_EQ(first.cycles, second.cycles);
+}
+
+TEST(Engine, CacheKeyDistinguishesConfigAndDataflow) {
+  const graph::Dataset ds = graph::make_dataset_by_name("cora", 1, /*with_features=*/false);
+  const auto model = table3_model(gnn::LayerKind::kGcn, ds.spec);
+  Engine engine(EngineOptions{.num_threads = 1});
+
+  (void)engine.run(ds, model, timing_request());
+  SimulationRequest wider = timing_request();
+  wider.config = wider.config.with_double_bandwidth();
+  (void)engine.run(ds, model, wider);
+  SimulationRequest unblocked = timing_request();
+  unblocked.dataflow.feature_blocking = false;
+  (void)engine.run(ds, model, unblocked);
+  EXPECT_EQ(engine.cache_stats().misses, 3u);
+  EXPECT_EQ(engine.plan_cache_size(), 3u);
+}
+
+TEST(Engine, MatchesOneShotFacade) {
+  const graph::Dataset ds = graph::make_dataset_by_name("citeseer", 1, /*with_features=*/false);
+  const auto model = table3_model(gnn::LayerKind::kSagePool, ds.spec);
+  Engine engine(EngineOptions{.num_threads = 2});
+  const auto via_engine = engine.run(ds, model, timing_request());
+  const auto via_facade = simulate_gnnerator(ds, model, timing_request());
+  EXPECT_EQ(via_engine.cycles, via_facade.cycles);
+}
+
+TEST(Engine, DatasetRegistry) {
+  Engine engine(EngineOptions{.num_threads = 1});
+  EXPECT_FALSE(engine.has_dataset("cora"));
+  engine.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+  EXPECT_TRUE(engine.has_dataset("cora"));
+  EXPECT_EQ(engine.dataset("cora").spec.num_nodes, 2708u);
+  EXPECT_THROW((void)engine.dataset("unknown"), util::CheckError);
+
+  SimulationRequest request = timing_request();
+  request.model = table3_model(gnn::LayerKind::kGcn, engine.dataset("cora").spec);
+  request.dataset = "cora";
+  EXPECT_GT(engine.run(request).cycles, 0u);
+
+  SimulationRequest incomplete = timing_request();
+  EXPECT_THROW((void)engine.run(incomplete), util::CheckError);
+}
+
+/// Acceptance: functional outputs bitwise identical between 1-thread and
+/// N-thread executors, on two datasets x two layer kinds.
+TEST(Engine, FunctionalOutputsThreadCountInvariant) {
+  Engine serial(EngineOptions{.num_threads = 1});
+  Engine threaded(EngineOptions{.num_threads = 4});
+
+  for (const char* ds_name : {"cora", "citeseer"}) {
+    const graph::Dataset ds = graph::make_dataset_by_name(ds_name);
+    for (const gnn::LayerKind kind : {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean}) {
+      const auto model = table3_model(kind, ds.spec);
+      SimulationRequest request;
+      request.mode = SimMode::kFunctional;
+
+      const auto serial_result = serial.run(ds, model, request);
+      const auto threaded_result = threaded.run(ds, model, request);
+      ASSERT_TRUE(serial_result.output.has_value());
+      ASSERT_TRUE(threaded_result.output.has_value());
+      EXPECT_EQ(*serial_result.output, *threaded_result.output)
+          << ds_name << " " << gnn::layer_kind_name(kind)
+          << ": parallel functional output diverged";
+      EXPECT_EQ(serial_result.cycles, threaded_result.cycles);
+    }
+  }
+}
+
+/// Acceptance: run_batch is deterministic across thread counts and
+/// preserves request order.
+TEST(Engine, RunBatchDeterministicAcrossThreadCounts) {
+  Engine one(EngineOptions{.num_threads = 1});
+  Engine many(EngineOptions{.num_threads = 3});
+  for (Engine* engine : {&one, &many}) {
+    engine->add_dataset(graph::make_dataset_by_name("cora"));
+    engine->add_dataset(graph::make_dataset_by_name("citeseer"));
+  }
+
+  std::vector<SimulationRequest> requests;
+  for (const char* ds_name : {"cora", "citeseer"}) {
+    const auto spec = *graph::find_dataset(ds_name);
+    for (const gnn::LayerKind kind : {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean}) {
+      SimulationRequest request;
+      request.dataset = ds_name;
+      request.model = table3_model(kind, spec);
+      request.mode = SimMode::kFunctional;
+      requests.push_back(std::move(request));
+    }
+  }
+
+  const auto results_one = one.run_batch(requests);
+  const auto results_many = many.run_batch(requests);
+  ASSERT_EQ(results_one.size(), requests.size());
+  ASSERT_EQ(results_many.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(results_one[i].cycles, results_many[i].cycles) << "request " << i;
+    ASSERT_TRUE(results_one[i].output.has_value() && results_many[i].output.has_value());
+    EXPECT_EQ(*results_one[i].output, *results_many[i].output) << "request " << i;
+  }
+  // Distinct (dataset, model) identities -> distinct plans, each compiled
+  // once per engine.
+  EXPECT_EQ(one.cache_stats().misses, requests.size());
+  EXPECT_EQ(many.cache_stats().misses, requests.size());
+}
+
+TEST(PlanCacheKey, FingerprintSeparatesGraphs) {
+  const graph::Dataset a = graph::make_dataset_by_name("cora", 1, /*with_features=*/false);
+  const graph::Dataset b = graph::make_dataset_by_name("cora", 2, /*with_features=*/false);
+  const graph::Dataset c = graph::make_dataset_by_name("citeseer", 1, /*with_features=*/false);
+  const std::string fa = graph_fingerprint(a.graph);
+  EXPECT_EQ(fa, graph_fingerprint(a.graph));  // deterministic
+  EXPECT_NE(fa, graph_fingerprint(b.graph));  // same spec, different seed
+  EXPECT_NE(fa, graph_fingerprint(c.graph));
+}
+
+}  // namespace
+}  // namespace gnnerator::core

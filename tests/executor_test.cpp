@@ -1,0 +1,120 @@
+// Tests for the worker pool and the multi-threaded functional executor
+// (core/executor.hpp): chain safety and bitwise thread-count invariance.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/executor.hpp"
+#include "core/gnnerator.hpp"
+#include "gnn/reference.hpp"
+#include "gnn/weights.hpp"
+#include "graph/datasets.hpp"
+
+namespace gnnerator::core {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.parallelism(), 4u);
+
+  std::vector<std::atomic<int>> hits(100);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    tasks.emplace_back([&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.run_all(tasks);
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsSerially) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.parallelism(), 1u);
+
+  // Order is guaranteed only in the serial degradation.
+  std::vector<int> order;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.emplace_back([&order, i] { order.push_back(i); });
+  }
+  pool.run_all(tasks);
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.emplace_back([&ran, i] {
+      ran.fetch_add(1);
+      if (i == 7) {
+        throw std::runtime_error("task 7 failed");
+      }
+    });
+  }
+  EXPECT_THROW(pool.run_all(tasks), std::runtime_error);
+  // The failure does not abandon the rest of the batch.
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> sum{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 1; i <= 10; ++i) {
+      tasks.emplace_back([&sum, i] { sum.fetch_add(i); });
+    }
+    pool.run_all(tasks);
+    EXPECT_EQ(sum.load(), 55);
+  }
+}
+
+/// The executor (any thread count) must agree with the golden reference —
+/// and bitwise with itself across pool sizes, which the engine_test
+/// acceptance suite covers dataset-by-dataset.
+TEST(FunctionalExecutor, MatchesReferenceExecutor) {
+  const graph::Dataset ds = graph::make_dataset_by_name("cora");
+  const auto model = table3_model(gnn::LayerKind::kSageMean, ds.spec);
+  SimulationRequest request;
+  request.mode = SimMode::kFunctional;
+
+  Engine engine(EngineOptions{.num_threads = 4});
+  const auto result = engine.run(ds, model, request);
+  ASSERT_TRUE(result.output.has_value());
+
+  gnn::Tensor features(ds.spec.num_nodes, ds.spec.feature_dim, ds.features);
+  const gnn::ModelWeights weights = gnn::init_weights(model, request.weight_seed);
+  const gnn::ReferenceExecutor reference(ds.graph);
+  const gnn::Tensor expected = reference.run_model(model, weights, features);
+  EXPECT_LT(gnn::Tensor::max_abs_diff(*result.output, expected), 1e-3f);
+}
+
+/// Chains serialize accumulation onto shared output tiles, so the parallel
+/// executor's arithmetic order — hence its bits — matches the serial
+/// in-issue-order execution the one-shot simulator used.
+TEST(FunctionalExecutor, ParallelBitwiseMatchesOneShotPath) {
+  const graph::Dataset ds = graph::make_dataset_by_name("cora");
+  const auto model = table3_model(gnn::LayerKind::kGcn, ds.spec);
+  SimulationRequest request;
+  request.mode = SimMode::kFunctional;
+
+  const auto one_shot = simulate_gnnerator(ds, model, request);
+  Engine parallel_engine(EngineOptions{.num_threads = 8});
+  const auto parallel = parallel_engine.run(ds, model, request);
+
+  ASSERT_TRUE(one_shot.output.has_value() && parallel.output.has_value());
+  EXPECT_EQ(*one_shot.output, *parallel.output);
+  EXPECT_EQ(one_shot.cycles, parallel.cycles);
+}
+
+}  // namespace
+}  // namespace gnnerator::core

@@ -93,7 +93,7 @@ TEST(RuntimeState, GemmFuncAccumulatesIntoOutput) {
   // timing pipeline.
   for (const AggWork& task : plan.graph_program) {
     if (task.agg_stage == 0) {  // layer 0 only for this test
-      state.make_agg_func(task)();
+      state.run_agg(task);
     }
   }
   const gnn::ReferenceExecutor reference(g);
