@@ -1,10 +1,18 @@
 #pragma once
 
 // Shared helpers for the paper-reproduction benchmark harness: dataset
-// caching, the nine Fig. 3 benchmark points, and result table printing.
+// caching, the nine Fig. 3 benchmark points, result table printing, and
+// machine-readable JSON output (`--json <path>`) for tracking the perf
+// trajectory in CI.
 
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
 #include <map>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baseline/gpu_model.hpp"
@@ -79,6 +87,66 @@ inline double gpu_ms(const BenchPoint& point, std::size_t hidden = 16) {
   const gnn::ModelSpec model = core::table3_model(point.kind, ds.spec, hidden);
   const baseline::GpuModel gpu;
   return gpu.model_time_s(model, ds.spec) * 1e3;
+}
+
+/// Flat JSON object accumulated in insertion order — just enough for bench
+/// drivers to emit machine-readable results (`--json <path>`), no external
+/// dependency.
+class JsonReport {
+ public:
+  void set(const std::string& key, double value) {
+    if (!std::isfinite(value)) {
+      // Bare inf/nan is not valid JSON; null keeps the artifact parseable.
+      entries_.emplace_back(key, "null");
+      return;
+    }
+    std::ostringstream os;
+    os << std::setprecision(9) << value;
+    entries_.emplace_back(key, os.str());
+  }
+  void set(const std::string& key, std::uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    os << "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      os << "  \"" << entries_[i].first << "\": " << entries_[i].second;
+      os << (i + 1 < entries_.size() ? ",\n" : "\n");
+    }
+    os << "}\n";
+    return os.str();
+  }
+
+  /// Writes the object to `path`; returns false when the file cannot be
+  /// opened or written.
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      return false;
+    }
+    out << to_string();
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Extracts a `--json <path>` / `--json=<path>` flag from the raw argv
+/// (before benchmark::Initialize eats its own flags). Empty = not given.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      return arg.substr(7);
+    }
+  }
+  return "";
 }
 
 }  // namespace gnnerator::bench

@@ -53,6 +53,32 @@ void register_benchmarks() {
   }
 }
 
+void write_json(const std::string& path) {
+  bench::JsonReport json;
+  std::vector<double> blocked_speedups;
+  std::vector<double> unblocked_speedups;
+  for (const BenchPoint& point : bench::fig3_points()) {
+    const auto it = g_rows.find(point.name());
+    if (it == g_rows.end()) {
+      continue;  // point excluded by --benchmark_filter
+    }
+    const Fig3Row& row = it->second;
+    json.set(point.name() + ".gpu_ms", row.gpu_ms);
+    json.set(point.name() + ".blocked_ms", row.blocked_ms);
+    json.set(point.name() + ".unblocked_ms", row.unblocked_ms);
+    json.set(point.name() + ".speedup", row.gpu_ms / row.blocked_ms);
+    blocked_speedups.push_back(row.gpu_ms / row.blocked_ms);
+    unblocked_speedups.push_back(row.gpu_ms / row.unblocked_ms);
+  }
+  json.set("gmean.speedup_blocked", util::geomean(blocked_speedups));
+  json.set("gmean.speedup_unblocked", util::geomean(unblocked_speedups));
+  if (!json.write(path)) {
+    std::cerr << "error: cannot write JSON to " << path << '\n';
+  } else {
+    std::cout << "Wrote " << path << '\n';
+  }
+}
+
 void print_table() {
   std::cout << "\n=== Table III: networks ===\n";
   util::Table nets({"Network", "Hidden Layers", "Hidden Dimension"});
@@ -67,7 +93,11 @@ void print_table() {
   std::vector<double> blocked_speedups;
   std::vector<double> unblocked_speedups;
   for (const BenchPoint& point : bench::fig3_points()) {
-    const Fig3Row& row = g_rows.at(point.name());
+    const auto it = g_rows.find(point.name());
+    if (it == g_rows.end()) {
+      continue;  // point excluded by --benchmark_filter
+    }
+    const Fig3Row& row = it->second;
     const double s_blocked = row.gpu_ms / row.blocked_ms;
     const double s_unblocked = row.gpu_ms / row.unblocked_ms;
     blocked_speedups.push_back(s_blocked);
@@ -87,10 +117,14 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_from_args(argc, argv);
   benchmark::Initialize(&argc, argv);
   register_benchmarks();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_table();
+  if (!json_path.empty()) {
+    write_json(json_path);
+  }
   return 0;
 }

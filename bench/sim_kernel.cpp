@@ -1,0 +1,123 @@
+// Measures the event-driven time-skipping kernel against the exhaustive
+// reference loop on the paper's sparse benchmark datasets: wall-clock
+// speedup, skip ratio, and (as a hard invariant) identical cycle counts.
+// This is the bench that tracks simulator throughput itself — the quantity
+// design-space sweeps are bound by — rather than simulated latency.
+//
+//   ./sim_kernel [--json BENCH_sim_kernel.json] [--datasets cora,citeseer]
+//                [--iters N]
+//
+// With --json, results are written as a flat JSON object (cycles, wall
+// seconds per kernel, speedup, skip ratio per point plus totals) so CI can
+// archive the perf trajectory per PR.
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/accelerator.hpp"
+#include "util/args.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gnnerator;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  const auto iters = static_cast<int>(args.get_int("iters", 3));
+  const std::vector<std::string> datasets =
+      split_csv(args.get("datasets", "cora,citeseer,pubmed"));
+
+  util::Table table({"Benchmark", "Cycles", "Skip %", "Event (s)", "Reference (s)", "Speedup"});
+  bench::JsonReport json;
+  double total_event_s = 0.0;
+  double total_reference_s = 0.0;
+
+  for (const std::string& ds : datasets) {
+    core::SimulationRequest request;  // timing-only, blocked dataflow
+    const graph::Dataset& dataset = bench::dataset(ds);
+    const gnn::ModelSpec model = core::table3_model(gnn::LayerKind::kGcn, dataset.spec);
+    const auto plan = bench::engine().plan_for(dataset, model, request);
+
+    // Best-of-N for the fast kernel (it is minutes-to-microseconds level
+    // sensitive to noise); single shot for the slow reference.
+    core::ExecutionResult event_result;
+    double event_s = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < std::max(1, iters); ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      event_result = core::Accelerator::run_timing(*plan, nullptr,
+                                                   core::TimingKernel::kEventDriven);
+      event_s = std::min(event_s, seconds_since(start));
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const auto reference_result =
+        core::Accelerator::run_timing(*plan, nullptr, core::TimingKernel::kReference);
+    const double reference_s = seconds_since(start);
+
+    GNNERATOR_CHECK_MSG(event_result.cycles == reference_result.cycles,
+                        ds << ": event kernel diverged from reference");
+    GNNERATOR_CHECK_MSG(event_result.stats.counters() == reference_result.stats.counters(),
+                        ds << ": event kernel stats diverged from reference");
+
+    const double skip_ratio = static_cast<double>(event_result.kernel_cycles_skipped) /
+                              static_cast<double>(event_result.cycles);
+    const double speedup = reference_s / event_s;
+    total_event_s += event_s;
+    total_reference_s += reference_s;
+
+    const std::string name = ds + "-gcn";
+    table.add_row({name, std::to_string(event_result.cycles),
+                   util::Table::fixed(100.0 * skip_ratio, 1), util::Table::fixed(event_s, 4),
+                   util::Table::fixed(reference_s, 4), util::Table::speedup(speedup)});
+    json.set(name + ".cycles", event_result.cycles);
+    json.set(name + ".cycles_ticked", event_result.kernel_cycles_ticked);
+    json.set(name + ".skip_ratio", skip_ratio);
+    json.set(name + ".wall_s_event", event_s);
+    json.set(name + ".wall_s_reference", reference_s);
+    json.set(name + ".speedup", speedup);
+  }
+
+  const double total_speedup = total_reference_s / total_event_s;
+  table.add_separator();
+  table.add_row({"Total", "", "", util::Table::fixed(total_event_s, 4),
+                 util::Table::fixed(total_reference_s, 4), util::Table::speedup(total_speedup)});
+  std::cout << "=== Simulation kernel: event-driven vs reference loop ===\n"
+            << table.to_string();
+
+  json.set("total.wall_s_event", total_event_s);
+  json.set("total.wall_s_reference", total_reference_s);
+  json.set("total.speedup", total_speedup);
+  if (!json_path.empty()) {
+    if (!json.write(json_path)) {
+      std::cerr << "error: cannot write JSON to " << json_path << '\n';
+      return 1;
+    }
+    std::cout << "\nWrote " << json_path << '\n';
+  }
+  return 0;
+}

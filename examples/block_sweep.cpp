@@ -9,13 +9,18 @@
 #include "core/engine.hpp"
 #include "core/gnnerator.hpp"
 #include "util/args.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
 using namespace gnnerator;
 
-int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
+namespace {
+
+constexpr std::string_view kUsage =
+    "[--dataset citeseer] [--network gcn|gsage|gsage-max] [--out sweep.csv]";
+
+int run(const util::Args& args) {
   const std::string ds_name = args.get("dataset", "citeseer");
   const std::string net = args.get("network", "gcn");
 
@@ -76,3 +81,7 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return util::cli_main(argc, argv, kUsage, run); }

@@ -12,12 +12,17 @@
 #include "core/gnnerator.hpp"
 #include "core/report.hpp"
 #include "util/args.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace gnnerator;
 
-int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
+namespace {
+
+constexpr std::string_view kUsage =
+    "[--dataset cora] [--network gcn|gsage|gsage-max] [--hidden 16]";
+
+int run(const util::Args& args) {
   const std::string ds_name = args.get("dataset", "cora");
   const std::string net = args.get("network", "gcn");
   const auto hidden = static_cast<std::size_t>(args.get_int("hidden", 16));
@@ -74,3 +79,7 @@ int main(int argc, char** argv) {
             << core::format_report(core::make_report(gnn_result, plan));
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return util::cli_main(argc, argv, kUsage, run); }

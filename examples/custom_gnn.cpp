@@ -13,13 +13,18 @@
 #include "core/gnnerator.hpp"
 #include "shard/cost_model.hpp"
 #include "util/args.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
 using namespace gnnerator;
 
-int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
+namespace {
+
+constexpr std::string_view kUsage =
+    "[--dataset cora] [--hidden 32]";
+
+int run(const util::Args& args) {
   const std::string ds_name = args.get("dataset", "cora");
   const auto hidden = static_cast<std::size_t>(args.get_int("hidden", 32));
 
@@ -79,3 +84,7 @@ int main(int argc, char** argv) {
   std::cout << table.to_string();
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return util::cli_main(argc, argv, kUsage, run); }

@@ -14,14 +14,19 @@
 #include "shard/shard_grid.hpp"
 #include "shard/sizing.hpp"
 #include "util/args.hpp"
+#include "util/cli.hpp"
 #include "util/prng.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
 using namespace gnnerator;
 
-int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
+namespace {
+
+constexpr std::string_view kUsage =
+    "[--dataset pubmed] [--save graph.txt] | --generate rmat|er [--scale N] [--nodes N] [--edges N] [--seed N]";
+
+int run(const util::Args& args) {
 
   graph::Graph g(1, {});
   std::string name;
@@ -83,3 +88,7 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return util::cli_main(argc, argv, kUsage, run); }

@@ -16,13 +16,18 @@
 #include "gnn/reference.hpp"
 #include "gnn/weights.hpp"
 #include "util/args.hpp"
+#include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/units.hpp"
 
 using namespace gnnerator;
 
-int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
+namespace {
+
+constexpr std::string_view kUsage =
+    "[--dataset cora|citeseer|pubmed] [--no-blocking] [--block N] [--threads N] [--verbose]";
+
+int run(const util::Args& args) {
   if (args.has("verbose")) {
     util::set_log_level(util::LogLevel::kDebug);
   }
@@ -94,3 +99,7 @@ int main(int argc, char** argv) {
             << " thread" << (engine.num_threads() == 1 ? "" : "s") << ")\n";
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return util::cli_main(argc, argv, kUsage, run); }

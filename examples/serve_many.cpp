@@ -12,13 +12,18 @@
 #include "core/engine.hpp"
 #include "core/gnnerator.hpp"
 #include "util/args.hpp"
+#include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
 using namespace gnnerator;
 
-int main(int argc, char** argv) {
-  const util::Args args(argc, argv);
+namespace {
+
+constexpr std::string_view kUsage =
+    "[--threads N] [--waves W] [--functional] [--verbose]";
+
+int run(const util::Args& args) {
   if (args.has("verbose")) {
     util::set_log_level(util::LogLevel::kDebug);
   }
@@ -77,3 +82,7 @@ int main(int argc, char** argv) {
   std::cout << '\n' << table.to_string();
   return 0;
 }
+
+}  // namespace
+
+int main(int argc, char** argv) { return util::cli_main(argc, argv, kUsage, run); }

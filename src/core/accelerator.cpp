@@ -28,7 +28,8 @@ ExecutionResult Accelerator::run(const LoweredModel& plan, RuntimeState* state,
   return result;
 }
 
-ExecutionResult Accelerator::run_timing(const LoweredModel& plan, sim::Tracer* tracer) {
+ExecutionResult Accelerator::run_timing(const LoweredModel& plan, sim::Tracer* tracer,
+                                        TimingKernel kernel_kind) {
   plan.config.validate();
 
   GnneratorController controller;
@@ -76,7 +77,10 @@ ExecutionResult Accelerator::run_timing(const LoweredModel& plan, sim::Tracer* t
   kernel.add(dense_engine);
 
   ExecutionResult result;
-  result.cycles = kernel.run();
+  result.cycles =
+      kernel_kind == TimingKernel::kReference ? kernel.run_reference() : kernel.run();
+  result.kernel_cycles_ticked = kernel.cycles_ticked();
+  result.kernel_cycles_skipped = kernel.cycles_skipped();
 
   GNNERATOR_CHECK_MSG(controller.board().num_signaled() == controller.board().size(),
                       "simulation finished with " << controller.pending_summary());

@@ -18,12 +18,23 @@ struct ExecutionResult {
   sim::StatSet stats;
   /// Present in functional mode: the network output [V x output_dim].
   std::optional<gnn::Tensor> output;
+  /// Kernel-side accounting (outside `stats` so event-driven and reference
+  /// runs of the same plan produce identical stat sets): simulated cycles
+  /// actually ticked vs jumped over by the time-skipping kernel.
+  std::uint64_t kernel_cycles_ticked = 0;
+  std::uint64_t kernel_cycles_skipped = 0;
 
   /// Wall time at the configured clock.
   [[nodiscard]] double milliseconds(double clock_ghz) const {
     return static_cast<double>(cycles) / (clock_ghz * 1e6);
   }
 };
+
+/// Which simulation loop drives the cycle model. Results are bitwise
+/// identical; the event-driven kernel is simply faster (it skips provably
+/// dead cycles), while the reference loop is the differential-testing
+/// ground truth.
+enum class TimingKernel { kEventDriven, kReference };
 
 /// The GNNerator instance (paper Fig. 2): Dense Engine + Graph Engine
 /// sharing the feature-memory DRAM, coordinated by the GNNerator
@@ -43,7 +54,8 @@ class Accelerator {
                              sim::Tracer* tracer = nullptr, ThreadPool* pool = nullptr);
 
   /// The deterministic single-threaded cycle simulation, no arithmetic.
-  static ExecutionResult run_timing(const LoweredModel& plan, sim::Tracer* tracer = nullptr);
+  static ExecutionResult run_timing(const LoweredModel& plan, sim::Tracer* tracer = nullptr,
+                                    TimingKernel kernel = TimingKernel::kEventDriven);
 };
 
 }  // namespace gnnerator::core

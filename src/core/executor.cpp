@@ -17,6 +17,7 @@ ThreadPool::ThreadPool(std::size_t parallelism) {
   if (parallelism == 0) {
     parallelism = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  parallelism = std::min(parallelism, kMaxParallelism);
   workers_.reserve(parallelism - 1);
   for (std::size_t i = 0; i + 1 < parallelism; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

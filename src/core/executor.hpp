@@ -25,7 +25,13 @@ namespace gnnerator::core {
 /// their functional work serially).
 class ThreadPool {
  public:
-  /// `parallelism` == 0 picks std::thread::hardware_concurrency().
+  /// Hard ceiling on pool size. Requests above it (including negative ints
+  /// cast to size_t) are clamped here rather than trusted to callers:
+  /// spawning tens of thousands of workers is never what anyone meant.
+  static constexpr std::size_t kMaxParallelism = 256;
+
+  /// `parallelism` == 0 picks std::thread::hardware_concurrency(); any
+  /// other value is clamped into [1, kMaxParallelism].
   explicit ThreadPool(std::size_t parallelism);
   ~ThreadPool();
 

@@ -160,6 +160,37 @@ void DenseEngine::advance_fetch(sim::Cycle now) {
   fetching_ = std::move(fetch);
 }
 
+mem::PipelineState DenseEngine::pipeline_state() const {
+  mem::PipelineState state;
+  state.dram = &dram_;
+  state.busy = busy();
+  state.computing = computing_.has_value();
+  state.compute_remaining = compute_remaining_;
+  state.ready = ready_.has_value();
+  state.fetching = fetching_.has_value();
+  if (fetching_.has_value()) {
+    state.fetch_dmas = fetching_->dmas;
+  }
+  state.writeback_dmas.reserve(writebacks_.size());
+  for (const InFlightWriteback& wb : writebacks_) {
+    state.writeback_dmas.push_back(wb.dma);
+  }
+  state.queue_nonempty = !queue_.empty();
+  if (state.queue_nonempty) {
+    state.queue_token_signaled = sync_.is_signaled(queue_.front().wait_token);
+  }
+  return state;
+}
+
+sim::Cycle DenseEngine::next_event(sim::Cycle now) const {
+  return mem::pipeline_next_event(pipeline_state(), now);
+}
+
+void DenseEngine::skip(sim::Cycle from, sim::Cycle to) {
+  mem::pipeline_skip(pipeline_state(), from, to, stats_, "array_idle_cycles",
+                     compute_remaining_);
+}
+
 void DenseEngine::drain_writebacks(sim::Cycle) {
   for (auto it = writebacks_.begin(); it != writebacks_.end();) {
     if (dram_.is_complete(it->dma)) {

@@ -8,6 +8,7 @@
 #include "dense/gemm_op.hpp"
 #include "dense/systolic.hpp"
 #include "mem/dram.hpp"
+#include "mem/pipeline_timing.hpp"
 #include "mem/scratchpad.hpp"
 #include "sim/kernel.hpp"
 #include "sim/stats.hpp"
@@ -57,6 +58,11 @@ class DenseEngine : public sim::Component {
 
   void tick(sim::Cycle now) override;
   [[nodiscard]] bool busy() const override;
+  /// Event prediction and gap replay for the fetch/compute/writeback
+  /// pipeline (shared logic: mem/pipeline_timing.hpp). kNoEvent while
+  /// stalled purely on a controller token.
+  [[nodiscard]] sim::Cycle next_event(sim::Cycle now) const override;
+  void skip(sim::Cycle from, sim::Cycle to) override;
 
   [[nodiscard]] const DenseEngineConfig& config() const { return config_; }
   [[nodiscard]] const sim::StatSet& stats() const { return stats_; }
@@ -99,6 +105,7 @@ class DenseEngine : public sim::Component {
   void try_start_compute(sim::Cycle now);
   void advance_fetch(sim::Cycle now);
   void drain_writebacks(sim::Cycle now);
+  [[nodiscard]] mem::PipelineState pipeline_state() const;
 };
 
 }  // namespace gnnerator::dense

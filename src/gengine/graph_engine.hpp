@@ -7,6 +7,7 @@
 #include "gengine/gpe.hpp"
 #include "gengine/shard_task.hpp"
 #include "mem/dram.hpp"
+#include "mem/pipeline_timing.hpp"
 #include "mem/scratchpad.hpp"
 #include "sim/kernel.hpp"
 #include "sim/stats.hpp"
@@ -53,6 +54,11 @@ class GraphEngine : public sim::Component {
 
   void tick(sim::Cycle now) override;
   [[nodiscard]] bool busy() const override;
+  /// Event prediction and gap replay for the fetch/compute/writeback
+  /// pipeline (shared logic: mem/pipeline_timing.hpp). kNoEvent while
+  /// stalled purely on a controller token.
+  [[nodiscard]] sim::Cycle next_event(sim::Cycle now) const override;
+  void skip(sim::Cycle from, sim::Cycle to) override;
 
   [[nodiscard]] const GraphEngineConfig& config() const { return config_; }
   [[nodiscard]] const sim::StatSet& stats() const { return stats_; }
@@ -89,6 +95,7 @@ class GraphEngine : public sim::Component {
   void try_start_compute(sim::Cycle now);
   void advance_fetch(sim::Cycle now);
   void drain_writebacks(sim::Cycle now);
+  [[nodiscard]] mem::PipelineState pipeline_state() const;
 };
 
 }  // namespace gnnerator::gengine

@@ -1,6 +1,8 @@
 #include "mem/dram.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <vector>
 
 #include "util/check.hpp"
 #include "util/units.hpp"
@@ -48,6 +50,73 @@ void DramModel::collect(DmaId id) {
   transfers_.erase(id);
 }
 
+bool DramModel::grants_in_closed_form() const {
+  const auto txn = static_cast<double>(config_.transaction_bytes);
+  const double per_cycle = config_.bytes_per_cycle / txn;
+  if (per_cycle < 1.0 || per_cycle != std::floor(per_cycle)) {
+    return false;
+  }
+  const double credit = grant_credit_ / txn;
+  return credit == std::floor(credit);
+}
+
+std::uint64_t DramModel::txns_per_cycle() const {
+  return static_cast<std::uint64_t>(config_.bytes_per_cycle /
+                                    static_cast<double>(config_.transaction_bytes));
+}
+
+std::uint64_t DramModel::finish_grant_index(DmaId id) const {
+  // Round-robin from the current deque state: round t serves, in deque
+  // order, every transfer with at least t transactions left. Transfer i's
+  // final transaction therefore lands in round m_i, after all full earlier
+  // rounds plus i's position among that round's participants.
+  const auto it = transfers_.find(id);
+  GNNERATOR_CHECK(it != transfers_.end());
+  const std::uint64_t txn = config_.transaction_bytes;
+  const std::uint64_t m_i = it->second.remaining / txn;
+  GNNERATOR_CHECK(m_i > 0);
+  std::uint64_t full_rounds = 0;  // grants in rounds 1 .. m_i-1, all transfers
+  std::uint64_t rank = 0;         // i's slot among round-m_i participants
+  bool seen = false;
+  for (const DmaId other : active_) {
+    const std::uint64_t m_j = transfers_.at(other).remaining / txn;
+    full_rounds += std::min(m_j, m_i - 1);
+    if (!seen && m_j >= m_i) {
+      ++rank;
+    }
+    if (other == id) {
+      seen = true;
+    }
+  }
+  GNNERATOR_CHECK(seen);
+  return full_rounds + rank;
+}
+
+sim::Cycle DramModel::complete_visible_at(DmaId id) const {
+  const auto it = transfers_.find(id);
+  GNNERATOR_CHECK_MSG(it != transfers_.end(), "predicting unknown DMA id " << id);
+  const Transfer& t = it->second;
+  if (t.last_byte_granted) {
+    // Visible to a poller ticking at cycle c once c + 1 >= complete_at.
+    return t.complete_at == 0 ? 0 : t.complete_at - 1;
+  }
+  if (!grants_in_closed_form()) {
+    return sim::kNoEvent;
+  }
+  // last_tick_ = now + 1 after the tick at `now`; with an integral grant
+  // rate and all demand pending, cycle now + k grants transactions
+  // (k-1)*R+1 .. k*R of the global sequence (credit is always an exact
+  // multiple — zero while demand remains).
+  const std::uint64_t credit_txns =
+      static_cast<std::uint64_t>(grant_credit_ / static_cast<double>(config_.transaction_bytes));
+  const std::uint64_t n = finish_grant_index(id);
+  const std::uint64_t r = txns_per_cycle();
+  const std::uint64_t k =
+      std::max<std::uint64_t>(1, util::ceil_div(n > credit_txns ? n - credit_txns : 0, r));
+  const sim::Cycle now = last_tick_ == 0 ? 0 : last_tick_ - 1;
+  return now + k + config_.latency_cycles - 1;
+}
+
 void DramModel::tick(sim::Cycle now) {
   last_tick_ = now + 1;  // completions with complete_at <= now+1 are visible next cycle
   if (active_.empty()) {
@@ -81,6 +150,136 @@ void DramModel::tick(sim::Cycle now) {
   // Unused credit does not bank beyond one cycle's worth: DRAM cannot burst
   // above its pin bandwidth.
   grant_credit_ = std::min(grant_credit_, config_.bytes_per_cycle);
+}
+
+sim::Cycle DramModel::next_event(sim::Cycle now) const {
+  if (!active_.empty() && !grants_in_closed_form()) {
+    return now + 1;  // grant schedule not predictable: step exactly
+  }
+  sim::Cycle event = sim::kNoEvent;
+  for (const auto& [id, t] : transfers_) {
+    if (t.last_byte_granted && t.complete_at <= last_tick_) {
+      continue;  // already visible (or instant): inert until collected
+    }
+    const sim::Cycle visible = complete_visible_at(id);
+    event = std::min(event, std::max(visible, now + 1));
+  }
+  return event;
+}
+
+void DramModel::skip(sim::Cycle from, sim::Cycle to) {
+  GNNERATOR_CHECK(to > from);
+  const sim::Cycle cycles = to - from;  // replayed ticks: cycles [from, to)
+  if (active_.empty()) {
+    // Idle ticks only top the credit up to one cycle's budget.
+    grant_credit_ = config_.bytes_per_cycle;
+    last_tick_ = to;
+    return;
+  }
+  GNNERATOR_CHECK(grants_in_closed_form());
+  const std::uint64_t txn = config_.transaction_bytes;
+  const std::uint64_t r = txns_per_cycle();
+  const std::uint64_t credit_txns =
+      static_cast<std::uint64_t>(grant_credit_ / static_cast<double>(txn));
+  const sim::Cycle now = from - 1;  // state snapshot is "after the tick at now"
+
+  // Remaining demand, in transactions, in round-robin order.
+  const std::vector<DmaId> order(active_.begin(), active_.end());
+  std::vector<std::uint64_t> m(order.size());
+  std::uint64_t total = 0;
+  std::uint64_t m_max = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    m[i] = transfers_.at(order[i]).remaining / txn;
+    total += m[i];
+    m_max = std::max(m_max, m[i]);
+  }
+
+  // Cumulative grants: cycle now+k grants transactions (k-1)*r+1 .. k*r (plus
+  // the banked credit on the first cycle) until demand runs out.
+  const std::uint64_t supply = credit_txns + cycles * r;
+  const std::uint64_t granted = std::min(supply, total);
+  const std::uint64_t k_fin = std::max<std::uint64_t>(
+      1, util::ceil_div(total > credit_txns ? total - credit_txns : 0, r));
+  stats_.add("busy_cycles", std::min<std::uint64_t>(cycles, k_fin));
+  stats_.add("granted_bytes", granted * txn);
+
+  // Per-transfer bookkeeping. Full rounds completed: largest t with
+  // G(t) = sum_j min(m_j, t) <= granted; the residual p transactions serve
+  // the first p participants of round t*+1 in deque order.
+  const auto grants_through_round = [&](std::uint64_t t) {
+    std::uint64_t g = 0;
+    for (const std::uint64_t m_j : m) {
+      g += std::min(m_j, t);
+    }
+    return g;
+  };
+  std::uint64_t lo = 0;
+  std::uint64_t hi = m_max;
+  while (lo < hi) {  // binary search for t* = max{t : G(t) <= granted}
+    const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+    if (grants_through_round(mid) <= granted) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  const std::uint64_t full_rounds = lo;
+  std::uint64_t residual = granted - grants_through_round(full_rounds);
+
+  // Finish index of transfer i in the global grant sequence, computed from
+  // the immutable m[] snapshot (the transfer map is mutated below).
+  const auto finish_index = [&](std::size_t i) {
+    std::uint64_t before = 0;
+    std::uint64_t rank = 0;
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      before += std::min(m[j], m[i] - 1);
+      if (j <= i && m[j] >= m[i]) {
+        ++rank;
+      }
+    }
+    return before + rank;
+  };
+
+  std::vector<DmaId> unserved;
+  std::vector<DmaId> served;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::uint64_t got = std::min(m[i], full_rounds) +
+                              ((m[i] > full_rounds && residual > 0) ? (--residual, 1) : 0);
+    Transfer& t = transfers_.at(order[i]);
+    if (got == m[i]) {
+      // Finished granting inside the gap: completion lands latency cycles
+      // after its final transaction's cycle.
+      const std::uint64_t n = finish_index(i);
+      const std::uint64_t k = std::max<std::uint64_t>(
+          1, util::ceil_div(n > credit_txns ? n - credit_txns : 0, r));
+      GNNERATOR_CHECK(k <= cycles);
+      t.remaining = 0;
+      t.last_byte_granted = true;
+      t.complete_at = now + k + config_.latency_cycles;
+    } else {
+      t.remaining = (m[i] - got) * txn;
+      // Participants of the partial round that were already served rotate
+      // behind the unserved ones, preserving relative order — exactly the
+      // deque state the per-transaction loop leaves mid-round.
+      (got > full_rounds ? served : unserved).push_back(order[i]);
+    }
+  }
+  active_.assign(unserved.begin(), unserved.end());
+  active_.insert(active_.end(), served.begin(), served.end());
+
+  if (granted < total) {
+    grant_credit_ = 0.0;  // demand absorbs every whole-transaction credit
+  } else if (cycles > k_fin) {
+    grant_credit_ = config_.bytes_per_cycle;  // idle top-up after draining
+  } else {
+    // Leftover can exceed one cycle's budget when credit was banked during
+    // an idle tick before the submission; the reference tick caps it. (The
+    // next DRAM tick would re-normalize either way — the clamp keeps the
+    // post-skip state itself identical to the reference loop's.)
+    grant_credit_ = std::min(static_cast<double>((credit_txns + k_fin * r - total) * txn),
+                             config_.bytes_per_cycle);
+  }
+  last_tick_ = to;
 }
 
 bool DramModel::busy() const {

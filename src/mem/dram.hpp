@@ -34,6 +34,15 @@ inline constexpr DmaId kInvalidDma = std::numeric_limits<DmaId>::max();
 /// makes concurrent clients (Dense Engine, Graph Engine units) share
 /// bandwidth fairly, which is how the two memory controllers of the paper
 /// contend for the same DRAM channels.
+///
+/// Event-driven support: when `bytes_per_cycle` is an exact whole number of
+/// transactions (every shipped config), the whole round-robin grant
+/// schedule is computable in closed form — each cycle grants exactly R
+/// transactions, one per round-robin slot, so the cycle at which any
+/// transfer's last transaction lands (and hence its completion cycle) is
+/// known the moment it is queued. `next_event`/`skip` exploit this to jump
+/// over both grant epochs and latency shadows; fractional configurations
+/// fall back to exact cycle stepping.
 class DramModel : public sim::Component {
  public:
   struct Config {
@@ -57,8 +66,17 @@ class DramModel : public sim::Component {
   /// complete.
   void collect(DmaId id);
 
+  /// Predicted cycle at which `is_complete(id)` first turns true for a
+  /// component polling after this model's tick of that cycle. Returns
+  /// sim::kNoEvent when the completion cycle is not yet computable (grants
+  /// outstanding under a fractional transactions-per-cycle config). Values
+  /// at or before the current cycle mean "already visible".
+  [[nodiscard]] sim::Cycle complete_visible_at(DmaId id) const;
+
   void tick(sim::Cycle now) override;
   [[nodiscard]] bool busy() const override;
+  [[nodiscard]] sim::Cycle next_event(sim::Cycle now) const override;
+  void skip(sim::Cycle from, sim::Cycle to) override;
 
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const sim::StatSet& stats() const { return stats_; }
@@ -75,6 +93,16 @@ class DramModel : public sim::Component {
     bool last_byte_granted = false;
     std::string client;
   };
+
+  /// True when the grant schedule is closed-form (see class comment):
+  /// bytes_per_cycle is a whole number of transactions and the fractional
+  /// credit accumulator holds a whole number of transactions.
+  [[nodiscard]] bool grants_in_closed_form() const;
+  /// Whole transactions granted per cycle (valid under closed form).
+  [[nodiscard]] std::uint64_t txns_per_cycle() const;
+  /// 1-based index, in the global round-robin grant sequence starting from
+  /// the current deque state, of `id`'s final transaction.
+  [[nodiscard]] std::uint64_t finish_grant_index(DmaId id) const;
 
   Config config_;
   sim::StatSet stats_;

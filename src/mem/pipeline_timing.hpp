@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/dram.hpp"
+#include "sim/kernel.hpp"
+#include "sim/stats.hpp"
+
+namespace gnnerator::mem {
+
+/// Snapshot of a fetch → compute → writeback engine pipeline, taken after a
+/// tick. The Dense and Graph Engines share this exact pipeline shape, so
+/// their next_event/skip logic lives here once instead of drifting apart in
+/// two copies (the stat names each engine accrues are the only difference).
+struct PipelineState {
+  const DramModel* dram = nullptr;
+  bool busy = false;
+  bool computing = false;
+  std::uint64_t compute_remaining = 0;  ///< valid while computing
+  bool ready = false;                   ///< fetched op awaiting the array
+  bool fetching = false;
+  std::vector<DmaId> fetch_dmas;      ///< valid while fetching
+  std::vector<DmaId> writeback_dmas;  ///< draining result DMAs
+  bool queue_nonempty = false;
+  bool queue_token_signaled = false;  ///< head op's wait token, if queued
+};
+
+/// Earliest future cycle at which the pipeline, absent external input,
+/// changes externally visible state: the compute countdown reaching zero, a
+/// fetch or writeback DMA turning visible, a ready op starting, a
+/// token-unblocked op issuing. kNoEvent while stalled purely on a
+/// controller token.
+[[nodiscard]] sim::Cycle pipeline_next_event(const PipelineState& state, sim::Cycle now);
+
+/// Bulk-applies the per-cycle compute countdown and busy/stall counters for
+/// the uneventful gap [from, to): exactly what that many ticks would have
+/// recorded on the frozen pipeline state. `idle_stat` is the engine's
+/// compute-unit idle counter ("array_idle_cycles" / "gpe_idle_cycles");
+/// `compute_remaining` is decremented in place while computing.
+void pipeline_skip(const PipelineState& state, sim::Cycle from, sim::Cycle to,
+                   sim::StatSet& stats, const std::string& idle_stat,
+                   std::uint64_t& compute_remaining);
+
+}  // namespace gnnerator::mem

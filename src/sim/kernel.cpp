@@ -1,5 +1,6 @@
 #include "sim/kernel.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -24,18 +25,77 @@ Cycle SimKernel::run(Cycle max_cycles) {
     for (Component* c : components_) {
       c->tick(now_);
     }
+    ++cycles_ticked_;
+
+    // Earliest future event across the components that still have work.
+    // Purely reactive components (waiting on a token) answer kNoEvent; the
+    // component that will signal them has a finite event of its own, so the
+    // minimum is safe. All-kNoEvent means nothing can ever make progress —
+    // jump to the limit so the reference loop's deadlock diagnostic fires.
+    Cycle next = kNoEvent;
+    bool busy_after_tick = false;
+    for (Component* c : components_) {
+      if (!c->busy()) {
+        continue;
+      }
+      busy_after_tick = true;
+      const Cycle event = c->next_event(now_);
+      GNNERATOR_CHECK_MSG(event > now_,
+                          c->name() << " scheduled next_event " << event
+                                    << " not after now " << now_);
+      next = std::min(next, event);
+    }
+    if (!busy_after_tick) {
+      ++now_;
+      continue;  // the idle check at the top of the loop terminates the run
+    }
+    next = std::min(next, max_cycles);
+    if (next > now_ + 1) {
+      // Cycles [now_+1, next) are uneventful for every component: replay
+      // them in closed form instead of ticking.
+      for (Component* c : components_) {
+        c->skip(now_ + 1, next);
+      }
+      cycles_skipped_ += next - now_ - 1;
+      now_ = next;
+    } else {
+      ++now_;
+    }
+  }
+  throw_limit_exceeded(max_cycles);
+}
+
+Cycle SimKernel::run_reference(Cycle max_cycles) {
+  GNNERATOR_CHECK(!components_.empty());
+  while (now_ < max_cycles) {
+    bool any_busy = false;
+    for (Component* c : components_) {
+      if (c->busy()) {
+        any_busy = true;
+        break;
+      }
+    }
+    if (!any_busy) {
+      return now_;
+    }
+    for (Component* c : components_) {
+      c->tick(now_);
+    }
+    ++cycles_ticked_;
     ++now_;
   }
+  throw_limit_exceeded(max_cycles);
+}
 
+void SimKernel::throw_limit_exceeded(Cycle max_cycles) const {
   std::ostringstream os;
   os << "simulation exceeded " << max_cycles << " cycles; busy components:";
-  for (Component* c : components_) {
+  for (const Component* c : components_) {
     if (c->busy()) {
       os << ' ' << c->name();
     }
   }
   GNNERATOR_CHECK_MSG(false, os.str());
-  return now_;  // unreachable
 }
 
 }  // namespace gnnerator::sim

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -10,10 +11,39 @@ namespace gnnerator::sim {
 /// also a nanosecond; conversions to wall time happen only in reporting.
 using Cycle = std::uint64_t;
 
+/// Sentinel for "no self-scheduled future event": a component that is only
+/// waiting on another component (e.g. a controller token) returns this from
+/// next_event — whichever component will eventually unblock it has a finite
+/// event of its own.
+inline constexpr Cycle kNoEvent = std::numeric_limits<Cycle>::max();
+
 /// A cycle-stepped hardware component. The kernel calls `tick` exactly once
-/// per simulated cycle on every registered component, in registration order
-/// (which is therefore part of the model's determinism contract — memory is
-/// registered first so grants are visible to engines in the same cycle).
+/// per *simulated* cycle on every registered component, in registration
+/// order (which is therefore part of the model's determinism contract —
+/// memory is registered first so grants are visible to engines in the same
+/// cycle).
+///
+/// Event-driven time skipping: `SimKernel::run` does not tick every cycle.
+/// After each tick round it asks every busy component for its earliest
+/// future event and jumps straight there, replaying the skipped gap through
+/// `skip`. The contract a component must uphold:
+///
+///   * `next_event(now)` (queried after the tick at `now`) returns the
+///     earliest cycle > now at which the component — absent external input —
+///     changes externally visible state or stops being uniform (a DMA
+///     completes, a compute countdown reaches zero, a queued op whose token
+///     is already signalled gets issued). Too-small answers only cost extra
+///     ticks; too-large answers break the model. Components that cannot
+///     predict return `now + 1` (preserving exact cycle stepping); purely
+///     reactive components return kNoEvent.
+///   * `skip(from, to)` applies the exact state and statistics deltas that
+///     `to - from` consecutive ticks at cycles [from, to) would have applied.
+///     The kernel guarantees no component's event lies inside the gap, so
+///     those ticks are uniform by construction. Components whose idle ticks
+///     are side-effect-free can keep the default no-op.
+///
+/// The defaults (`next_event` = now + 1 while busy, `skip` = no-op) make any
+/// legacy component behave exactly as under the old exhaustive loop.
 class Component {
  public:
   explicit Component(std::string name) : name_(std::move(name)) {}
@@ -29,6 +59,18 @@ class Component {
   /// kernel stops when every component reports idle.
   [[nodiscard]] virtual bool busy() const = 0;
 
+  /// Earliest future cycle at which this component's externally visible
+  /// state can change without external input (see class comment).
+  [[nodiscard]] virtual Cycle next_event(Cycle now) const {
+    return busy() ? now + 1 : kNoEvent;
+  }
+
+  /// Fast-forward across the uneventful cycles [from, to).
+  virtual void skip(Cycle from, Cycle to) {
+    (void)from;
+    (void)to;
+  }
+
   [[nodiscard]] const std::string& name() const { return name_; }
 
  private:
@@ -36,24 +78,43 @@ class Component {
 };
 
 /// Deterministic single-threaded simulation driver.
+///
+/// `run` is event-driven: it ticks every component at every *event* cycle
+/// and jumps over the provably uneventful gaps in between, producing cycle
+/// counts, statistics and traces bitwise identical to the exhaustive loop
+/// (`run_reference`), which is kept for differential testing.
 class SimKernel {
  public:
   /// Registers a component (non-owning; the caller keeps ownership and must
   /// outlive the kernel run).
   void add(Component& component);
 
-  /// Ticks all components until none is busy, or until `max_cycles` elapse.
-  /// Returns the cycle count at stop. Throws CheckError when the limit is
-  /// hit while components are still busy — a limit hit means deadlock or a
-  /// model bug, never a valid result.
+  /// Runs until no component is busy, skipping dead cycles via the
+  /// components' next_event/skip hooks. Returns the cycle count at stop.
+  /// Throws CheckError when `max_cycles` is hit while components are still
+  /// busy — a limit hit means deadlock or a model bug, never a valid result.
   Cycle run(Cycle max_cycles = 50'000'000'000ULL);
+
+  /// The original exhaustive loop: ticks all components on every simulated
+  /// cycle. Ground truth for differential tests; also the right tool when
+  /// debugging a component whose next_event contract is suspect.
+  Cycle run_reference(Cycle max_cycles = 50'000'000'000ULL);
 
   [[nodiscard]] Cycle now() const { return now_; }
   [[nodiscard]] std::size_t num_components() const { return components_.size(); }
 
+  /// Cycles actually ticked by the last run (event cycles).
+  [[nodiscard]] Cycle cycles_ticked() const { return cycles_ticked_; }
+  /// Cycles jumped over via skip by the last run (0 for run_reference).
+  [[nodiscard]] Cycle cycles_skipped() const { return cycles_skipped_; }
+
  private:
+  [[noreturn]] void throw_limit_exceeded(Cycle max_cycles) const;
+
   std::vector<Component*> components_;
   Cycle now_ = 0;
+  Cycle cycles_ticked_ = 0;
+  Cycle cycles_skipped_ = 0;
 };
 
 }  // namespace gnnerator::sim

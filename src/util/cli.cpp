@@ -1,0 +1,25 @@
+#include "util/cli.hpp"
+
+#include <exception>
+#include <iostream>
+
+namespace gnnerator::util {
+
+int cli_main(int argc, char** argv, std::string_view usage,
+             const std::function<int(const Args&)>& body) {
+  const char* program = argc > 0 ? argv[0] : "tool";
+  try {
+    const Args args(argc, argv);
+    return body(args);
+  } catch (const std::exception& e) {
+    // CheckError (every GNNERATOR_CHECK failure) lands here too; it
+    // derives from std::logic_error and needs no separate handling.
+    std::cerr << "error: " << e.what() << '\n';
+  }
+  if (!usage.empty()) {
+    std::cerr << "usage: " << program << ' ' << usage << '\n';
+  }
+  return 1;
+}
+
+}  // namespace gnnerator::util

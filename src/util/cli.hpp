@@ -1,0 +1,22 @@
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "util/args.hpp"
+
+namespace gnnerator::util {
+
+/// Wraps an example/tool entry point with a friendly error surface: any
+/// CheckError escaping `body` (bad flag values, capacity violations, model
+/// misuse) prints `error: <message>` plus the tool's usage line to stderr
+/// and exits non-zero, instead of aborting with a raw uncaught exception.
+///
+///   int main(int argc, char** argv) {
+///     return util::cli_main(argc, argv, "[--dataset cora] [--block N]",
+///                           [](const util::Args& args) { ...; return 0; });
+///   }
+int cli_main(int argc, char** argv, std::string_view usage,
+             const std::function<int(const Args&)>& body);
+
+}  // namespace gnnerator::util

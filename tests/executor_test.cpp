@@ -32,6 +32,22 @@ TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
   }
 }
 
+TEST(ThreadPool, ClampsHostileParallelism) {
+  // Zero resolves to hardware concurrency, never below one.
+  EXPECT_GE(ThreadPool(0).parallelism(), 1u);
+  // A negative int cast to size_t must not try to spawn 2^64 workers.
+  const auto negative = static_cast<std::size_t>(-3);
+  ThreadPool hostile(negative);
+  EXPECT_EQ(hostile.parallelism(), ThreadPool::kMaxParallelism);
+  // Absurdly large explicit requests clamp to the ceiling too.
+  EXPECT_EQ(ThreadPool(1u << 20).parallelism(), ThreadPool::kMaxParallelism);
+  // The clamped pool still works.
+  std::atomic<int> hits{0};
+  std::vector<std::function<void()>> tasks(8, [&hits] { hits.fetch_add(1); });
+  hostile.run_all(tasks);
+  EXPECT_EQ(hits.load(), 8);
+}
+
 TEST(ThreadPool, SingleThreadRunsSerially) {
   ThreadPool pool(1);
   EXPECT_EQ(pool.parallelism(), 1u);
