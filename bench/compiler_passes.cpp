@@ -1,0 +1,144 @@
+// Measures the pass-based compiler itself — resolve (analysis passes
+// only), full compile, and compile with the per-stage autotune search —
+// per dataset, plus the end-to-end value of autotuning: simulated cycles
+// of the autotuned plan vs the global-default plan on every
+// (dataset x network) bench point. The acceptance invariant (autotune
+// never slower) is hard-checked here on every run.
+//
+//   ./compiler_passes [--json BENCH_compiler_passes.json]
+//                     [--datasets cora,citeseer,pubmed,flickr] [--iters N]
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/compiler.hpp"
+#include "util/args.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace gnnerator;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+/// Best-of-N wall seconds for `fn`.
+template <typename Fn>
+double best_of(int iters, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < std::max(1, iters); ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, seconds_since(start));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  const auto iters = static_cast<int>(args.get_int("iters", 3));
+  const std::vector<std::string> datasets =
+      split_csv(args.get("datasets", "cora,citeseer,pubmed,flickr"));
+
+  const core::AcceleratorConfig config = core::AcceleratorConfig::table4();
+  core::DataflowOptions defaults;
+  core::DataflowOptions tuned;
+  tuned.autotune = true;
+
+  bench::JsonReport json;
+
+  // ---- Compile-time costs per dataset (gcn model, the widest input). ------
+  util::Table compile_table(
+      {"Dataset", "Resolve (ms)", "Compile (ms)", "Compile+autotune (ms)"});
+  for (const std::string& ds_name : datasets) {
+    const graph::Dataset& ds = bench::dataset(ds_name);
+    const gnn::ModelSpec model = core::table3_model(gnn::LayerKind::kGcn, ds.spec);
+
+    const double resolve_s = best_of(iters, [&] {
+      core::Compiler compiler(ds.graph, config, tuned);
+      (void)compiler.resolve(model);
+    });
+    const double compile_s = best_of(iters, [&] {
+      (void)core::compile_model(ds.graph, model, config, defaults);
+    });
+    const double autotune_s = best_of(iters, [&] {
+      (void)core::compile_model(ds.graph, model, config, tuned);
+    });
+
+    compile_table.add_row({ds_name, util::Table::fixed(resolve_s * 1e3, 3),
+                           util::Table::fixed(compile_s * 1e3, 3),
+                           util::Table::fixed(autotune_s * 1e3, 3)});
+    json.set(ds_name + ".resolve_ms", resolve_s * 1e3);
+    json.set(ds_name + ".compile_ms", compile_s * 1e3);
+    json.set(ds_name + ".compile_autotune_ms", autotune_s * 1e3);
+  }
+  std::cout << "=== Compiler pass pipeline: compile + autotune time ===\n"
+            << compile_table.to_string() << '\n';
+
+  // ---- Autotune value: simulated cycles vs the global default. ------------
+  util::Table value_table({"Point", "Default cycles", "Autotuned cycles", "Ratio"});
+  std::size_t faster_points = 0;
+  for (const std::string& ds_name : datasets) {
+    const graph::Dataset& ds = bench::dataset(ds_name);
+    for (const gnn::LayerKind kind :
+         {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean, gnn::LayerKind::kSagePool}) {
+      const gnn::ModelSpec model = core::table3_model(kind, ds.spec);
+      core::SimulationRequest base_request;
+      core::SimulationRequest tuned_request;
+      tuned_request.dataflow.autotune = true;
+      const auto base = bench::engine().run(ds, model, base_request);
+      const auto fast = bench::engine().run(ds, model, tuned_request);
+
+      // Acceptance invariant: per-stage autotuned plans are never slower
+      // than the global-default dataflow, on any bench point.
+      GNNERATOR_CHECK_MSG(fast.cycles <= base.cycles,
+                          ds_name << "/" << gnn::layer_kind_name(kind)
+                                  << ": autotuned plan slower than the default");
+      faster_points += fast.cycles < base.cycles ? 1 : 0;
+
+      const double ratio =
+          static_cast<double>(fast.cycles) / static_cast<double>(base.cycles);
+      const std::string name = ds_name + "-" + std::string(gnn::layer_kind_name(kind));
+      value_table.add_row({name, std::to_string(base.cycles), std::to_string(fast.cycles),
+                           util::Table::fixed(ratio, 4)});
+      json.set(name + ".cycles_default", base.cycles);
+      json.set(name + ".cycles_autotune", fast.cycles);
+      json.set(name + ".ratio", ratio);
+    }
+  }
+  std::cout << "=== Autotuned vs global-default plans (simulated cycles) ===\n"
+            << value_table.to_string() << '\n'
+            << faster_points << " point(s) strictly faster, none slower\n";
+  json.set("points_strictly_faster", static_cast<std::uint64_t>(faster_points));
+
+  if (!json_path.empty()) {
+    if (!json.write(json_path)) {
+      std::cerr << "error: cannot write JSON to " << json_path << '\n';
+      return 1;
+    }
+    std::cout << "\nWrote " << json_path << '\n';
+  }
+  return 0;
+}

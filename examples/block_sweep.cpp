@@ -18,7 +18,7 @@ using namespace gnnerator;
 namespace {
 
 constexpr std::string_view kUsage =
-    "[--dataset citeseer] [--network gcn|gsage|gsage-max] [--out sweep.csv]";
+    "[--dataset citeseer] [--network gcn|gsage|gsage-max] [--dump-plan] [--out sweep.csv]";
 
 int run(const util::Args& args) {
   const std::string ds_name = args.get("dataset", "citeseer");
@@ -44,6 +44,19 @@ int run(const util::Args& args) {
   util::Table table({"B", "Cycles", "ms", "DRAM read (MB)", "S"});
 
   core::Engine engine(core::EngineOptions{.num_threads = 1});
+
+  if (util::dump_plan_requested(args)) {
+    // Show what the compiler would choose at each block size — no
+    // simulation, just the per-stage plans.
+    for (const std::size_t b : blocks) {
+      core::SimulationRequest request;
+      request.dataflow.block_size = b;
+      std::cout << "--- B=" << b << " ---\n"
+                << engine.plan_for(dataset, model, request)->describe() << '\n';
+    }
+    return 0;
+  }
+
   double base_ms = 0.0;
   for (const std::size_t b : blocks) {
     core::SimulationRequest request;

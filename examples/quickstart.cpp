@@ -25,7 +25,8 @@ using namespace gnnerator;
 namespace {
 
 constexpr std::string_view kUsage =
-    "[--dataset cora|citeseer|pubmed] [--no-blocking] [--block N] [--threads N] [--verbose]";
+    "[--dataset cora|citeseer|pubmed|flickr] [--no-blocking] [--block N] [--autotune] "
+    "[--threads N] [--dump-plan] [--verbose]";
 
 int run(const util::Args& args) {
   if (args.has("verbose")) {
@@ -45,8 +46,7 @@ int run(const util::Args& args) {
   request.mode = core::SimMode::kFunctional;
   request.dataflow.feature_blocking = !args.has("no-blocking");
   request.dataflow.block_size = static_cast<std::size_t>(args.get_int("block", 0));
-
-  std::cout << core::format_config(request.config) << '\n';
+  request.dataflow.autotune = args.has("autotune");
 
   // The Engine owns the plan cache and the functional worker pool; one
   // instance serves every request of this process.
@@ -56,6 +56,14 @@ int run(const util::Args& args) {
   // Compile: the plan records every dataflow decision the paper describes.
   const auto plan_ptr = engine.plan_for(dataset, model, request);
   const core::LoweredModel& plan = *plan_ptr;
+
+  if (util::dump_plan_requested(args)) {
+    // Inspect what the compiler chose, without simulating anything.
+    std::cout << plan.describe();
+    return 0;
+  }
+
+  std::cout << core::format_config(request.config) << '\n';
   std::cout << "Compiled plan:\n";
   for (const core::AggStagePlan& stage : plan.agg_stages) {
     std::cout << "  layer " << stage.layer << " aggregation: op="

@@ -1,31 +1,61 @@
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "core/plan.hpp"
 #include "gnn/layers.hpp"
 #include "graph/graph.hpp"
 
 namespace gnnerator::core {
 
+/// One aggregation stage's fully-resolved dataflow decisions — the output
+/// of the compiler's analysis passes, before any program is emitted. These
+/// are what make two requests *plan-equivalent*: the emitted programs (and
+/// therefore cycles, stats and outputs) are a pure function of (graph,
+/// model, accelerator config, sparsity flag, per-stage choices), so the
+/// plan cache keys on this signature rather than on the raw option knobs.
+struct StageChoice {
+  std::uint32_t layer = 0;
+  std::uint32_t stage_index = 0;
+  std::size_t block = 0;
+  graph::NodeId nodes_per_shard = 0;
+  std::uint32_t grid_dim = 0;
+  shard::Traversal traversal = shard::Traversal::kDestStationary;
+  bool pipelined_consume = false;
+  bool edges_cached = false;
+  /// True when the autotune pass deviated from the paper-default choice.
+  /// Reporting only: excluded from equality and from the cache key, so an
+  /// autotuned request and an explicitly-pinned request that resolve to
+  /// the same choices share one plan.
+  bool tuned = false;
+
+  friend bool operator==(const StageChoice& a, const StageChoice& b) {
+    return a.layer == b.layer && a.stage_index == b.stage_index && a.block == b.block &&
+           a.nodes_per_shard == b.nodes_per_shard && a.grid_dim == b.grid_dim &&
+           a.traversal == b.traversal && a.pipelined_consume == b.pipelined_consume &&
+           a.edges_cached == b.edges_cached;
+  }
+};
+
+using PlanSignature = std::vector<StageChoice>;
+
+/// Compact stable rendering for plan-cache keys and logs, e.g.
+/// "L0.S0:B64,n2708,S1,dst,pipe,cache".
+[[nodiscard]] std::string format_signature(const PlanSignature& signature);
+
 /// The prototype compiler (paper §V): lowers a GNN model onto GNNerator.
 ///
-/// Per aggregation stage it decides:
-///   * the feature block size B (Algorithm 1's blocking factor; the Dense
-///     Engine array width by default, or the full dimension when blocking
-///     is disabled),
-///   * the shard-interval size n — the largest that fits the Graph Engine
-///     feature scratchpads at width B — and hence the grid dimension S,
-///   * the traversal order (Table I cost model, unless forced),
-///   * edge-list residency (whole-list caching in the edge buffer enables
-///     the on-chip re-processing across blocks that Algorithm 1 relies on),
-///   * the hand-off mode to the consuming dense stage: fine-grained
-///     pipelined consumption through the shared scratchpad when the dense
-///     psum footprint fits the output buffer, or a DRAM spill with deferred
-///     feature extraction otherwise.
+/// Structured as a pass pipeline over an explicit stage-graph IR
+/// (core/compiler/): model -> stage-graph construction, per-stage feature
+/// blocking (Algorithm 1), optional cost-model autotuning, shard
+/// sizing/grid, traversal selection (Table I), operand residency + engine
+/// hand-off, token threading, and a final emit pass that produces the
+/// LoweredModel. The IR is validated between passes, so an infeasible
+/// configuration fails with the offending pass named.
 ///
-/// Per dense stage it tiles GEMMs to the scratchpad banks, assigns operand
-/// residency (weight-slice caching across intervals, psum residency), and
-/// threads the Controller tokens that realise dense-first and graph-first
-/// producer/consumer orders.
+/// Every decision is resolved **per aggregation stage**; the global
+/// DataflowOptions act as defaults/overrides (see config.hpp).
 class Compiler {
  public:
   /// `dataset_graph` is the raw (self-loop-free) graph; the compiler
@@ -34,8 +64,15 @@ class Compiler {
            DataflowOptions options);
 
   /// Lowers `model`; throws CheckError on infeasible configurations (e.g. a
-  /// block that cannot fit a single node on-chip).
+  /// block that cannot fit a single node on-chip), naming the pass that
+  /// rejected them.
   [[nodiscard]] LoweredModel compile(const gnn::ModelSpec& model);
+
+  /// Runs the analysis passes only (no grids, tokens or programs) and
+  /// returns the per-stage choices `compile` would lower with. Cheap —
+  /// O(stages x candidates) — so callers can key caches on resolved
+  /// choices before paying for a full compile.
+  [[nodiscard]] PlanSignature resolve(const gnn::ModelSpec& model);
 
  private:
   const graph::Graph& dataset_graph_;
@@ -48,5 +85,11 @@ class Compiler {
                                          const gnn::ModelSpec& model,
                                          const AcceleratorConfig& config,
                                          const DataflowOptions& options);
+
+/// One-call analysis wrapper (see Compiler::resolve).
+[[nodiscard]] PlanSignature resolve_stage_choices(const graph::Graph& dataset_graph,
+                                                  const gnn::ModelSpec& model,
+                                                  const AcceleratorConfig& config,
+                                                  const DataflowOptions& options);
 
 }  // namespace gnnerator::core

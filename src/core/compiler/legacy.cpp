@@ -1,0 +1,717 @@
+#include "core/compiler/legacy.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "gengine/gpe.hpp"
+#include "graph/builder.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace gnnerator::core::compiler {
+
+namespace {
+
+using gnn::Activation;
+using gnn::AggregateOp;
+using gnn::StageSpec;
+using shard::ShardCoord;
+using shard::Traversal;
+
+constexpr std::uint64_t kBytesPerValue = sizeof(float);
+/// Upper bound on the K extent of a single GEMM op: beyond this, fill/drain
+/// amortisation is total and splitting only adds schedule flexibility.
+constexpr std::uint64_t kMaxKChunk = 4096;
+
+/// Mutable lowering state threaded through the per-layer emitters.
+struct Lowering {
+  LoweredModel out;
+  std::uint32_t next_tag = 0;
+
+  sim::TokenId create_token(std::string name) {
+    const auto id = static_cast<sim::TokenId>(out.token_names.size());
+    out.token_names.push_back(std::move(name));
+    return id;
+  }
+  sim::TokenId column_token(std::uint32_t l, std::uint32_t s, std::uint32_t b, std::uint32_t c) {
+    std::ostringstream os;
+    os << "L" << l << ".S" << s << ".b" << b << ".col" << c;
+    return create_token(os.str());
+  }
+  sim::TokenId interval_token(std::uint32_t l, std::uint32_t s, std::uint32_t b,
+                              std::uint32_t r) {
+    std::ostringstream os;
+    os << "L" << l << ".S" << s << ".b" << b << ".ivl" << r;
+    return create_token(os.str());
+  }
+  sim::TokenId layer_token(std::uint32_t l) {
+    return create_token("L" + std::to_string(l) + ".done");
+  }
+};
+
+/// GEMM tiling decisions for one dense emission series.
+struct ChunkPlan {
+  std::uint64_t m_chunk = 0;
+  std::uint64_t k_chunk = 0;
+  std::uint64_t n_chunk = 0;
+};
+
+/// Solves operand-residency constraints for a GEMM of `rows x K x N`:
+/// the A tile must fit an input bank when streamed from DRAM, the W tile a
+/// weight bank, and — when psums are not globally resident — the psum tile
+/// an output bank.
+///
+/// The preferred chunk shape depends on the array dataflow:
+///  * weight-stationary: a K tile of array-row height loads once and the
+///    whole row extent streams through it, so k_chunk = array rows and
+///    m_chunk as large as the banks allow (splitting M re-pays the weight
+///    load and drain per split);
+///  * output-stationary: psums stay in the PEs while K streams, so K stays
+///    as long as the banks allow and M splits at array-row granularity.
+ChunkPlan plan_chunks(std::uint64_t rows, std::uint64_t k, std::uint64_t n, bool a_from_dram,
+                      bool psum_per_chunk, const dense::DenseEngineConfig& cfg) {
+  GNNERATOR_CHECK(rows >= 1 && k >= 1 && n >= 1);
+  ChunkPlan plan;
+  const bool ws = cfg.array.dataflow == dense::SystolicDataflow::kWeightStationary;
+
+  plan.k_chunk = ws ? std::min<std::uint64_t>(k, cfg.array.rows)
+                    : std::min<std::uint64_t>(k, kMaxKChunk);
+  // Weight tile k_chunk x n_chunk x 4 <= weight bank. Prefer full N.
+  plan.n_chunk = n;
+  if (plan.k_chunk * plan.n_chunk * kBytesPerValue > cfg.weight_bank_bytes()) {
+    plan.n_chunk = cfg.weight_bank_bytes() / (plan.k_chunk * kBytesPerValue);
+    if (plan.n_chunk < cfg.array.cols) {
+      // Narrow N instead of K only when K shrinking keeps tiles efficient.
+      plan.n_chunk = std::min<std::uint64_t>(n, cfg.array.cols);
+      plan.k_chunk = cfg.weight_bank_bytes() / (plan.n_chunk * kBytesPerValue);
+      GNNERATOR_CHECK_MSG(plan.k_chunk >= 1, "weight bank cannot hold a single array column");
+      plan.k_chunk = std::min(plan.k_chunk, k);
+    } else {
+      plan.n_chunk = std::min<std::uint64_t>(
+          n, (plan.n_chunk / cfg.array.cols) * cfg.array.cols);
+    }
+  }
+
+  plan.m_chunk = rows;
+  if (a_from_dram) {
+    const std::uint64_t limit = cfg.input_bank_bytes() / (plan.k_chunk * kBytesPerValue);
+    GNNERATOR_CHECK_MSG(limit >= 1, "input bank cannot hold one row of K=" << plan.k_chunk);
+    plan.m_chunk = std::min(plan.m_chunk, limit);
+  }
+  if (psum_per_chunk) {
+    const std::uint64_t limit = cfg.output_bank_bytes() / (plan.n_chunk * kBytesPerValue);
+    GNNERATOR_CHECK_MSG(limit >= 1, "output bank cannot hold one row of N=" << plan.n_chunk);
+    plan.m_chunk = std::min(plan.m_chunk, limit);
+  }
+  // For OS, round M to array-row multiples when that does not zero the
+  // chunk (partial tiles waste rows); WS streams M, no rounding wanted.
+  if (!ws && plan.m_chunk > cfg.array.rows) {
+    plan.m_chunk = (plan.m_chunk / cfg.array.rows) * cfg.array.rows;
+  }
+  GNNERATOR_CHECK(plan.m_chunk >= 1);
+  return plan;
+}
+
+/// Everything the per-stage emitters need to know about one aggregation
+/// stage, including the tokens shared with the dense side.
+struct AggStageTokens {
+  /// col_tokens[b][c]: block b of destination column c fully aggregated.
+  std::vector<std::vector<sim::TokenId>> col_tokens;
+  /// ivl_tokens[b][r]: z block b of source interval r produced (dense-first
+  /// stages only; empty otherwise).
+  std::vector<std::vector<sim::TokenId>> ivl_tokens;
+};
+
+}  // namespace
+
+/// Local stand-in for the old Compiler class (same members, same ctor).
+class LegacyCompiler {
+ public:
+  LegacyCompiler(const graph::Graph& dataset_graph, AcceleratorConfig config,
+                 DataflowOptions options);
+  [[nodiscard]] LoweredModel compile(const gnn::ModelSpec& model);
+
+ private:
+  const graph::Graph& dataset_graph_;
+  AcceleratorConfig config_;
+  DataflowOptions options_;
+};
+
+LegacyCompiler::LegacyCompiler(const graph::Graph& dataset_graph, AcceleratorConfig config,
+                   DataflowOptions options)
+    : dataset_graph_(dataset_graph), config_(std::move(config)), options_(options) {
+  config_.validate();
+  if (options_.block_size == 0) {
+    options_.block_size = config_.dense.array.cols;  // paper default: B = 64
+  }
+}
+
+LoweredModel LegacyCompiler::compile(const gnn::ModelSpec& model) {
+  gnn::validate_model(model);
+  GNNERATOR_CHECK_MSG(model.input_dim() > 0, "model input dim must be positive");
+
+  Lowering lw;
+  lw.out.model = model;
+  lw.out.config = config_;
+  lw.out.options = options_;
+
+  // Aggregation graph: dataset graph + self loops (Eq. 1/2 aggregate over
+  // N(u) ∪ u). Edge coefficients use the original degrees.
+  {
+    graph::GraphBuilder builder(dataset_graph_.num_nodes());
+    for (const graph::Edge& e : dataset_graph_.edges()) {
+      builder.add_edge(e.src, e.dst);
+    }
+    builder.add_self_loops();
+    lw.out.agg_graph = std::make_shared<const graph::Graph>(builder.build());
+  }
+  lw.out.base_in_degree.resize(dataset_graph_.num_nodes());
+  for (graph::NodeId v = 0; v < dataset_graph_.num_nodes(); ++v) {
+    lw.out.base_in_degree[v] = static_cast<std::uint32_t>(dataset_graph_.in_degree(v));
+  }
+
+  const auto num_nodes = dataset_graph_.num_nodes();
+
+  for (std::uint32_t l = 0; l < model.layers.size(); ++l) {
+    const gnn::LayerSpec& layer = model.layers[l];
+    const std::vector<StageSpec> stages = gnn::layer_stages(layer);
+
+    // --- Plan every aggregation stage of this layer up front. -------------
+    // (Our three networks have exactly one per layer, but the loop is
+    // general.)
+    std::map<std::uint32_t, std::uint32_t> agg_plan_of_stage;  // stage idx -> agg_stages idx
+    for (std::uint32_t s = 0; s < stages.size(); ++s) {
+      if (stages[s].kind != StageSpec::Kind::kAggregate) {
+        continue;
+      }
+      AggStagePlan plan;
+      plan.layer = l;
+      plan.stage_index = s;
+      plan.op = stages[s].op;
+      plan.dims = stages[s].dims;
+      plan.block = options_.feature_blocking
+                       ? std::min<std::size_t>(options_.block_size, plan.dims)
+                       : plan.dims;
+      plan.num_blocks = util::ceil_div(plan.dims, plan.block);
+
+      shard::SizingPolicy policy;
+      policy.edge_buffer_bytes = 0;  // edge buffer is provisioned separately
+      plan.sizing = shard::choose_shard_size(config_.graph.feature_scratch_bytes, plan.block,
+                                             num_nodes, policy);
+      plan.grid = std::make_shared<const shard::ShardGrid>(*lw.out.agg_graph,
+                                                           plan.sizing.nodes_per_shard);
+      plan.traversal = options_.traversal.value_or(
+          shard::choose_traversal(plan.sizing.grid_dim, /*input_residency=*/1.0));
+      plan.input = stages[s].input == StageSpec::Input::kLayerInput
+                       ? TensorRef{l, -1}
+                       : TensorRef{l, static_cast<std::int32_t>(s) - 1};
+      plan.output = TensorRef{l, static_cast<std::int32_t>(s)};
+
+      // Hand-off mode: the consuming dense stage keeps psums resident iff
+      // its full output footprint fits the dense output buffer.
+      GNNERATOR_CHECK_MSG(s + 1 < stages.size() &&
+                              stages[s + 1].kind == StageSpec::Kind::kDense,
+                          "aggregation stage must feed a dense stage");
+      const std::uint64_t psum_footprint =
+          static_cast<std::uint64_t>(num_nodes) * stages[s + 1].out_dim * kBytesPerValue;
+      plan.pipelined_consume = psum_footprint <= config_.dense.output_buffer_bytes;
+
+      agg_plan_of_stage[s] = static_cast<std::uint32_t>(lw.out.agg_stages.size());
+      lw.out.agg_stages.push_back(std::move(plan));
+    }
+
+    // --- Create the controller tokens for each aggregation stage. ---------
+    std::map<std::uint32_t, AggStageTokens> tokens_of_stage;
+    for (const auto& [s, plan_idx] : agg_plan_of_stage) {
+      const AggStagePlan& plan = lw.out.agg_stages[plan_idx];
+      AggStageTokens tokens;
+      tokens.col_tokens.resize(plan.num_blocks);
+      for (std::uint32_t b = 0; b < plan.num_blocks; ++b) {
+        tokens.col_tokens[b].resize(plan.sizing.grid_dim);
+        for (std::uint32_t c = 0; c < plan.sizing.grid_dim; ++c) {
+          tokens.col_tokens[b][c] = lw.column_token(l, s, b, c);
+        }
+      }
+      const bool dense_first = s > 0 && stages[s - 1].kind == StageSpec::Kind::kDense;
+      if (dense_first) {
+        tokens.ivl_tokens.resize(plan.num_blocks);
+        for (std::uint32_t b = 0; b < plan.num_blocks; ++b) {
+          tokens.ivl_tokens[b].resize(plan.sizing.grid_dim);
+          for (std::uint32_t r = 0; r < plan.sizing.grid_dim; ++r) {
+            tokens.ivl_tokens[b][r] = lw.interval_token(l, s, b, r);
+          }
+        }
+      }
+      tokens_of_stage.emplace(s, std::move(tokens));
+    }
+
+    const sim::TokenId prev_layer_token =
+        l == 0 ? sim::kNoToken : static_cast<sim::TokenId>([&] {
+          // The previous layer's token was created when that layer was
+          // lowered; find it by name.
+          const std::string name = "L" + std::to_string(l - 1) + ".done";
+          for (std::size_t i = 0; i < lw.out.token_names.size(); ++i) {
+            if (lw.out.token_names[i] == name) {
+              return static_cast<sim::TokenId>(i);
+            }
+          }
+          GNNERATOR_CHECK_MSG(false, "missing layer token " << name);
+          return sim::kNoToken;
+        }());
+    const sim::TokenId this_layer_token = lw.layer_token(l);
+
+    bool first_graph_task_of_layer = true;
+
+    // =====================================================================
+    // Emit stages in order.
+    // =====================================================================
+    for (std::uint32_t s = 0; s < stages.size(); ++s) {
+      const StageSpec& stage = stages[s];
+
+      if (stage.kind == StageSpec::Kind::kAggregate) {
+        // ---------------- Graph Engine program for this stage ------------
+        const AggStagePlan& plan = lw.out.agg_stages[agg_plan_of_stage.at(s)];
+        const AggStageTokens& tokens = tokens_of_stage.at(s);
+        const shard::ShardGrid& grid = *plan.grid;
+        const std::uint32_t S = plan.sizing.grid_dim;
+        const bool dense_first = !tokens.ivl_tokens.empty();
+
+        const std::uint64_t edge_record_bytes = 2 * sizeof(graph::NodeId);
+        const bool edges_cached = grid.total_edges() * edge_record_bytes <=
+                                  config_.graph.edge_buffer_bytes / 2;
+
+        const std::vector<ShardCoord> order = shard::make_traversal(S, plan.traversal);
+        // Non-empty coords in traversal order (empty shards are skipped
+        // entirely; self loops guarantee every column keeps at least its
+        // diagonal shard).
+        std::vector<ShardCoord> live;
+        live.reserve(order.size());
+        for (const ShardCoord coord : order) {
+          if (!grid.shard_empty(coord)) {
+            live.push_back(coord);
+          }
+        }
+        GNNERATOR_CHECK(!live.empty());
+
+        // First/last visit positions per column within one block pass.
+        std::vector<std::size_t> first_pos(S, live.size());
+        std::vector<std::size_t> last_pos(S, 0);
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          first_pos[live[i].col] = std::min(first_pos[live[i].col], i);
+          last_pos[live[i].col] = std::max(last_pos[live[i].col], i);
+        }
+        for (std::uint32_t c = 0; c < S; ++c) {
+          GNNERATOR_CHECK_MSG(first_pos[c] < live.size(),
+                              "column " << c << " has no edges despite self loops");
+        }
+
+        // Compute cycles per shard depend only on the block width; cache
+        // the two widths that occur (full B and the tail block).
+        std::map<std::pair<std::size_t, std::size_t>, std::uint64_t> cycle_cache;
+        auto compute_cycles_for = [&](ShardCoord coord, std::size_t width) {
+          const auto key = std::make_pair(
+              static_cast<std::size_t>(coord.row) * S + coord.col, width);
+          auto it = cycle_cache.find(key);
+          if (it == cycle_cache.end()) {
+            it = cycle_cache
+                     .emplace(key, gengine::shard_compute_cycles(
+                                       grid.shard_edges(coord), config_.graph.geometry, width))
+                     .first;
+          }
+          return it->second;
+        };
+
+        std::vector<bool> shard_fetched(static_cast<std::size_t>(S) * S, false);
+
+        for (std::uint32_t b = 0; b < plan.num_blocks; ++b) {
+          const std::size_t d0 = static_cast<std::size_t>(b) * plan.block;
+          const std::size_t d1 = std::min(plan.dims, d0 + plan.block);
+          const std::size_t width = d1 - d0;
+          // Whether the previous emitted task left a *full* source-interval
+          // slice resident (serpentine reuse is only sound then).
+          bool prev_loaded_full_interval = false;
+
+          for (std::size_t i = 0; i < live.size(); ++i) {
+            const ShardCoord coord = live[i];
+            const auto edges = grid.shard_edges(coord);
+            AggWork work;
+            work.agg_stage = agg_plan_of_stage.at(s);
+            work.coord = coord;
+            work.d_begin = static_cast<std::uint32_t>(d0);
+            work.d_end = static_cast<std::uint32_t>(d1);
+            work.num_edges = static_cast<std::uint32_t>(edges.size());
+            work.compute_cycles = compute_cycles_for(coord, width);
+            work.lane_ops = 2ULL * edges.size() * width;  // apply + reduce
+
+            // Edge residency.
+            const std::size_t shard_idx = static_cast<std::size_t>(coord.row) * S + coord.col;
+            const std::uint64_t edge_bytes = edges.size() * edge_record_bytes;
+            if (!shard_fetched[shard_idx]) {
+              work.edge_dma_bytes = edge_bytes;
+              shard_fetched[shard_idx] = true;
+            } else if (edges_cached) {
+              work.onchip_edge_bytes = edge_bytes;
+            } else {
+              work.edge_dma_bytes = edge_bytes;
+            }
+
+            // Source features: one full interval slice per shard, reused
+            // when the serpentine keeps the same source row. With sparsity
+            // elimination (HyGCN-style extension, DataflowOptions), only
+            // active rows are gathered when that is cheaper — gathered rows
+            // pay DRAM transaction granularity per row.
+            const bool same_row_as_prev = i > 0 && live[i - 1].row == coord.row;
+            const std::uint64_t full_bytes =
+                static_cast<std::uint64_t>(grid.interval_size(coord.row)) * width *
+                kBytesPerValue;
+            const std::uint64_t gather_bytes =
+                static_cast<std::uint64_t>(grid.shard_sources(coord).size()) *
+                util::round_up(width * kBytesPerValue, config_.dram.transaction_bytes);
+            if (options_.sparsity_elimination && gather_bytes < full_bytes) {
+              work.src_dma_bytes = gather_bytes;
+              prev_loaded_full_interval = false;
+            } else if (!(same_row_as_prev && prev_loaded_full_interval)) {
+              work.src_dma_bytes = full_bytes;
+              prev_loaded_full_interval = true;
+            }
+
+            const std::uint64_t col_bytes =
+                static_cast<std::uint64_t>(grid.interval_size(coord.col)) * width *
+                kBytesPerValue;
+            const bool first_of_col = i == first_pos[coord.col];
+            const bool last_of_col = i == last_pos[coord.col];
+            work.init_accumulator = first_of_col;
+
+            if (plan.traversal == Traversal::kDestStationary) {
+              // Accumulators stay on-chip for the whole column.
+              if (last_of_col) {
+                work.produce_token = tokens.col_tokens[b][coord.col];
+                if (!plan.pipelined_consume) {
+                  work.dst_write_bytes = col_bytes;  // spill aggregated block
+                  work.signal_after_writeback = true;
+                }
+              }
+            } else {
+              // Source-stationary: partial accumulators shuttle to DRAM on
+              // every column change (the serpentine saves the boundary).
+              const bool prev_same_col = i > 0 && live[i - 1].col == coord.col;
+              const bool next_same_col = i + 1 < live.size() && live[i + 1].col == coord.col;
+              if (!first_of_col && !prev_same_col) {
+                work.dst_load_bytes = col_bytes;  // reload partials
+              }
+              if (last_of_col) {
+                work.produce_token = tokens.col_tokens[b][coord.col];
+                if (!plan.pipelined_consume) {
+                  work.dst_write_bytes = col_bytes;
+                  work.signal_after_writeback = true;
+                }
+              } else if (!next_same_col) {
+                work.dst_write_bytes = col_bytes;  // spill partials
+              }
+            }
+
+            // Controller interlocks.
+            if (dense_first) {
+              work.wait_token = tokens.ivl_tokens[b][coord.row];
+            } else if (first_graph_task_of_layer && prev_layer_token != sim::kNoToken) {
+              work.wait_token = prev_layer_token;
+            }
+            first_graph_task_of_layer = false;
+
+            lw.out.predicted_dram_bytes += work.edge_dma_bytes + work.src_dma_bytes +
+                                           work.dst_load_bytes + work.dst_write_bytes;
+            lw.out.total_edge_visits += work.num_edges;
+            work.tag = lw.next_tag++;
+            lw.out.graph_program.push_back(std::move(work));
+          }
+        }
+        continue;
+      }
+
+      // ------------------------- Dense stages ----------------------------
+      const bool produces_for_agg =
+          s + 1 < stages.size() && stages[s + 1].kind == StageSpec::Kind::kAggregate;
+      const bool consumes_agg = s > 0 && stages[s - 1].kind == StageSpec::Kind::kAggregate;
+      const bool is_last_stage = s + 1 == stages.size();
+
+      if (produces_for_agg) {
+        // ---- Dense-first producer: z = act(Wp · h), emitted per (z block,
+        // source interval) of the *next* stage's shard grid, so the Graph
+        // Engine can start as soon as the first interval's block lands in
+        // DRAM.
+        GNNERATOR_CHECK(!stage.concat_layer_input);
+        const AggStagePlan& nplan = lw.out.agg_stages[agg_plan_of_stage.at(s + 1)];
+        const AggStageTokens& ntokens = tokens_of_stage.at(s + 1);
+        const shard::ShardGrid& grid = *nplan.grid;
+        const std::uint32_t S = nplan.sizing.grid_dim;
+        const std::uint64_t K = stage.in_dim;
+
+        for (std::uint32_t b = 0; b < nplan.num_blocks; ++b) {
+          const std::size_t n0 = static_cast<std::size_t>(b) * nplan.block;
+          const std::size_t n1 = std::min<std::size_t>(stage.out_dim, n0 + nplan.block);
+          const std::uint64_t n_width = n1 - n0;
+          bool weights_loaded = false;  // W slice reused across intervals
+
+          for (std::uint32_t r = 0; r < S; ++r) {
+            const std::uint32_t row0 = grid.interval_begin(r);
+            const std::uint32_t row1 = grid.interval_end(r);
+            const ChunkPlan chunks = plan_chunks(row1 - row0, K, n_width,
+                                                 /*a_from_dram=*/true,
+                                                 /*psum_per_chunk=*/true, config_.dense);
+            for (std::uint32_t m0 = row0; m0 < row1;
+                 m0 += static_cast<std::uint32_t>(chunks.m_chunk)) {
+              const std::uint32_t m1 =
+                  std::min<std::uint32_t>(row1, m0 + static_cast<std::uint32_t>(chunks.m_chunk));
+              for (std::uint64_t nn0 = 0; nn0 < n_width; nn0 += chunks.n_chunk) {
+                const std::uint64_t nn1 = std::min(n_width, nn0 + chunks.n_chunk);
+                for (std::uint64_t k0 = 0; k0 < K; k0 += chunks.k_chunk) {
+                  const std::uint64_t k1 = std::min(K, k0 + chunks.k_chunk);
+                  GemmWork op;
+                  op.layer = l;
+                  op.shape = dense::GemmShape{m1 - m0, k1 - k0, nn1 - nn0};
+                  op.a = stage.input == StageSpec::Input::kLayerInput
+                             ? TensorRef{l, -1}
+                             : TensorRef{l, static_cast<std::int32_t>(s) - 1};
+                  // Layer inputs are raw features or ReLU'd activations —
+                  // keep the zero-skip; anything else is dense.
+                  op.a_maybe_sparse = op.a.stage < 0;
+                  op.row_begin = m0;
+                  op.row_end = m1;
+                  op.k_begin = static_cast<std::uint32_t>(k0);
+                  op.k_end = static_cast<std::uint32_t>(k1);
+                  op.wrow_begin = static_cast<std::uint32_t>(k0);
+                  op.weight_index = static_cast<std::uint32_t>(stage.weight_index);
+                  op.n_begin = static_cast<std::uint32_t>(n0 + nn0);
+                  op.n_end = static_cast<std::uint32_t>(n0 + nn1);
+                  op.out = TensorRef{l, static_cast<std::int32_t>(s)};
+                  op.a_dma_bytes = op.shape.m * op.shape.k * kBytesPerValue;
+                  if (!weights_loaded) {
+                    op.w_dma_bytes = op.shape.k * op.shape.n * kBytesPerValue;
+                  }
+                  const bool last_k = k1 == K;
+                  const bool last_n = nn1 == n_width;
+                  if (last_k) {
+                    op.apply_act = true;
+                    op.act = stage.activation;
+                    op.out_write_bytes = op.shape.m * op.shape.n * kBytesPerValue;
+                  }
+                  if (last_k && last_n && m1 == row1) {
+                    op.produce_token = ntokens.ivl_tokens[b][r];
+                  }
+                  lw.out.predicted_dram_bytes += op.a_dma_bytes + op.w_dma_bytes +
+                                                 op.psum_read_bytes + op.out_write_bytes;
+                  lw.out.total_macs += op.shape.macs();
+                  op.tag = lw.next_tag++;
+                  lw.out.dense_program.push_back(std::move(op));
+                }
+              }
+            }
+            weights_loaded = true;
+          }
+        }
+        continue;
+      }
+
+      GNNERATOR_CHECK_MSG(consumes_agg,
+                          "standalone dense stages are not part of the Table III networks");
+
+      // ---- Graph-first consumer: out = act(W · [z̄ ‖ h]) (or just W·z̄ for
+      // GCN), accumulated over feature blocks with psums resident when they
+      // fit, deferred per-column otherwise.
+      const AggStagePlan& aplan = lw.out.agg_stages[agg_plan_of_stage.at(s - 1)];
+      const AggStageTokens& atokens = tokens_of_stage.at(s - 1);
+      const shard::ShardGrid& grid = *aplan.grid;
+      const std::uint32_t S = aplan.sizing.grid_dim;
+      const std::uint64_t n_total = stage.out_dim;
+      const std::uint64_t agg_dims = aplan.dims;
+      const std::uint64_t h_dims = stage.concat_layer_input ? stage.in_dim - agg_dims : 0;
+      const TensorRef agg_ref{l, static_cast<std::int32_t>(s) - 1};
+      const TensorRef h_ref{l, -1};
+      const TensorRef out_ref{l, static_cast<std::int32_t>(s)};
+
+      // Weight-slice residency: the relevant W slice is shared by every
+      // column; it stays in the weight buffer unless too large.
+      const auto w_slice_resident = [&](std::uint64_t k_rows, std::uint64_t n_cols) {
+        return k_rows * n_cols * kBytesPerValue <= config_.dense.weight_bank_bytes();
+      };
+
+      // Emits the GEMM series for rows [row0,row1) x A[k0,k1) with the
+      // given residency; returns the index of the last op emitted.
+      auto emit_series = [&](TensorRef a_ref, std::uint32_t row0, std::uint32_t row1,
+                             std::uint32_t k0, std::uint32_t k1, std::uint32_t wrow0,
+                             bool a_from_dram, bool psum_resident_global, bool w_resident,
+                             sim::TokenId wait, bool final_accumulation) {
+        const ChunkPlan chunks =
+            plan_chunks(row1 - row0, k1 - k0, n_total, a_from_dram,
+                        /*psum_per_chunk=*/!psum_resident_global, config_.dense);
+        bool eligible_wait = wait != sim::kNoToken;
+        for (std::uint32_t m0 = row0; m0 < row1;
+             m0 += static_cast<std::uint32_t>(chunks.m_chunk)) {
+          const std::uint32_t m1 =
+              std::min<std::uint32_t>(row1, m0 + static_cast<std::uint32_t>(chunks.m_chunk));
+          for (std::uint64_t nn0 = 0; nn0 < n_total; nn0 += chunks.n_chunk) {
+            const std::uint64_t nn1 = std::min(n_total, nn0 + chunks.n_chunk);
+            for (std::uint64_t kk0 = k0; kk0 < k1; kk0 += chunks.k_chunk) {
+              const std::uint64_t kk1 = std::min<std::uint64_t>(k1, kk0 + chunks.k_chunk);
+              GemmWork op;
+              op.layer = l;
+              op.shape = dense::GemmShape{m1 - m0, kk1 - kk0, nn1 - nn0};
+              op.a = a_ref;
+              // Aggregated inputs (stage >= 0) are dense; the h-part reads
+              // the sparse-ish layer input.
+              op.a_maybe_sparse = a_ref.stage < 0;
+              op.row_begin = m0;
+              op.row_end = m1;
+              op.k_begin = static_cast<std::uint32_t>(kk0);
+              op.k_end = static_cast<std::uint32_t>(kk1);
+              op.wrow_begin = wrow0 + static_cast<std::uint32_t>(kk0 - k0);
+              op.weight_index = static_cast<std::uint32_t>(stage.weight_index);
+              op.n_begin = static_cast<std::uint32_t>(nn0);
+              op.n_end = static_cast<std::uint32_t>(nn1);
+              op.out = out_ref;
+              if (a_from_dram) {
+                op.a_dma_bytes = op.shape.m * op.shape.k * kBytesPerValue;
+              }
+              if (!w_resident) {
+                op.w_dma_bytes = op.shape.k * op.shape.n * kBytesPerValue;
+              }
+              if (!psum_resident_global) {
+                // Per-column psums live in the output bank for the duration
+                // of the column's ops; no DRAM traffic (the deferred
+                // schedule orders all of a column's ops consecutively).
+              }
+              if (eligible_wait) {
+                op.wait_token = wait;
+                eligible_wait = false;
+              }
+              if (final_accumulation && kk1 == k1) {
+                op.apply_act = true;
+                op.act = stage.activation;
+                op.out_write_bytes = op.shape.m * op.shape.n * kBytesPerValue;
+              }
+              lw.out.predicted_dram_bytes += op.a_dma_bytes + op.w_dma_bytes +
+                                             op.psum_read_bytes + op.out_write_bytes;
+              lw.out.total_macs += op.shape.macs();
+              op.tag = lw.next_tag++;
+              lw.out.dense_program.push_back(std::move(op));
+            }
+          }
+        }
+      };
+
+      if (aplan.pipelined_consume) {
+        // h-part first: no graph dependency, overlaps aggregation.
+        if (h_dims > 0) {
+          const bool w_res = w_slice_resident(h_dims, n_total);
+          bool first = true;
+          for (std::uint32_t c = 0; c < S; ++c) {
+            emit_series(h_ref, grid.interval_begin(c), grid.interval_end(c),
+                        /*k0=*/0, static_cast<std::uint32_t>(h_dims),
+                        /*wrow0=*/static_cast<std::uint32_t>(agg_dims),
+                        /*a_from_dram=*/true,
+                        /*psum_resident_global=*/true,
+                        /*w_resident=*/w_res && !first, sim::kNoToken,
+                        /*final_accumulation=*/false);
+            first = false;
+          }
+        }
+        // z̄-part: block-outer, column-inner — mirrors the Graph Engine's
+        // production order; each (b, c) stalls on the column token.
+        for (std::uint32_t b = 0; b < aplan.num_blocks; ++b) {
+          const std::uint32_t k0 = static_cast<std::uint32_t>(b * aplan.block);
+          const std::uint32_t k1 =
+              static_cast<std::uint32_t>(std::min<std::size_t>(agg_dims, k0 + aplan.block));
+          const bool last_block = b + 1 == aplan.num_blocks;
+          const bool w_res = w_slice_resident(k1 - k0, n_total);
+          bool first = true;
+          for (std::uint32_t c = 0; c < S; ++c) {
+            emit_series(agg_ref, grid.interval_begin(c), grid.interval_end(c), k0, k1,
+                        /*wrow0=*/k0,
+                        /*a_from_dram=*/false,  // shared-scratchpad hand-off
+                        /*psum_resident_global=*/true,
+                        /*w_resident=*/w_res && !first, atokens.col_tokens[b][c],
+                        /*final_accumulation=*/last_block);
+            first = false;
+          }
+        }
+      } else {
+        // Deferred: z̄ spilled to DRAM by the Graph Engine; feature
+        // extraction for a column starts only once all of its blocks have
+        // been aggregated (the column's *last* block token). Row chunks are
+        // the outer loop and every K contribution (all z̄ blocks, then h)
+        // for a chunk runs consecutively, so the chunk's psum stays in the
+        // output bank the whole time.
+        const std::uint32_t b_last = static_cast<std::uint32_t>(aplan.num_blocks) - 1;
+        for (std::uint32_t c = 0; c < S; ++c) {
+          const std::uint32_t row0 = grid.interval_begin(c);
+          const std::uint32_t row1 = grid.interval_end(c);
+          // Unified row chunk respecting the tightest constraint among the
+          // K parts (largest per-part k chunk drives the input bank).
+          const std::uint64_t k_probe =
+              std::max<std::uint64_t>(aplan.block,
+                                      h_dims > 0 ? std::min<std::uint64_t>(h_dims, kMaxKChunk)
+                                                 : 1);
+          const ChunkPlan row_chunks = plan_chunks(row1 - row0, k_probe, n_total,
+                                                   /*a_from_dram=*/true,
+                                                   /*psum_per_chunk=*/true, config_.dense);
+          sim::TokenId wait = atokens.col_tokens[b_last][c];
+          for (std::uint32_t m0 = row0; m0 < row1;
+               m0 += static_cast<std::uint32_t>(row_chunks.m_chunk)) {
+            const std::uint32_t m1 = std::min<std::uint32_t>(
+                row1, m0 + static_cast<std::uint32_t>(row_chunks.m_chunk));
+            // z̄ blocks.
+            for (std::uint32_t b = 0; b < aplan.num_blocks; ++b) {
+              const std::uint32_t k0 = static_cast<std::uint32_t>(b * aplan.block);
+              const std::uint32_t k1 =
+                  static_cast<std::uint32_t>(std::min<std::size_t>(agg_dims, k0 + aplan.block));
+              const bool final_acc = h_dims == 0 && b + 1 == aplan.num_blocks;
+              emit_series(agg_ref, m0, m1, k0, k1,
+                          /*wrow0=*/k0,
+                          /*a_from_dram=*/true,  // spilled z̄ read back
+                          /*psum_resident_global=*/false,
+                          /*w_resident=*/w_slice_resident(k1 - k0, n_total) &&
+                              !(c == 0 && m0 == row0),
+                          wait, final_acc);
+              wait = sim::kNoToken;
+            }
+            // h part.
+            if (h_dims > 0) {
+              emit_series(h_ref, m0, m1,
+                          /*k0=*/0, static_cast<std::uint32_t>(h_dims),
+                          /*wrow0=*/static_cast<std::uint32_t>(agg_dims),
+                          /*a_from_dram=*/true,
+                          /*psum_resident_global=*/false,
+                          /*w_resident=*/w_slice_resident(h_dims, n_total) &&
+                              !(c == 0 && m0 == row0),
+                          sim::kNoToken,
+                          /*final_accumulation=*/true);
+            }
+          }
+        }
+      }
+
+      // Layer-completion token rides on the very last dense op of the layer.
+      if (is_last_stage) {
+        GNNERATOR_CHECK(!lw.out.dense_program.empty());
+        GemmWork& last = lw.out.dense_program.back();
+        GNNERATOR_CHECK_MSG(last.produce_token == sim::kNoToken,
+                            "last dense op of layer already carries a token");
+        last.produce_token = this_layer_token;
+      }
+    }
+  }
+
+  return lw.out;
+}
+
+LoweredModel compile_model_legacy(const graph::Graph& dataset_graph,
+                                  const gnn::ModelSpec& model,
+                                  const AcceleratorConfig& config,
+                                  const DataflowOptions& options) {
+  LegacyCompiler legacy(dataset_graph, config, options);
+  return legacy.compile(model);
+}
+
+}  // namespace gnnerator::core::compiler

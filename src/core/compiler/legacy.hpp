@@ -1,0 +1,21 @@
+#pragma once
+
+#include "core/plan.hpp"
+#include "gnn/layers.hpp"
+#include "graph/graph.hpp"
+
+namespace gnnerator::core::compiler {
+
+/// The pre-pass-pipeline monolithic compiler, kept verbatim for the
+/// duration of this refactor as differential ground truth: for any fully
+/// pinned decision set (no autotune), the pass pipeline must produce a
+/// bitwise-identical LoweredModel — token names, programs, tags, traffic —
+/// so cycles, stats and functional outputs are provably unchanged.
+/// tests/compiler_passes_test.cpp holds the comparison; delete this file
+/// together with it once a release has soaked.
+[[nodiscard]] LoweredModel compile_model_legacy(const graph::Graph& dataset_graph,
+                                                const gnn::ModelSpec& model,
+                                                const AcceleratorConfig& config,
+                                                const DataflowOptions& options);
+
+}  // namespace gnnerator::core::compiler

@@ -1,0 +1,45 @@
+#include "core/compiler/pass_manager.hpp"
+
+#include <algorithm>
+
+#include "core/compiler/passes.hpp"
+#include "util/check.hpp"
+
+namespace gnnerator::core::compiler {
+
+void PassManager::add_pass(std::string name, PassFn fn) {
+  GNNERATOR_CHECK_MSG(std::find(names_.begin(), names_.end(), name) == names_.end(),
+                      "duplicate pass name '" << name << "'");
+  names_.push_back(std::move(name));
+  passes_.push_back(std::move(fn));
+}
+
+void PassManager::run(StageGraph& ir) const {
+  for (std::size_t i = 0; i < passes_.size(); ++i) {
+    try {
+      passes_[i](ir);
+      validate_stage_graph(ir);
+    } catch (const util::CheckError& e) {
+      throw util::CheckError("pass '" + names_[i] + "': " + e.what());
+    }
+  }
+}
+
+PassManager standard_pipeline(const DataflowOptions& options, bool analysis_only) {
+  PassManager pm;
+  pm.add_pass("build-stage-graph", build_stage_graph_pass);
+  pm.add_pass("feature-blocking", feature_blocking_pass);
+  if (options.autotune) {
+    pm.add_pass("autotune", autotune_pass);
+  }
+  pm.add_pass("shard-sizing", shard_sizing_pass);
+  pm.add_pass("traversal-selection", traversal_selection_pass);
+  pm.add_pass("residency-handoff", residency_handoff_pass);
+  if (!analysis_only) {
+    pm.add_pass("token-threading", token_threading_pass);
+    pm.add_pass("emit", emit_pass);
+  }
+  return pm;
+}
+
+}  // namespace gnnerator::core::compiler

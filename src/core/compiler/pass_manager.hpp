@@ -1,0 +1,51 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/compiler/ir.hpp"
+
+namespace gnnerator::core::compiler {
+
+/// An ordered pipeline of named passes over the StageGraph IR. After every
+/// pass the IR is re-validated (validate_stage_graph), so an infeasible
+/// configuration fails *inside the pass that made it infeasible*, with the
+/// pass named in the error:
+///
+///   pass 'shard-sizing': GNNERATOR_CHECK failed: (...) — block of 3703
+///   dims does not fit a single node in 512 B
+class PassManager {
+ public:
+  using PassFn = std::function<void(StageGraph&)>;
+
+  /// Appends a pass. Names are for diagnostics and must be unique.
+  void add_pass(std::string name, PassFn fn);
+
+  /// Runs every pass in order, validating the IR after each. Any
+  /// util::CheckError thrown by a pass (or by validation) is rethrown with
+  /// the pass's name prefixed.
+  void run(StageGraph& ir) const;
+
+  [[nodiscard]] const std::vector<std::string>& pass_names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<PassFn> passes_;
+};
+
+/// The standard lowering pipeline (paper §V, Algorithm 1 and Table I,
+/// restructured as passes):
+///
+///   build-stage-graph -> feature-blocking -> [autotune] -> shard-sizing ->
+///   traversal-selection -> residency-handoff -> token-threading -> emit
+///
+/// `analysis_only` stops after residency-handoff: every per-stage decision
+/// is resolved (Compiler::resolve uses this to build plan-cache signatures)
+/// but no tokens or programs exist. The autotune pass is inserted only when
+/// `ir.options.autotune` is set — pipeline shape is decided up front so the
+/// pass list itself is inspectable.
+[[nodiscard]] PassManager standard_pipeline(const DataflowOptions& options,
+                                            bool analysis_only = false);
+
+}  // namespace gnnerator::core::compiler

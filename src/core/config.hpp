@@ -1,11 +1,14 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "dense/dense_engine.hpp"
 #include "gengine/graph_engine.hpp"
 #include "mem/dram.hpp"
+#include "shard/traversal.hpp"
 
 namespace gnnerator::core {
 
@@ -45,5 +48,36 @@ struct AcceleratorConfig {
 
 /// Human-readable summary block.
 [[nodiscard]] std::string format_config(const AcceleratorConfig& config);
+
+/// User-facing dataflow knobs (paper §IV).
+///
+/// These are *defaults and overrides*, not the final word: the compiler's
+/// pass pipeline resolves a concrete (block size, traversal, residency,
+/// hand-off) tuple **per aggregation stage**. An explicit global value pins
+/// every stage; an unset knob is resolved per stage — by the paper defaults,
+/// or by the cost-model search when `autotune` is on. The resolved choices
+/// are recorded in LoweredModel::agg_stages (and form the plan-cache key).
+struct DataflowOptions {
+  /// Enables feature dimension-blocking (Algorithm 1). Disabled == the
+  /// conventional dataflow, i.e. block size = full feature dimension.
+  bool feature_blocking = true;
+  /// Feature block size B; 0 = auto (the Dense Engine array width, the
+  /// paper's default of 64 — or a per-stage tuned value under autotune).
+  std::size_t block_size = 0;
+  /// Force a traversal order; unset = choose per the Table I cost model at
+  /// each stage's resolved grid dimension.
+  std::optional<shard::Traversal> traversal;
+  /// HyGCN-style window sparsity elimination, the extension the paper
+  /// calls orthogonal ("can be added to GNNerator", §VI-A): the Shard
+  /// Feature Fetch Unit gathers only source rows that have edges in the
+  /// shard, instead of streaming the full interval slice, whenever the
+  /// gather is cheaper. Off by default (the paper's GNNerator).
+  bool sparsity_elimination = false;
+  /// Per-stage (block size, traversal) search driven by the analytic stage
+  /// cost model (compiler autotune pass). Explicitly-set knobs above stay
+  /// pinned; the search only fills in the unset ones, and only deviates
+  /// from the paper defaults when the model predicts a clear win.
+  bool autotune = false;
+};
 
 }  // namespace gnnerator::core

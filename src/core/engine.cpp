@@ -44,10 +44,15 @@ std::shared_ptr<const LoweredModel> Engine::plan_for_key(const graph::Dataset& d
                                                          const gnn::ModelSpec& model,
                                                          const SimulationRequest& request,
                                                          std::string_view dataset_key) {
-  const std::string key = plan_cache_key(dataset_key, model, request.config, request.dataflow);
+  // Resolve the per-stage dataflow choices first (cheap analysis passes):
+  // the cache keys on *resolved* choices, so raw-option spellings that
+  // lower identically share one plan.
+  Compiler compiler(dataset.graph, request.config, request.dataflow);
+  const PlanSignature signature = compiler.resolve(model);
+  const std::string key =
+      plan_cache_key(dataset_key, model, request.config, request.dataflow, signature);
   return cache_.get_or_compile(key, [&] {
-    return std::make_shared<const LoweredModel>(
-        compile_model(dataset.graph, model, request.config, request.dataflow));
+    return std::make_shared<const LoweredModel>(compiler.compile(model));
   });
 }
 

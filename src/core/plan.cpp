@@ -1,0 +1,133 @@
+#include "core/plan.hpp"
+
+#include <sstream>
+
+#include "shard/traversal.hpp"
+
+namespace gnnerator::core {
+
+namespace {
+
+/// Token-edge summary for one aggregation stage: how the Controller wires
+/// it to its dense partner.
+std::string token_edges(const LoweredModel& plan, std::size_t agg_index) {
+  const AggStagePlan& stage = plan.agg_stages[agg_index];
+  const std::uint64_t cols =
+      static_cast<std::uint64_t>(stage.num_blocks) * stage.sizing.grid_dim;
+  std::ostringstream os;
+  os << cols << " column token" << (cols == 1 ? "" : "s");
+  // Dense-first stages additionally wait on per-interval producer tokens.
+  std::uint64_t ivls = 0;
+  for (const std::string& name : plan.token_names) {
+    const std::string prefix =
+        "L" + std::to_string(stage.layer) + ".S" + std::to_string(stage.stage_index) + ".";
+    if (name.rfind(prefix, 0) == 0 && name.find(".ivl") != std::string::npos) {
+      ++ivls;
+    }
+  }
+  if (ivls > 0) {
+    os << ", " << ivls << " interval token" << (ivls == 1 ? "" : "s") << " in";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string LoweredModel::describe() const {
+  std::ostringstream os;
+  os << "plan for model '" << model.name << "'";
+  if (agg_graph != nullptr) {
+    os << " on " << agg_graph->num_nodes() << " nodes / " << agg_graph->num_edges()
+       << " edges (self loops added)";
+  }
+  os << "\n";
+  // Provenance note: shared cache entries keep the options of the request
+  // that *compiled* the plan; a different option spelling that resolved to
+  // the same per-stage choices may differ in these raw knobs (the per-stage
+  // lines below are the authoritative decisions).
+  os << "options as compiled: blocking=" << (options.feature_blocking ? "on" : "off")
+     << " block=";
+  // With blocking off the recorded block_size is the unused default — the
+  // actual block is each stage's full dimensionality.
+  if (options.feature_blocking) {
+    os << options.block_size;
+  } else {
+    os << "full";
+  }
+  os << " traversal="
+     << (options.traversal.has_value() ? shard::traversal_name(*options.traversal) : "auto")
+     << " sparsity=" << (options.sparsity_elimination ? "on" : "off")
+     << " autotune=" << (options.autotune ? "on" : "off") << "\n";
+
+  std::size_t agg_index = 0;
+  std::size_t dense_index = 0;
+  for (std::uint32_t l = 0; l < model.layers.size(); ++l) {
+    const std::vector<gnn::StageSpec> stages = gnn::layer_stages(model.layers[l]);
+    for (std::uint32_t s = 0; s < stages.size(); ++s) {
+      const gnn::StageSpec& spec = stages[s];
+      os << "  L" << l << ".S" << s << " ";
+      if (spec.kind == gnn::StageSpec::Kind::kAggregate) {
+        if (agg_index >= agg_stages.size()) {
+          // Plans from producers that predate the per-stage records (the
+          // legacy differential compiler) stay describable.
+          os << "aggregate (no stage plan recorded)\n";
+          continue;
+        }
+        const AggStagePlan& st = agg_stages[agg_index];
+        os << "aggregate " << gnn::aggregate_op_name(st.op) << " dims=" << st.dims
+           << ": block=" << st.block << " x" << st.num_blocks << ", shard n="
+           << st.sizing.nodes_per_shard << " S=" << st.sizing.grid_dim << ", "
+           << shard::traversal_name(st.traversal) << ", edges="
+           << (st.edges_cached ? "cached" : "streamed") << ", hand-off="
+           << (st.pipelined_consume ? "pipelined" : "deferred-spill") << ", "
+           << token_edges(*this, agg_index) << "\n";
+        ++agg_index;
+      } else {
+        if (dense_index >= dense_stages.size()) {
+          os << "dense " << spec.in_dim << "->" << spec.out_dim
+             << ": (no stage plan recorded)\n";
+          continue;
+        }
+        const DenseStagePlan& st = dense_stages[dense_index];
+        os << "dense " << spec.in_dim << "->" << spec.out_dim;
+        if (st.h_dims > 0) {
+          os << " (concat h=" << st.h_dims << ")";
+        }
+        os << ": " << (st.producer_for_agg ? "dense-first producer" : "graph-first consumer")
+           << " of L" << agg_stages[st.agg_stage].layer << ".S"
+           << agg_stages[st.agg_stage].stage_index << ", psums="
+           << (st.psums_resident ? "resident" : "per-chunk") << ", W-slice="
+           << (st.w_resident_block      ? "resident"
+               : st.w_resident_tail_block ? "tail-resident"
+                                          : "streamed");
+        if (st.h_dims > 0) {
+          os << ", W(h)=" << (st.w_resident_h ? "resident" : "streamed");
+        }
+        os << "\n";
+        ++dense_index;
+      }
+    }
+  }
+
+  std::uint64_t col_tokens = 0;
+  std::uint64_t ivl_tokens = 0;
+  std::uint64_t layer_tokens = 0;
+  for (const std::string& name : token_names) {
+    if (name.find(".col") != std::string::npos) {
+      ++col_tokens;
+    } else if (name.find(".ivl") != std::string::npos) {
+      ++ivl_tokens;
+    } else if (name.find(".done") != std::string::npos) {
+      ++layer_tokens;
+    }
+  }
+  os << "tokens: " << token_names.size() << " (" << col_tokens << " column, " << ivl_tokens
+     << " interval, " << layer_tokens << " layer)\n";
+  os << "program: " << dense_program.size() << " dense ops, " << graph_program.size()
+     << " graph tasks\n";
+  os << "predicted: " << predicted_dram_bytes << " DRAM bytes, " << total_macs << " MACs, "
+     << total_edge_visits << " edge visits\n";
+  return os.str();
+}
+
+}  // namespace gnnerator::core

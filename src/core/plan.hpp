@@ -24,24 +24,6 @@ enum class SimMode {
   kFunctional,  ///< cycle counts plus full arithmetic (validated vs reference)
 };
 
-/// User-facing dataflow knobs (paper §IV).
-struct DataflowOptions {
-  /// Enables feature dimension-blocking (Algorithm 1). Disabled == the
-  /// conventional dataflow, i.e. block size = full feature dimension.
-  bool feature_blocking = true;
-  /// Feature block size B; 0 = auto (the Dense Engine array width, the
-  /// paper's default of 64).
-  std::size_t block_size = 0;
-  /// Force a traversal order; unset = choose per the Table I cost model.
-  std::optional<shard::Traversal> traversal;
-  /// HyGCN-style window sparsity elimination, the extension the paper
-  /// calls orthogonal ("can be added to GNNerator", §VI-A): the Shard
-  /// Feature Fetch Unit gathers only source rows that have edges in the
-  /// shard, instead of streaming the full interval slice, whenever the
-  /// gather is cheaper. Off by default (the paper's GNNerator).
-  bool sparsity_elimination = false;
-};
-
 /// Names a tensor held by the runtime: the output of `stage` within
 /// `layer`; stage == -1 is the layer's input (previous layer's output, or
 /// the dataset features for layer 0).
@@ -145,6 +127,31 @@ struct AggStagePlan {
   /// until a column has all blocks (psum footprint too large to keep
   /// resident).
   bool pipelined_consume = true;
+  /// True when the whole augmented edge list fits an edge-buffer bank, so
+  /// block passes after the first re-process edges on-chip (Algorithm 1).
+  bool edges_cached = false;
+};
+
+/// Per-dense-stage lowering decisions (one entry per Dense stage, in
+/// execution order) — plan inspection / describe() material; the emitted
+/// GemmWork ops already encode their consequences.
+struct DenseStagePlan {
+  std::uint32_t layer = 0;
+  std::uint32_t stage_index = 0;
+  /// True for dense-first producers (feed the next aggregation stage);
+  /// false for graph-first consumers.
+  bool producer_for_agg = false;
+  /// Index into LoweredModel::agg_stages of the paired aggregation stage.
+  std::uint32_t agg_stage = 0;
+  /// Concat layer-input width ([z̄ ‖ h]); 0 when not concatenated.
+  std::size_t h_dims = 0;
+  /// Consumer psums stay resident in the output buffer (pipelined hand-off).
+  bool psums_resident = false;
+  /// A full-width K-slice of W shared across columns stays banked; the
+  /// tail block's (possibly narrower) slice is tracked separately.
+  bool w_resident_block = false;
+  bool w_resident_tail_block = false;
+  bool w_resident_h = false;
 };
 
 /// Everything the compiler decided, ready for the runtime to execute.
@@ -160,6 +167,7 @@ struct LoweredModel {
   std::vector<GemmWork> dense_program;  ///< in Dense Engine issue order
   std::vector<AggWork> graph_program;   ///< in Graph Engine issue order
   std::vector<AggStagePlan> agg_stages;
+  std::vector<DenseStagePlan> dense_stages;
 
   /// The dataset graph with self loops added (aggregation runs over
   /// N(u) ∪ u); shard grids reference this.
@@ -174,6 +182,12 @@ struct LoweredModel {
   /// Total dense MACs and graph lane-ops in the program (work invariants).
   std::uint64_t total_macs = 0;
   std::uint64_t total_edge_visits = 0;
+
+  /// Stable human-readable dump of every per-stage decision (block size,
+  /// shard grid, traversal, residency, hand-off, token wiring) plus the
+  /// program summary — the `--dump-plan` / golden-test surface. The format
+  /// is covered by golden-text tests: change it deliberately.
+  [[nodiscard]] std::string describe() const;
 };
 
 }  // namespace gnnerator::core

@@ -3,7 +3,6 @@
 #include <limits>
 #include <sstream>
 
-#include "shard/traversal.hpp"
 #include "util/check.hpp"
 
 namespace gnnerator::core {
@@ -117,7 +116,8 @@ std::string graph_fingerprint(const graph::Graph& graph) {
 }
 
 std::string plan_cache_key(std::string_view dataset_key, const gnn::ModelSpec& model,
-                           const AcceleratorConfig& config, const DataflowOptions& options) {
+                           const AcceleratorConfig& config, const DataflowOptions& options,
+                           const PlanSignature& signature) {
   std::ostringstream os;
   // Round-trip precision for the double-valued fields (clock, bandwidth):
   // configs differing past the default 6 significant digits must not
@@ -135,13 +135,10 @@ std::string plan_cache_key(std::string_view dataset_key, const gnn::ModelSpec& m
      << config.graph.geometry.simd_lanes << ',' << config.graph.feature_scratch_bytes << ','
      << config.graph.edge_buffer_bytes << ',' << config.dram.bytes_per_cycle << ','
      << config.dram.latency_cycles << ',' << config.dram.transaction_bytes;
-  os << '|' << options.feature_blocking << ',' << options.block_size << ',';
-  if (options.traversal.has_value()) {
-    os << shard::traversal_name(*options.traversal);
-  } else {
-    os << "auto";
-  }
-  os << ',' << options.sparsity_elimination;
+  // The raw dataflow knobs are keyed only through what still reaches the
+  // emit pass directly (sparsity elimination); block size, traversal and
+  // autotune are fully absorbed by the resolved per-stage signature.
+  os << '|' << options.sparsity_elimination << '|' << format_signature(signature);
   return os.str();
 }
 

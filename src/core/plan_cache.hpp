@@ -10,6 +10,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "core/compiler.hpp"
 #include "core/plan.hpp"
 #include "gnn/layers.hpp"
 #include "graph/graph.hpp"
@@ -64,13 +65,19 @@ class PlanCache {
   PlanCacheStats stats_;
 };
 
-/// Builds the cache key for one simulation identity. `dataset_key` names the
-/// graph (registered dataset id or structural fingerprint); the rest
-/// serialises every compiler input that shapes the plan.
+/// Builds the cache key for one simulation identity. `dataset_key` names
+/// the graph (registered dataset id or structural fingerprint);
+/// `signature` carries the *resolved* per-stage dataflow choices
+/// (Compiler::resolve) — the emitted plan is a pure function of (graph,
+/// model, config, sparsity flag, per-stage choices), so requests whose raw
+/// options resolve to the same choices (e.g. `block_size = 64` spelled
+/// explicitly vs defaulted, or an autotune run that lands on the defaults)
+/// share one cache entry.
 [[nodiscard]] std::string plan_cache_key(std::string_view dataset_key,
                                          const gnn::ModelSpec& model,
                                          const AcceleratorConfig& config,
-                                         const DataflowOptions& options);
+                                         const DataflowOptions& options,
+                                         const PlanSignature& signature);
 
 /// Structural fingerprint of a graph (FNV-1a over |V|, |E| and the edge
 /// list) — the dataset key for graphs not registered under a name.

@@ -97,9 +97,27 @@ const std::vector<DatasetSpec>& table2_datasets() {
   return kSpecs;
 }
 
+const std::vector<DatasetSpec>& scale_datasets() {
+  // Larger public-benchmark stand-ins beyond Table II, for the regimes the
+  // paper's dataflow actually targets: graphs whose feature working set
+  // cannot sit in the Graph Engine scratch at the default block size, so
+  // shard grids grow past 1x1 and the blocking/traversal choices carry
+  // real cost. Sizes follow the GraphSAINT Flickr split (89,250 nodes,
+  // 899,756 directed edges, 500 features, 7 classes).
+  static const std::vector<DatasetSpec> kSpecs = {
+      {"flickr", 89250, 899756, 500, 7, 86.0},
+  };
+  return kSpecs;
+}
+
 std::optional<DatasetSpec> find_dataset(std::string_view name) {
   const std::string needle = to_lower(name);
   for (const DatasetSpec& spec : table2_datasets()) {
+    if (spec.name == needle) {
+      return spec;
+    }
+  }
+  for (const DatasetSpec& spec : scale_datasets()) {
     if (spec.name == needle) {
       return spec;
     }

@@ -51,7 +51,11 @@ struct Dataset {
 /// The three Table II datasets: "cora", "citeseer", "pubmed".
 const std::vector<DatasetSpec>& table2_datasets();
 
-/// Looks up a Table II dataset by (case-insensitive) name.
+/// Larger-than-Table-II stand-ins ("flickr": GraphSAINT Flickr sizes) for
+/// scenarios where shard grids exceed 1x1 at the default block size.
+const std::vector<DatasetSpec>& scale_datasets();
+
+/// Looks up a dataset (Table II or scale set) by (case-insensitive) name.
 std::optional<DatasetSpec> find_dataset(std::string_view name);
 
 /// Deterministically materialises a dataset from its spec. The same

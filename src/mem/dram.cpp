@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <vector>
 
 #include "util/check.hpp"
@@ -9,10 +10,58 @@
 
 namespace gnnerator::mem {
 
+namespace {
+
+/// Decomposes bytes_per_cycle / transaction_bytes into an irreducible
+/// fraction of transactions per cycle. Every double is a dyadic rational
+/// (mantissa x 2^exponent), so the decomposition is exact — no epsilon, no
+/// drift. Rejects (via CheckError) bandwidths whose exact representation
+/// needs more than 64 bits per side; every physically sensible config is
+/// far below that.
+std::pair<std::uint64_t, std::uint64_t> rational_rate(double bytes_per_cycle,
+                                                      std::uint64_t transaction_bytes) {
+  GNNERATOR_CHECK(bytes_per_cycle > 0.0 && std::isfinite(bytes_per_cycle));
+  int exp2 = 0;
+  const double mant = std::frexp(bytes_per_cycle, &exp2);  // in [0.5, 1)
+  auto num = static_cast<std::uint64_t>(std::ldexp(mant, 53));  // mant * 2^53, integral
+  exp2 -= 53;
+  while (num % 2 == 0) {
+    num /= 2;
+    ++exp2;
+  }
+  std::uint64_t den = transaction_bytes;
+  // Apply the power of two to whichever side keeps integers.
+  while (exp2 > 0) {
+    GNNERATOR_CHECK_MSG(num <= (std::uint64_t{1} << 62), "bytes_per_cycle too large");
+    num *= 2;
+    --exp2;
+  }
+  while (exp2 < 0) {
+    GNNERATOR_CHECK_MSG(den <= (std::uint64_t{1} << 62),
+                        "bytes_per_cycle needs more precision than the credit model carries");
+    den *= 2;
+    ++exp2;
+  }
+  const std::uint64_t g = std::gcd(num, den);
+  return {num / g, den / g};
+}
+
+/// ceil(a / b) for 128-bit intermediates: the n-th transaction over a p/q
+/// rate can put n*q near 2^90 for long runs at fine-grained rates.
+std::uint64_t ceil_div_u128(unsigned __int128 a, std::uint64_t b) {
+  const unsigned __int128 k = (a + b - 1) / b;
+  GNNERATOR_CHECK_MSG(k <= ~std::uint64_t{0}, "grant horizon overflows 64-bit cycles");
+  return static_cast<std::uint64_t>(k);
+}
+
+}  // namespace
+
 DramModel::DramModel(Config config, std::string name)
     : sim::Component(std::move(name)), config_(config), stats_("dram") {
   GNNERATOR_CHECK(config_.bytes_per_cycle > 0.0);
   GNNERATOR_CHECK(config_.transaction_bytes > 0);
+  std::tie(rate_num_, rate_den_) =
+      rational_rate(config_.bytes_per_cycle, config_.transaction_bytes);
 }
 
 DmaId DramModel::submit(MemOp op, std::uint64_t bytes, const std::string& client) {
@@ -50,21 +99,6 @@ void DramModel::collect(DmaId id) {
   transfers_.erase(id);
 }
 
-bool DramModel::grants_in_closed_form() const {
-  const auto txn = static_cast<double>(config_.transaction_bytes);
-  const double per_cycle = config_.bytes_per_cycle / txn;
-  if (per_cycle < 1.0 || per_cycle != std::floor(per_cycle)) {
-    return false;
-  }
-  const double credit = grant_credit_ / txn;
-  return credit == std::floor(credit);
-}
-
-std::uint64_t DramModel::txns_per_cycle() const {
-  return static_cast<std::uint64_t>(config_.bytes_per_cycle /
-                                    static_cast<double>(config_.transaction_bytes));
-}
-
 std::uint64_t DramModel::finish_grant_index(DmaId id) const {
   // Round-robin from the current deque state: round t serves, in deque
   // order, every transfer with at least t transactions left. Transfer i's
@@ -92,6 +126,18 @@ std::uint64_t DramModel::finish_grant_index(DmaId id) const {
   return full_rounds + rank;
 }
 
+std::uint64_t DramModel::cycles_for_grants(std::uint64_t n) const {
+  // Cumulative grantable transactions after k further cycles:
+  // floor((credit_ + k * p) / q). The n-th transaction lands in the
+  // smallest k with credit_ + k*p >= n*q, clamped to at least one cycle
+  // (grants only happen inside ticks).
+  const unsigned __int128 need = static_cast<unsigned __int128>(n) * rate_den_;
+  if (need <= credit_) {
+    return 1;
+  }
+  return std::max<std::uint64_t>(1, ceil_div_u128(need - credit_, rate_num_));
+}
+
 sim::Cycle DramModel::complete_visible_at(DmaId id) const {
   const auto it = transfers_.find(id);
   GNNERATOR_CHECK_MSG(it != transfers_.end(), "predicting unknown DMA id " << id);
@@ -100,19 +146,9 @@ sim::Cycle DramModel::complete_visible_at(DmaId id) const {
     // Visible to a poller ticking at cycle c once c + 1 >= complete_at.
     return t.complete_at == 0 ? 0 : t.complete_at - 1;
   }
-  if (!grants_in_closed_form()) {
-    return sim::kNoEvent;
-  }
-  // last_tick_ = now + 1 after the tick at `now`; with an integral grant
-  // rate and all demand pending, cycle now + k grants transactions
-  // (k-1)*R+1 .. k*R of the global sequence (credit is always an exact
-  // multiple — zero while demand remains).
-  const std::uint64_t credit_txns =
-      static_cast<std::uint64_t>(grant_credit_ / static_cast<double>(config_.transaction_bytes));
-  const std::uint64_t n = finish_grant_index(id);
-  const std::uint64_t r = txns_per_cycle();
-  const std::uint64_t k =
-      std::max<std::uint64_t>(1, util::ceil_div(n > credit_txns ? n - credit_txns : 0, r));
+  // last_tick_ = now + 1 after the tick at `now`; with all demand pending,
+  // the rational credit makes the grant schedule closed-form from here.
+  const std::uint64_t k = cycles_for_grants(finish_grant_index(id));
   const sim::Cycle now = last_tick_ == 0 ? 0 : last_tick_ - 1;
   return now + k + config_.latency_cycles - 1;
 }
@@ -120,15 +156,17 @@ sim::Cycle DramModel::complete_visible_at(DmaId id) const {
 void DramModel::tick(sim::Cycle now) {
   last_tick_ = now + 1;  // completions with complete_at <= now+1 are visible next cycle
   if (active_.empty()) {
-    grant_credit_ = std::min(grant_credit_ + config_.bytes_per_cycle, config_.bytes_per_cycle);
+    // Idle ticks only top the credit up to one cycle's budget: DRAM cannot
+    // burst above its pin bandwidth.
+    credit_ = rate_num_;
     return;
   }
   stats_.add("busy_cycles");
-  grant_credit_ += config_.bytes_per_cycle;
+  credit_ += rate_num_;
 
   // Round-robin grants in transaction units until the cycle budget is spent
   // or nothing is left to serve.
-  while (grant_credit_ >= static_cast<double>(config_.transaction_bytes) && !active_.empty()) {
+  while (credit_ >= rate_den_ && !active_.empty()) {
     const DmaId id = active_.front();
     active_.pop_front();
     auto it = transfers_.find(id);
@@ -137,7 +175,7 @@ void DramModel::tick(sim::Cycle now) {
 
     const std::uint64_t grant = std::min<std::uint64_t>(t.remaining, config_.transaction_bytes);
     t.remaining -= grant;
-    grant_credit_ -= static_cast<double>(grant);
+    credit_ -= rate_den_;
     stats_.add("granted_bytes", grant);
 
     if (t.remaining == 0) {
@@ -147,15 +185,16 @@ void DramModel::tick(sim::Cycle now) {
       active_.push_back(id);
     }
   }
-  // Unused credit does not bank beyond one cycle's worth: DRAM cannot burst
-  // above its pin bandwidth.
-  grant_credit_ = std::min(grant_credit_, config_.bytes_per_cycle);
+  if (active_.empty()) {
+    // Demand exhausted mid-cycle: unused credit does not bank beyond one
+    // cycle's worth.
+    credit_ = std::min(credit_, rate_num_);
+  }
+  // While demand remains the grant loop leaves credit_ < rate_den_ (less
+  // than one transaction) by construction — no cap needed.
 }
 
 sim::Cycle DramModel::next_event(sim::Cycle now) const {
-  if (!active_.empty() && !grants_in_closed_form()) {
-    return now + 1;  // grant schedule not predictable: step exactly
-  }
   sim::Cycle event = sim::kNoEvent;
   for (const auto& [id, t] : transfers_) {
     if (t.last_byte_granted && t.complete_at <= last_tick_) {
@@ -172,15 +211,11 @@ void DramModel::skip(sim::Cycle from, sim::Cycle to) {
   const sim::Cycle cycles = to - from;  // replayed ticks: cycles [from, to)
   if (active_.empty()) {
     // Idle ticks only top the credit up to one cycle's budget.
-    grant_credit_ = config_.bytes_per_cycle;
+    credit_ = rate_num_;
     last_tick_ = to;
     return;
   }
-  GNNERATOR_CHECK(grants_in_closed_form());
   const std::uint64_t txn = config_.transaction_bytes;
-  const std::uint64_t r = txns_per_cycle();
-  const std::uint64_t credit_txns =
-      static_cast<std::uint64_t>(grant_credit_ / static_cast<double>(txn));
   const sim::Cycle now = from - 1;  // state snapshot is "after the tick at now"
 
   // Remaining demand, in transactions, in round-robin order.
@@ -194,12 +229,15 @@ void DramModel::skip(sim::Cycle from, sim::Cycle to) {
     m_max = std::max(m_max, m[i]);
   }
 
-  // Cumulative grants: cycle now+k grants transactions (k-1)*r+1 .. k*r (plus
-  // the banked credit on the first cycle) until demand runs out.
-  const std::uint64_t supply = credit_txns + cycles * r;
+  // Cumulative grantable transactions over the gap (closed form on the
+  // rational credit), saturated by the actual demand.
+  const unsigned __int128 supply_q =
+      credit_ + static_cast<unsigned __int128>(cycles) * rate_num_;
+  const unsigned __int128 supply128 = supply_q / rate_den_;
+  const std::uint64_t supply =
+      supply128 > total ? total : static_cast<std::uint64_t>(supply128);
   const std::uint64_t granted = std::min(supply, total);
-  const std::uint64_t k_fin = std::max<std::uint64_t>(
-      1, util::ceil_div(total > credit_txns ? total - credit_txns : 0, r));
+  const std::uint64_t k_fin = cycles_for_grants(total);
   stats_.add("busy_cycles", std::min<std::uint64_t>(cycles, k_fin));
   stats_.add("granted_bytes", granted * txn);
 
@@ -249,9 +287,7 @@ void DramModel::skip(sim::Cycle from, sim::Cycle to) {
     if (got == m[i]) {
       // Finished granting inside the gap: completion lands latency cycles
       // after its final transaction's cycle.
-      const std::uint64_t n = finish_index(i);
-      const std::uint64_t k = std::max<std::uint64_t>(
-          1, util::ceil_div(n > credit_txns ? n - credit_txns : 0, r));
+      const std::uint64_t k = cycles_for_grants(finish_index(i));
       GNNERATOR_CHECK(k <= cycles);
       t.remaining = 0;
       t.last_byte_granted = true;
@@ -268,16 +304,21 @@ void DramModel::skip(sim::Cycle from, sim::Cycle to) {
   active_.insert(active_.end(), served.begin(), served.end());
 
   if (granted < total) {
-    grant_credit_ = 0.0;  // demand absorbs every whole-transaction credit
+    // Demand outlives the gap: leftover credit is whatever the grant loop
+    // could not spend — strictly less than one transaction.
+    credit_ = static_cast<std::uint64_t>(
+        supply_q - static_cast<unsigned __int128>(granted) * rate_den_);
+    GNNERATOR_CHECK(credit_ < rate_den_);
   } else if (cycles > k_fin) {
-    grant_credit_ = config_.bytes_per_cycle;  // idle top-up after draining
+    credit_ = rate_num_;  // idle top-up after draining
   } else {
-    // Leftover can exceed one cycle's budget when credit was banked during
-    // an idle tick before the submission; the reference tick caps it. (The
-    // next DRAM tick would re-normalize either way — the clamp keeps the
-    // post-skip state itself identical to the reference loop's.)
-    grant_credit_ = std::min(static_cast<double>((credit_txns + k_fin * r - total) * txn),
-                             config_.bytes_per_cycle);
+    // Drained exactly at the end of the gap: leftover can exceed one
+    // cycle's budget when credit was banked during an idle tick before the
+    // submission; the reference tick caps it.
+    const unsigned __int128 drain_q =
+        credit_ + static_cast<unsigned __int128>(k_fin) * rate_num_ -
+        static_cast<unsigned __int128>(total) * rate_den_;
+    credit_ = drain_q > rate_num_ ? rate_num_ : static_cast<std::uint64_t>(drain_q);
   }
   last_tick_ = to;
 }

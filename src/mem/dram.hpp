@@ -35,14 +35,17 @@ inline constexpr DmaId kInvalidDma = std::numeric_limits<DmaId>::max();
 /// bandwidth fairly, which is how the two memory controllers of the paper
 /// contend for the same DRAM channels.
 ///
-/// Event-driven support: when `bytes_per_cycle` is an exact whole number of
-/// transactions (every shipped config), the whole round-robin grant
-/// schedule is computable in closed form — each cycle grants exactly R
-/// transactions, one per round-robin slot, so the cycle at which any
-/// transfer's last transaction lands (and hence its completion cycle) is
-/// known the moment it is queued. `next_event`/`skip` exploit this to jump
-/// over both grant epochs and latency shadows; fractional configurations
-/// fall back to exact cycle stepping.
+/// Event-driven support: the grant credit is carried in exact rational
+/// arithmetic — `bytes_per_cycle / transaction_bytes` is decomposed into an
+/// irreducible fraction p/q of transactions per cycle (any double is a
+/// dyadic rational, so the decomposition is exact), and the credit
+/// accumulator counts q-ths of a transaction. The whole round-robin grant
+/// schedule is then computable in closed form for *any* bandwidth,
+/// fractional or not: cumulative grantable transactions after k cycles are
+/// floor((credit + k*p) / q), so the cycle at which any transfer's last
+/// transaction lands (and hence its completion cycle) is known the moment
+/// it is queued. `next_event`/`skip` exploit this to jump over both grant
+/// epochs and latency shadows with no exact-stepping fallback.
 class DramModel : public sim::Component {
  public:
   struct Config {
@@ -67,10 +70,9 @@ class DramModel : public sim::Component {
   void collect(DmaId id);
 
   /// Predicted cycle at which `is_complete(id)` first turns true for a
-  /// component polling after this model's tick of that cycle. Returns
-  /// sim::kNoEvent when the completion cycle is not yet computable (grants
-  /// outstanding under a fractional transactions-per-cycle config). Values
-  /// at or before the current cycle mean "already visible".
+  /// component polling after this model's tick of that cycle. Always
+  /// computable (rational-credit closed form). Values at or before the
+  /// current cycle mean "already visible".
   [[nodiscard]] sim::Cycle complete_visible_at(DmaId id) const;
 
   void tick(sim::Cycle now) override;
@@ -94,22 +96,29 @@ class DramModel : public sim::Component {
     std::string client;
   };
 
-  /// True when the grant schedule is closed-form (see class comment):
-  /// bytes_per_cycle is a whole number of transactions and the fractional
-  /// credit accumulator holds a whole number of transactions.
-  [[nodiscard]] bool grants_in_closed_form() const;
-  /// Whole transactions granted per cycle (valid under closed form).
-  [[nodiscard]] std::uint64_t txns_per_cycle() const;
   /// 1-based index, in the global round-robin grant sequence starting from
   /// the current deque state, of `id`'s final transaction.
   [[nodiscard]] std::uint64_t finish_grant_index(DmaId id) const;
+  /// Smallest k >= 1 such that k more cycles of credit cover the n-th
+  /// transaction of the global grant sequence (closed form; see class
+  /// comment).
+  [[nodiscard]] std::uint64_t cycles_for_grants(std::uint64_t n) const;
 
   Config config_;
   sim::StatSet stats_;
   DmaId next_id_ = 0;
   std::unordered_map<DmaId, Transfer> transfers_;
   std::deque<DmaId> active_;       // transfers with remaining > 0, RR order
-  double grant_credit_ = 0.0;      // fractional bytes_per_cycle accumulator
+  /// Grant rate as an irreducible fraction: rate_num_ / rate_den_
+  /// transactions per cycle (exact dyadic decomposition of
+  /// bytes_per_cycle / transaction_bytes).
+  std::uint64_t rate_num_ = 1;
+  std::uint64_t rate_den_ = 1;
+  /// Banked credit in rate_den_-ths of a transaction. While demand is
+  /// pending this stays below one transaction (rate_den_); it is topped up
+  /// to exactly one cycle's budget (rate_num_) when the model idles — DRAM
+  /// cannot burst above its pin bandwidth.
+  std::uint64_t credit_ = 0;
   sim::Cycle last_tick_ = 0;
 };
 

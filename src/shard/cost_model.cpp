@@ -7,19 +7,31 @@
 namespace gnnerator::shard {
 
 ShardCost analytic_shard_cost(std::uint32_t grid_dim, double input_residency, Traversal t) {
+  const ShardCostBreakdown b = shard_cost_breakdown(grid_dim, input_residency, t);
+  return ShardCost{b.reads(), b.writes()};
+}
+
+ShardCostBreakdown shard_cost_breakdown(std::uint32_t grid_dim, double input_residency,
+                                        Traversal t) {
   GNNERATOR_CHECK(grid_dim > 0);
   GNNERATOR_CHECK(input_residency >= 0.0);
   const auto S = static_cast<double>(grid_dim);
   const double I = input_residency;
-  ShardCost cost;
+  ShardCostBreakdown cost;
   switch (t) {
     case Traversal::kSourceStationary:
-      cost.reads = S * I + (S - 1.0) * S - S + 1.0;
-      cost.writes = S * S - S + 1.0;
+      // Table I reads S*I + (S-1)*S - S + 1 split as: one source interval
+      // per row (I-scaled) plus (S-1)^2 partial-accumulator reloads; the
+      // S^2 - S + 1 writes are those partials spilled again plus the S
+      // column finals.
+      cost.src_reads = S * I;
+      cost.partial_reloads = (S - 1.0) * (S - 1.0);
+      cost.partial_writes = (S - 1.0) * (S - 1.0);
+      cost.final_writes = S;
       break;
     case Traversal::kDestStationary:
-      cost.reads = (S * S - S + 1.0) * I;
-      cost.writes = S;
+      cost.src_reads = (S * S - S + 1.0) * I;
+      cost.final_writes = S;
       break;
   }
   return cost;

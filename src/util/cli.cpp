@@ -22,4 +22,6 @@ int cli_main(int argc, char** argv, std::string_view usage,
   return 1;
 }
 
+bool dump_plan_requested(const Args& args) { return args.has(std::string(kDumpPlanFlag)); }
+
 }  // namespace gnnerator::util

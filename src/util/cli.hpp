@@ -19,4 +19,14 @@ namespace gnnerator::util {
 int cli_main(int argc, char** argv, std::string_view usage,
              const std::function<int(const Args&)>& body);
 
+/// Conventional plan-inspection flag shared by the example tools: any tool
+/// that compiles a plan should honour `--dump-plan` by printing
+/// core::LoweredModel::describe() and exiting 0 *before* simulating, so
+/// users can inspect what the compiler chose for free. (The constant lives
+/// here rather than in core so every CLI spells the flag identically.)
+inline constexpr std::string_view kDumpPlanFlag = "dump-plan";
+
+/// True when `--dump-plan` was given.
+bool dump_plan_requested(const Args& args);
+
 }  // namespace gnnerator::util

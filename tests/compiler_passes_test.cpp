@@ -1,0 +1,345 @@
+// Differential tests for the pass-based compiler: for every fully pinned
+// decision set (no autotune), the pass pipeline must produce a LoweredModel
+// bitwise identical to the pre-refactor monolithic compiler — token names,
+// program fields, tags, predicted traffic — which proves cycles, stats and
+// functional outputs are unchanged. Plus: pass-named failures, signature
+// resolution, and plan-cache key unification on resolved choices.
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "core/compiler.hpp"
+#include "core/compiler/legacy.hpp"
+#include "core/engine.hpp"
+#include "core/gnnerator.hpp"
+#include "core/plan_cache.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generate.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+#include "util/units.hpp"
+
+namespace gnnerator::core {
+namespace {
+
+graph::Graph test_graph(std::uint64_t seed = 1, graph::NodeId n = 150, std::size_t e = 900) {
+  util::Prng prng(seed);
+  return graph::symmetrized(graph::power_law(n, e, 1.6, prng));
+}
+
+AcceleratorConfig tiny_config() {
+  AcceleratorConfig c = AcceleratorConfig::table4();
+  c.graph.feature_scratch_bytes = 128 * util::kKiB;
+  c.graph.edge_buffer_bytes = 16 * util::kKiB;
+  c.dense.input_buffer_bytes = 128 * util::kKiB;
+  c.dense.weight_buffer_bytes = 128 * util::kKiB;
+  c.dense.output_buffer_bytes = 128 * util::kKiB;
+  c.dense.array.rows = 16;
+  c.dense.array.cols = 16;
+  return c;
+}
+
+void expect_gemm_equal(const GemmWork& a, const GemmWork& b, std::size_t i) {
+  SCOPED_TRACE("dense op " + std::to_string(i));
+  EXPECT_EQ(a.shape.m, b.shape.m);
+  EXPECT_EQ(a.shape.k, b.shape.k);
+  EXPECT_EQ(a.shape.n, b.shape.n);
+  EXPECT_EQ(a.a_dma_bytes, b.a_dma_bytes);
+  EXPECT_EQ(a.w_dma_bytes, b.w_dma_bytes);
+  EXPECT_EQ(a.psum_read_bytes, b.psum_read_bytes);
+  EXPECT_EQ(a.out_write_bytes, b.out_write_bytes);
+  EXPECT_EQ(a.wait_token, b.wait_token);
+  EXPECT_EQ(a.produce_token, b.produce_token);
+  EXPECT_EQ(a.a, b.a);
+  EXPECT_EQ(a.row_begin, b.row_begin);
+  EXPECT_EQ(a.row_end, b.row_end);
+  EXPECT_EQ(a.k_begin, b.k_begin);
+  EXPECT_EQ(a.k_end, b.k_end);
+  EXPECT_EQ(a.wrow_begin, b.wrow_begin);
+  EXPECT_EQ(a.weight_index, b.weight_index);
+  EXPECT_EQ(a.n_begin, b.n_begin);
+  EXPECT_EQ(a.n_end, b.n_end);
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_EQ(a.apply_act, b.apply_act);
+  EXPECT_EQ(a.act, b.act);
+  EXPECT_EQ(a.a_maybe_sparse, b.a_maybe_sparse);
+  EXPECT_EQ(a.layer, b.layer);
+  EXPECT_EQ(a.tag, b.tag);
+}
+
+void expect_agg_equal(const AggWork& a, const AggWork& b, std::size_t i) {
+  SCOPED_TRACE("graph task " + std::to_string(i));
+  EXPECT_EQ(a.edge_dma_bytes, b.edge_dma_bytes);
+  EXPECT_EQ(a.src_dma_bytes, b.src_dma_bytes);
+  EXPECT_EQ(a.dst_load_bytes, b.dst_load_bytes);
+  EXPECT_EQ(a.dst_write_bytes, b.dst_write_bytes);
+  EXPECT_EQ(a.onchip_edge_bytes, b.onchip_edge_bytes);
+  EXPECT_EQ(a.num_edges, b.num_edges);
+  EXPECT_EQ(a.compute_cycles, b.compute_cycles);
+  EXPECT_EQ(a.lane_ops, b.lane_ops);
+  EXPECT_EQ(a.wait_token, b.wait_token);
+  EXPECT_EQ(a.produce_token, b.produce_token);
+  EXPECT_EQ(a.signal_after_writeback, b.signal_after_writeback);
+  EXPECT_EQ(a.agg_stage, b.agg_stage);
+  EXPECT_EQ(a.coord, b.coord);
+  EXPECT_EQ(a.d_begin, b.d_begin);
+  EXPECT_EQ(a.d_end, b.d_end);
+  EXPECT_EQ(a.init_accumulator, b.init_accumulator);
+  EXPECT_EQ(a.tag, b.tag);
+}
+
+/// Field-by-field comparison of everything the runtime executes. The
+/// legacy compiler predates the inspection-only additions (edges_cached on
+/// AggStagePlan, dense_stages), so those are checked against the plan's
+/// behaviour instead of against legacy.
+void expect_plans_identical(const LoweredModel& lhs, const LoweredModel& rhs) {
+  EXPECT_EQ(lhs.token_names, rhs.token_names);
+
+  ASSERT_EQ(lhs.dense_program.size(), rhs.dense_program.size());
+  for (std::size_t i = 0; i < lhs.dense_program.size(); ++i) {
+    expect_gemm_equal(lhs.dense_program[i], rhs.dense_program[i], i);
+  }
+  ASSERT_EQ(lhs.graph_program.size(), rhs.graph_program.size());
+  for (std::size_t i = 0; i < lhs.graph_program.size(); ++i) {
+    expect_agg_equal(lhs.graph_program[i], rhs.graph_program[i], i);
+  }
+
+  ASSERT_EQ(lhs.agg_stages.size(), rhs.agg_stages.size());
+  for (std::size_t i = 0; i < lhs.agg_stages.size(); ++i) {
+    SCOPED_TRACE("agg stage " + std::to_string(i));
+    const AggStagePlan& a = lhs.agg_stages[i];
+    const AggStagePlan& b = rhs.agg_stages[i];
+    EXPECT_EQ(a.layer, b.layer);
+    EXPECT_EQ(a.stage_index, b.stage_index);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.dims, b.dims);
+    EXPECT_EQ(a.block, b.block);
+    EXPECT_EQ(a.num_blocks, b.num_blocks);
+    EXPECT_EQ(a.traversal, b.traversal);
+    EXPECT_EQ(a.sizing.nodes_per_shard, b.sizing.nodes_per_shard);
+    EXPECT_EQ(a.sizing.grid_dim, b.sizing.grid_dim);
+    EXPECT_EQ(a.input, b.input);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.pipelined_consume, b.pipelined_consume);
+    ASSERT_NE(a.grid, nullptr);
+    ASSERT_NE(b.grid, nullptr);
+    EXPECT_EQ(a.grid->dim(), b.grid->dim());
+    EXPECT_EQ(a.grid->total_edges(), b.grid->total_edges());
+  }
+
+  ASSERT_NE(lhs.agg_graph, nullptr);
+  ASSERT_NE(rhs.agg_graph, nullptr);
+  EXPECT_EQ(lhs.agg_graph->num_nodes(), rhs.agg_graph->num_nodes());
+  EXPECT_EQ(lhs.agg_graph->num_edges(), rhs.agg_graph->num_edges());
+  EXPECT_EQ(lhs.base_in_degree, rhs.base_in_degree);
+
+  EXPECT_EQ(lhs.predicted_dram_bytes, rhs.predicted_dram_bytes);
+  EXPECT_EQ(lhs.total_macs, rhs.total_macs);
+  EXPECT_EQ(lhs.total_edge_visits, rhs.total_edge_visits);
+
+  EXPECT_EQ(lhs.options.feature_blocking, rhs.options.feature_blocking);
+  EXPECT_EQ(lhs.options.block_size, rhs.options.block_size);
+  EXPECT_EQ(lhs.options.traversal, rhs.options.traversal);
+  EXPECT_EQ(lhs.options.sparsity_elimination, rhs.options.sparsity_elimination);
+}
+
+gnn::ModelSpec model_for(gnn::LayerKind kind) {
+  switch (kind) {
+    case gnn::LayerKind::kGcn:
+      return gnn::ModelSpec::gcn(48, 12, 5);
+    case gnn::LayerKind::kSageMean:
+      return gnn::ModelSpec::graphsage(48, 12, 5);
+    case gnn::LayerKind::kSagePool:
+      return gnn::ModelSpec::graphsage_pool(48, 12, 5);
+  }
+  return {};
+}
+
+/// Acceptance: default options — and every other fully pinned option set —
+/// lower bitwise identically through the pass pipeline and the legacy
+/// monolith, across all three Table III network families.
+TEST(CompilerPasses, BitwiseIdenticalToLegacyAcrossOptionMatrix) {
+  const auto g = test_graph();
+  std::vector<DataflowOptions> option_sets;
+  option_sets.push_back(DataflowOptions{});  // paper defaults
+  {
+    DataflowOptions o;
+    o.block_size = 16;
+    option_sets.push_back(o);
+  }
+  {
+    DataflowOptions o;
+    o.feature_blocking = false;
+    option_sets.push_back(o);
+  }
+  {
+    DataflowOptions o;
+    o.sparsity_elimination = true;
+    option_sets.push_back(o);
+  }
+  {
+    DataflowOptions o;
+    o.traversal = shard::Traversal::kSourceStationary;
+    option_sets.push_back(o);
+  }
+  {
+    DataflowOptions o;
+    o.traversal = shard::Traversal::kDestStationary;
+    o.block_size = 8;
+    option_sets.push_back(o);
+  }
+
+  for (const auto kind :
+       {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean, gnn::LayerKind::kSagePool}) {
+    const gnn::ModelSpec model = model_for(kind);
+    for (std::size_t oi = 0; oi < option_sets.size(); ++oi) {
+      SCOPED_TRACE(std::string(gnn::layer_kind_name(kind)) + " option set " +
+                   std::to_string(oi));
+      const LoweredModel legacy =
+          compiler::compile_model_legacy(g, model, tiny_config(), option_sets[oi]);
+      const LoweredModel passes = compile_model(g, model, tiny_config(), option_sets[oi]);
+      expect_plans_identical(passes, legacy);
+    }
+  }
+}
+
+/// The bitwise-identical plans also simulate identically (cycles + stats):
+/// the end-to-end form of the same guarantee, on a real dataset.
+TEST(CompilerPasses, LegacyAndPassPlansSimulateIdentically) {
+  const graph::Dataset ds = graph::make_dataset_by_name("cora", 1, /*with_features=*/false);
+  const gnn::ModelSpec model = table3_model(gnn::LayerKind::kSageMean, ds.spec);
+  const AcceleratorConfig config = AcceleratorConfig::table4();
+  const LoweredModel legacy =
+      compiler::compile_model_legacy(ds.graph, model, config, DataflowOptions{});
+  const LoweredModel passes = compile_model(ds.graph, model, config, DataflowOptions{});
+  expect_plans_identical(passes, legacy);
+
+  const ExecutionResult a = Accelerator::run_timing(legacy);
+  const ExecutionResult b = Accelerator::run_timing(passes);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.stats.counters(), b.stats.counters());
+}
+
+/// Infeasible configurations fail with the offending pass named.
+TEST(CompilerPasses, InfeasibleConfigNamesTheFailingPass) {
+  const auto g = test_graph();
+  const auto model = gnn::ModelSpec::gcn(2048, 12, 5);
+  AcceleratorConfig config = tiny_config();
+  config.graph.feature_scratch_bytes = 4 * util::kKiB;  // < one node at B=2048
+  DataflowOptions options;
+  options.feature_blocking = false;
+  try {
+    (void)compile_model(g, model, config, options);
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("pass 'shard-sizing'"), std::string::npos)
+        << e.what();
+  }
+}
+
+/// Compiler::resolve (analysis passes only) reports exactly the per-stage
+/// choices a full compile lowers with.
+TEST(CompilerPasses, ResolveMatchesCompiledDecisions) {
+  const auto g = test_graph();
+  for (const auto kind :
+       {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean, gnn::LayerKind::kSagePool}) {
+    const gnn::ModelSpec model = model_for(kind);
+    Compiler compiler(g, tiny_config(), DataflowOptions{});
+    const PlanSignature signature = compiler.resolve(model);
+    const LoweredModel plan = compiler.compile(model);
+    ASSERT_EQ(signature.size(), plan.agg_stages.size());
+    for (std::size_t i = 0; i < signature.size(); ++i) {
+      SCOPED_TRACE("stage " + std::to_string(i));
+      const StageChoice& c = signature[i];
+      const AggStagePlan& s = plan.agg_stages[i];
+      EXPECT_EQ(c.layer, s.layer);
+      EXPECT_EQ(c.stage_index, s.stage_index);
+      EXPECT_EQ(c.block, s.block);
+      EXPECT_EQ(c.nodes_per_shard, s.sizing.nodes_per_shard);
+      EXPECT_EQ(c.grid_dim, s.sizing.grid_dim);
+      EXPECT_EQ(c.traversal, s.traversal);
+      EXPECT_EQ(c.pipelined_consume, s.pipelined_consume);
+      EXPECT_EQ(c.edges_cached, s.edges_cached);
+    }
+  }
+}
+
+/// Golden-text pin of LoweredModel::describe(): a plan regression (block,
+/// grid, traversal, residency, hand-off, token wiring) must show up as a
+/// readable one-line diff here, not as an opaque cycle delta.
+TEST(CompilerPasses, DescribeMatchesGoldenText) {
+  const auto g = test_graph();
+
+  const LoweredModel gcn =
+      compile_model(g, gnn::ModelSpec::gcn(48, 12, 5), tiny_config(), DataflowOptions{});
+  EXPECT_EQ(gcn.describe(),
+            "plan for model 'gcn' on 150 nodes / 1482 edges (self loops added)\n"
+            "options as compiled: blocking=on block=16 traversal=auto sparsity=off autotune=off\n"
+            "  L0.S0 aggregate gcn-norm dims=48: block=16 x3, shard n=150 S=1, "
+            "dst-stationary, edges=streamed, hand-off=pipelined, 3 column tokens\n"
+            "  L0.S1 dense 48->12: graph-first consumer of L0.S0, psums=resident, "
+            "W-slice=resident\n"
+            "  L1.S0 aggregate gcn-norm dims=12: block=12 x1, shard n=150 S=1, "
+            "dst-stationary, edges=streamed, hand-off=pipelined, 1 column token\n"
+            "  L1.S1 dense 12->5: graph-first consumer of L1.S0, psums=resident, "
+            "W-slice=resident\n"
+            "tokens: 6 (4 column, 0 interval, 2 layer)\n"
+            "program: 4 dense ops, 4 graph tasks\n"
+            "predicted: 96168 DRAM bytes, 95400 MACs, 5928 edge visits\n");
+
+  const LoweredModel pool = compile_model(g, gnn::ModelSpec::graphsage_pool(48, 12, 5),
+                                          tiny_config(), DataflowOptions{});
+  EXPECT_EQ(pool.describe(),
+            "plan for model 'gsage-max' on 150 nodes / 1482 edges (self loops added)\n"
+            "options as compiled: blocking=on block=16 traversal=auto sparsity=off autotune=off\n"
+            "  L0.S0 dense 48->12: dense-first producer of L0.S1, psums=per-chunk, "
+            "W-slice=streamed\n"
+            "  L0.S1 aggregate max dims=12: block=12 x1, shard n=150 S=1, "
+            "dst-stationary, edges=streamed, hand-off=pipelined, 1 column token, "
+            "1 interval token in\n"
+            "  L0.S2 dense 60->12 (concat h=48): graph-first consumer of L0.S1, "
+            "psums=resident, W-slice=resident, W(h)=resident\n"
+            "  L1.S0 dense 12->5: dense-first producer of L1.S1, psums=per-chunk, "
+            "W-slice=streamed\n"
+            "  L1.S1 aggregate max dims=5: block=5 x1, shard n=150 S=1, "
+            "dst-stationary, edges=streamed, hand-off=pipelined, 1 column token, "
+            "1 interval token in\n"
+            "  L1.S2 dense 17->5 (concat h=12): graph-first consumer of L1.S1, "
+            "psums=resident, W-slice=resident, W(h)=resident\n"
+            "tokens: 6 (2 column, 2 interval, 2 layer)\n"
+            "program: 10 dense ops, 2 graph tasks\n"
+            "predicted: 132076 DRAM bytes, 216150 MACs, 2964 edge visits\n");
+}
+
+/// Raw option spellings that resolve to the same per-stage choices share a
+/// plan-cache entry: an explicit block_size equal to the default is the
+/// same plan, not a second compile.
+TEST(CompilerPasses, CacheKeyUnifiesEquivalentOptionSpellings) {
+  const graph::Dataset ds = graph::make_dataset_by_name("cora", 1, /*with_features=*/false);
+  const gnn::ModelSpec model = table3_model(gnn::LayerKind::kGcn, ds.spec);
+  Engine engine(EngineOptions{.num_threads = 1});
+
+  SimulationRequest defaults;
+  (void)engine.run(ds, model, defaults);
+  EXPECT_EQ(engine.cache_stats().misses, 1u);
+
+  SimulationRequest spelled;
+  spelled.dataflow.block_size = 64;  // the paper default, spelled explicitly
+  (void)engine.run(ds, model, spelled);
+  EXPECT_EQ(engine.cache_stats().misses, 1u) << "equivalent options should share the plan";
+  EXPECT_EQ(engine.cache_stats().hits, 1u);
+
+  SimulationRequest different;
+  different.dataflow.block_size = 16;
+  (void)engine.run(ds, model, different);
+  EXPECT_EQ(engine.cache_stats().misses, 2u);
+
+  // Autotune resolving to the default choices (no predicted win on cora)
+  // is the same plan too — `tuned` provenance never splits the key.
+  SimulationRequest autotuned;
+  autotuned.dataflow.autotune = true;
+  (void)engine.run(ds, model, autotuned);
+  EXPECT_EQ(engine.cache_stats().misses, 2u) << "autotune landing on defaults must share";
+}
+
+}  // namespace
+}  // namespace gnnerator::core

@@ -191,10 +191,11 @@ TEST(KernelSkip, DramBankedCreditClampMatchesReference) {
   EXPECT_EQ(fast.visible, slow.visible);
 }
 
-TEST(KernelSkip, DramFractionalBandwidthFallsBackToStepping) {
+TEST(KernelSkip, DramFractionalBandwidthSkipsInClosedForm) {
   // 100 B/cycle over 64 B transactions is not a whole epoch per cycle: the
-  // model must refuse closed-form skipping (next_event = now + 1 while
-  // granting) yet still match the reference bit for bit.
+  // rational-arithmetic credit (25/16 transactions per cycle, exact) keeps
+  // the grant schedule closed-form anyway — skipping must match the exact
+  // per-cycle stepping bit for bit.
   mem::DramModel::Config config;
   config.bytes_per_cycle = 100.0;
   const std::vector<SubmitScript::Wave> waves = {{0, 640}, {0, 64}, {5, 1000}};
@@ -203,6 +204,26 @@ TEST(KernelSkip, DramFractionalBandwidthFallsBackToStepping) {
   EXPECT_EQ(fast.end, slow.end);
   EXPECT_EQ(fast.stats, slow.stats);
   EXPECT_EQ(fast.visible, slow.visible);
+}
+
+TEST(KernelSkip, DramFractionalRatesSkipAndMatchExactStepping) {
+  // The rational-credit fast-forward (ROADMAP item: fractional
+  // transactions-per-cycle rates) across sub-transaction, dyadic-fraction
+  // and awkward-mantissa bandwidths: the event-driven run must (a) match
+  // exact stepping on end cycle, stats and per-transfer completion cycles,
+  // and (b) actually fast-forward, not degrade to per-cycle stepping.
+  const std::vector<SubmitScript::Wave> waves = {
+      {0, 64}, {0, 640}, {3, 4096}, {37, 8192}, {37, 64}, {500, 256}};
+  for (const double bytes_per_cycle : {48.0, 96.0, 100.0, 409.6, 85.3, 27.125}) {
+    SCOPED_TRACE(bytes_per_cycle);
+    mem::DramModel::Config config;
+    config.bytes_per_cycle = bytes_per_cycle;
+    const DramOutcome fast = run_dram(config, waves, /*reference=*/false);
+    const DramOutcome slow = run_dram(config, waves, /*reference=*/true);
+    EXPECT_EQ(fast.end, slow.end);
+    EXPECT_EQ(fast.stats, slow.stats);
+    EXPECT_EQ(fast.visible, slow.visible);
+  }
 }
 
 TEST(KernelSkip, DramPredictionMatchesSteppedCompletion) {

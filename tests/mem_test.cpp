@@ -2,6 +2,8 @@
 // transaction rounding, fairness, and scratchpad capacity accounting.
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "mem/dram.hpp"
 #include "mem/scratchpad.hpp"
 #include "sim/kernel.hpp"
@@ -124,6 +126,53 @@ TEST(Dram, FractionalBandwidthAccumulates) {
   const sim::Cycle cycles = run_until_complete(dram, id);
   EXPECT_GE(cycles, 19u);  // 640 B / 32 B-per-cycle = 20
   EXPECT_LE(cycles, 22u);
+}
+
+TEST(Dram, SubHalfTransactionRatesStillMakeProgress) {
+  // Rates below half a transaction per cycle used to be starved by the
+  // pin-bandwidth cap (credit was clamped to one cycle's budget *while
+  // accumulating*); the rational credit only caps once demand is drained.
+  DramModel::Config c;
+  c.bytes_per_cycle = 16.0;  // a quarter transaction per cycle
+  c.latency_cycles = 0;
+  c.transaction_bytes = 64;
+  DramModel dram(c);
+  const DmaId id = dram.submit(MemOp::kRead, 256, "test");  // 4 transactions
+  const sim::Cycle cycles = run_until_complete(dram, id);
+  EXPECT_GE(cycles, 15u);  // 256 B / 16 B-per-cycle = 16
+  EXPECT_LE(cycles, 18u);
+}
+
+TEST(Dram, FractionalRatePredictionMatchesStepping) {
+  // complete_visible_at's rational closed form must name the exact cycle a
+  // poller first observes completion, for rates that are not whole
+  // transactions per cycle (including non-dyadic decimals like 409.6).
+  for (const double bytes_per_cycle : {48.0, 100.0, 409.6, 16.0}) {
+    SCOPED_TRACE(bytes_per_cycle);
+    DramModel::Config c;
+    c.bytes_per_cycle = bytes_per_cycle;
+    c.latency_cycles = 10;
+    c.transaction_bytes = 64;
+    DramModel dram(c);
+    const DmaId a = dram.submit(MemOp::kRead, 1024, "t");
+    const DmaId b = dram.submit(MemOp::kRead, 64, "t");
+    dram.tick(0);
+    const sim::Cycle predicted_a = dram.complete_visible_at(a);
+    const sim::Cycle predicted_b = dram.complete_visible_at(b);
+    sim::Cycle now = 1;
+    std::map<DmaId, sim::Cycle> first_visible;
+    while (dram.busy()) {
+      dram.tick(now);
+      for (const DmaId id : {a, b}) {
+        if (dram.is_complete(id) && first_visible.find(id) == first_visible.end()) {
+          first_visible[id] = now;
+        }
+      }
+      ++now;
+    }
+    EXPECT_EQ(first_visible.at(a), predicted_a);
+    EXPECT_EQ(first_visible.at(b), predicted_b);
+  }
 }
 
 TEST(Dram, BusyReflectsOutstandingWork) {
