@@ -1,0 +1,116 @@
+// A GNNerator serving deployment in one command: a fleet of simulated
+// devices behind an admission-controlled queue, driven by an open-loop
+// Poisson workload (or a recorded CSV trace) and measured with production
+// metrics — tail latency, throughput, utilization, shed count, plan-cache
+// effectiveness. Everything runs in simulated device time, so two runs with
+// the same seed are bit-identical.
+//
+//   ./gnn_service [--devices N] [--policy fifo|sjf|batch]
+//                 [--arrival-rate RPS] [--requests N] [--trace FILE.csv]
+//                 [--slo-ms MS] [--datasets cora,citeseer,pubmed]
+//                 [--window-ms MS] [--max-batch N] [--queue-cap N]
+//                 [--seed S] [--verbose]
+//
+// Trace CSV columns: arrival_ms,dataset,model,slo_ms  (model: gcn, gsage,
+// gsage-max). Example row: 12.5,cora,gcn,10
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+#include "util/args.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+using namespace gnnerator;
+
+namespace {
+
+constexpr std::string_view kUsage =
+    "[--devices N] [--policy fifo|sjf|batch] [--arrival-rate RPS] [--requests N]\n"
+    "  [--trace FILE.csv] [--slo-ms MS] [--datasets cora,citeseer,pubmed]\n"
+    "  [--window-ms MS] [--max-batch N] [--queue-cap N] [--seed S] [--verbose]";
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+int run(const util::Args& args) {
+  if (args.has("verbose")) {
+    util::set_log_level(util::LogLevel::kDebug);
+  }
+
+  serve::ServerOptions options;
+  options.num_devices =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("devices", 4)));
+  const std::string policy_arg = args.get("policy", "batch");
+  const auto policy = serve::parse_policy(policy_arg);
+  GNNERATOR_CHECK_MSG(policy.has_value(),
+                      "unknown policy '" << policy_arg << "' (fifo, sjf, batch)");
+  options.policy = *policy;
+  options.default_slo_ms = args.get_double("slo-ms", 0.0);
+  options.limits.batch_window =
+      serve::ms_to_cycles(args.get_double("window-ms", 1.0), options.clock_ghz);
+  options.limits.max_batch =
+      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("max-batch", 16)));
+  options.queue_capacity =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, args.get_int("queue-cap", 0)));
+
+  serve::Server server(options);
+  const std::vector<std::string> datasets =
+      split_list(args.get("datasets", "cora,citeseer,pubmed"));
+  std::vector<serve::RequestTemplate> mix;
+  for (const std::string& name : datasets) {
+    const graph::Dataset& ds =
+        server.add_dataset(graph::make_dataset_by_name(name, /*seed=*/1,
+                                                       /*with_features=*/false));
+    for (const gnn::LayerKind kind :
+         {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean, gnn::LayerKind::kSagePool}) {
+      serve::RequestTemplate t;
+      t.sim.dataset = ds.spec.name;
+      t.sim.model = core::table3_model(kind, ds.spec);
+      mix.push_back(std::move(t));
+    }
+  }
+
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  serve::ServeReport report;
+  if (args.has("trace")) {
+    core::SimulationRequest base;  // trace rows carry dataset/model/slo
+    serve::TraceWorkload workload =
+        serve::TraceWorkload::from_file(args.get("trace"), base, options.clock_ghz);
+    std::cout << "replaying trace '" << args.get("trace") << "': " << workload.size()
+              << " requests on " << options.num_devices << " device(s), policy "
+              << serve::policy_name(options.policy) << "\n\n";
+    report = server.serve(workload);
+  } else {
+    const double rate = args.get_double("arrival-rate", 2000.0);
+    const auto requests =
+        static_cast<std::size_t>(std::max<std::int64_t>(0, args.get_int("requests", 2000)));
+    serve::PoissonWorkload workload(mix, rate, requests, options.clock_ghz, seed);
+    std::cout << "open-loop Poisson: " << requests << " requests at " << rate
+              << " req/s over " << datasets.size() << " dataset(s) x 3 models, "
+              << options.num_devices << " device(s), policy "
+              << serve::policy_name(options.policy) << "\n\n";
+    report = server.serve(workload);
+  }
+
+  std::cout << report.format();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return util::cli_main(argc, argv, kUsage, run); }

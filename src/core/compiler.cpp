@@ -3,6 +3,7 @@
 #include <sstream>
 #include <utility>
 
+#include "core/compiler/autotune.hpp"
 #include "core/compiler/ir.hpp"
 #include "core/compiler/pass_manager.hpp"
 #include "shard/traversal.hpp"
@@ -61,6 +62,26 @@ PlanSignature Compiler::resolve(const gnn::ModelSpec& model) {
     signature.push_back(choice);
   }
   return signature;
+}
+
+double Compiler::estimate_cycles(const gnn::ModelSpec& model) {
+  compiler::StageGraph ir =
+      make_ir(dataset_graph_, config_, options_, model, /*analysis_only=*/true);
+  compiler::standard_pipeline(options_, /*analysis_only=*/true).run(ir);
+
+  double total = 0.0;
+  for (std::uint32_t i = 0; i < ir.nodes.size(); ++i) {
+    const compiler::StageNode& node = ir.nodes[i];
+    if (!node.is_aggregate()) {
+      continue;  // dense work is folded into its paired stage's cost
+    }
+    const compiler::StageShape shape = compiler::stage_shape_for(ir, i);
+    const compiler::CandidateCost cost = compiler::evaluate_stage_candidate(
+        ir, shape, node.agg.block, node.agg.traversal);
+    // The pipeline validated these choices, so the candidate is feasible.
+    total += cost.cycles;
+  }
+  return total;
 }
 
 std::string format_signature(const PlanSignature& signature) {

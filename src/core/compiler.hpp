@@ -74,6 +74,15 @@ class Compiler {
   /// choices before paying for a full compile.
   [[nodiscard]] PlanSignature resolve(const gnn::ModelSpec& model);
 
+  /// Analytic end-to-end cycle estimate for the plan `compile` would emit:
+  /// the sum over aggregation stages of the autotune cost model
+  /// (Table I ShardCostBreakdown traffic + SCALE-Sim tile sums + pipeline
+  /// tails) evaluated at each stage's *resolved* choices. Microsecond-cheap
+  /// (analysis passes only, no simulation) — the job-size oracle for
+  /// shortest-job-first serving schedulers. Relative ordering across
+  /// requests is what it is good for; it is not a cycle-accurate predictor.
+  [[nodiscard]] double estimate_cycles(const gnn::ModelSpec& model);
+
  private:
   const graph::Graph& dataset_graph_;
   AcceleratorConfig config_;

@@ -11,13 +11,24 @@
 namespace gnnerator::core {
 
 Engine::Engine(EngineOptions options)
-    : cache_(options.plan_cache_capacity), pool_(options.num_threads) {}
+    : cache_(options.shared_plan_cache
+                 ? std::move(options.shared_plan_cache)
+                 : std::make_shared<PlanCache>(options.plan_cache_capacity)),
+      pool_(options.num_threads) {}
 
 const graph::Dataset& Engine::add_dataset(graph::Dataset dataset) {
-  GNNERATOR_CHECK_MSG(!dataset.spec.name.empty(), "dataset needs a name to be registered");
+  return add_dataset(std::make_shared<const graph::Dataset>(std::move(dataset)));
+}
+
+const graph::Dataset& Engine::add_dataset(std::shared_ptr<const graph::Dataset> dataset,
+                                          std::string fingerprint) {
+  GNNERATOR_CHECK_MSG(dataset != nullptr, "cannot register a null dataset");
+  GNNERATOR_CHECK_MSG(!dataset->spec.name.empty(), "dataset needs a name to be registered");
   Registered entry;
-  entry.fingerprint = graph_fingerprint(dataset.graph);  // hashed once, not per request
-  entry.dataset = std::make_shared<const graph::Dataset>(std::move(dataset));
+  entry.fingerprint = fingerprint.empty()
+                          ? graph_fingerprint(dataset->graph)  // hashed once, not per request
+                          : std::move(fingerprint);
+  entry.dataset = std::move(dataset);
   std::lock_guard<std::mutex> lock(datasets_mutex_);
   const std::string name = entry.dataset->spec.name;
   auto [it, inserted] = datasets_.insert_or_assign(name, std::move(entry));
@@ -51,7 +62,7 @@ std::shared_ptr<const LoweredModel> Engine::plan_for_key(const graph::Dataset& d
   const PlanSignature signature = compiler.resolve(model);
   const std::string key =
       plan_cache_key(dataset_key, model, request.config, request.dataflow, signature);
-  return cache_.get_or_compile(key, [&] {
+  return cache_->get_or_compile(key, [&] {
     return std::make_shared<const LoweredModel>(compiler.compile(model));
   });
 }

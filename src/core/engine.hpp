@@ -20,8 +20,13 @@ struct EngineOptions {
   /// Worker-pool parallelism (functional arithmetic, run_batch requests).
   /// Counts the calling thread; 1 = fully serial, 0 = hardware concurrency.
   std::size_t num_threads = 0;
-  /// LRU capacity of the plan cache; 0 disables caching.
+  /// LRU capacity of the plan cache; 0 disables caching. Ignored when
+  /// `shared_plan_cache` is set.
   std::size_t plan_cache_capacity = 64;
+  /// When non-null, this Engine uses the given cache instead of owning one —
+  /// a fleet of device Engines (serve::Server) shares compiled plans, so a
+  /// model deployed across N devices is compiled once, not N times.
+  std::shared_ptr<PlanCache> shared_plan_cache = nullptr;
 };
 
 /// A reusable GNNerator simulation service: owns a plan cache keyed by
@@ -58,6 +63,12 @@ class Engine {
   /// Registers a dataset under its spec name (the id batch requests use).
   /// Re-registering the same name replaces the dataset.
   const graph::Dataset& add_dataset(graph::Dataset dataset);
+  /// Shared-ownership registration: a fleet of device Engines
+  /// (serve::Server) registers one Dataset instance into every engine
+  /// without copying the graph. `fingerprint`, when non-empty, is the
+  /// memoized structural fingerprint (skips the O(E) hash per engine).
+  const graph::Dataset& add_dataset(std::shared_ptr<const graph::Dataset> dataset,
+                                    std::string fingerprint = {});
   [[nodiscard]] bool has_dataset(std::string_view name) const;
   /// Throws CheckError for an unknown name.
   [[nodiscard]] const graph::Dataset& dataset(std::string_view name) const;
@@ -83,9 +94,11 @@ class Engine {
                                                const gnn::ModelSpec& model,
                                                const SimulationRequest& request);
 
-  [[nodiscard]] PlanCacheStats cache_stats() const { return cache_.stats(); }
-  [[nodiscard]] std::size_t plan_cache_size() const { return cache_.size(); }
+  [[nodiscard]] PlanCacheStats cache_stats() const { return cache_->stats(); }
+  [[nodiscard]] std::size_t plan_cache_size() const { return cache_->size(); }
   [[nodiscard]] std::size_t num_threads() const { return pool_.parallelism(); }
+  /// The plan cache this Engine compiles through (shared or owned).
+  [[nodiscard]] const std::shared_ptr<PlanCache>& plan_cache() const { return cache_; }
 
  private:
   /// A registered dataset plus its memoized structural fingerprint (the
@@ -105,7 +118,7 @@ class Engine {
                                                    const SimulationRequest& request,
                                                    std::string_view dataset_key);
 
-  PlanCache cache_;
+  std::shared_ptr<PlanCache> cache_;
   ThreadPool pool_;
   mutable std::mutex datasets_mutex_;
   std::map<std::string, Registered, std::less<>> datasets_;

@@ -68,8 +68,7 @@ std::string LoweredModel::describe() const {
       os << "  L" << l << ".S" << s << " ";
       if (spec.kind == gnn::StageSpec::Kind::kAggregate) {
         if (agg_index >= agg_stages.size()) {
-          // Plans from producers that predate the per-stage records (the
-          // legacy differential compiler) stay describable.
+          // Hand-built plans without per-stage records stay describable.
           os << "aggregate (no stage plan recorded)\n";
           continue;
         }

@@ -21,15 +21,18 @@ std::shared_ptr<const LoweredModel> PlanCache::get_or_compile(
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (auto it = index_.find(key); it != index_.end()) {
-      ++stats_.hits;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
       return it->second->second;
     }
     if (auto it = inflight_.find(key); it != inflight_.end()) {
-      ++stats_.hits;  // reused, not recompiled — another thread is on it
+      // Reused, not recompiled — another thread is on it. Counted before
+      // blocking on the future, so observers can see the waiter.
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      single_flight_waits_.fetch_add(1, std::memory_order_relaxed);
       join = it->second;
     } else {
-      ++stats_.misses;
+      misses_.fetch_add(1, std::memory_order_relaxed);
       inflight_.emplace(key, promise.get_future().share());
     }
   }
@@ -61,7 +64,7 @@ std::shared_ptr<const LoweredModel> PlanCache::get_or_compile(
       while (lru_.size() > capacity_) {
         index_.erase(lru_.back().first);
         lru_.pop_back();
-        ++stats_.evictions;
+        evictions_.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -70,8 +73,12 @@ std::shared_ptr<const LoweredModel> PlanCache::get_or_compile(
 }
 
 PlanCacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  PlanCacheStats snapshot;
+  snapshot.hits = hits_.load(std::memory_order_relaxed);
+  snapshot.misses = misses_.load(std::memory_order_relaxed);
+  snapshot.evictions = evictions_.load(std::memory_order_relaxed);
+  snapshot.single_flight_waits = single_flight_waits_.load(std::memory_order_relaxed);
+  return snapshot;
 }
 
 std::size_t PlanCache::size() const {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -19,11 +20,14 @@ namespace gnnerator::core {
 
 /// Counters exposed by PlanCache::stats(). `hits` includes lookups that
 /// joined an in-flight compilation of the same key (the plan was still
-/// reused, not recompiled).
+/// reused, not recompiled); those joins are additionally counted in
+/// `single_flight_waits`, so `hits - single_flight_waits` is the number of
+/// lookups served instantly from the resident LRU.
 struct PlanCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t single_flight_waits = 0;
 };
 
 /// Thread-safe LRU cache of compiled plans, keyed by the full simulation
@@ -62,7 +66,12 @@ class PlanCache {
   /// Keys being compiled right now; joiners wait on the shared_future.
   std::unordered_map<std::string, std::shared_future<std::shared_ptr<const LoweredModel>>>
       inflight_;
-  PlanCacheStats stats_;
+  /// Atomic so observers (serve::Metrics polling cache effectiveness
+  /// mid-run) never contend with compiling threads on mutex_.
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> single_flight_waits_{0};
 };
 
 /// Builds the cache key for one simulation identity. `dataset_key` names

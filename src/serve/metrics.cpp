@@ -1,0 +1,102 @@
+#include "serve/metrics.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace gnnerator::serve {
+
+Metrics::Metrics(double clock_ghz) : clock_ghz_(clock_ghz) {
+  GNNERATOR_CHECK_MSG(clock_ghz_ > 0.0, "metrics need a positive clock rate");
+}
+
+void Metrics::add(const Outcome& outcome) {
+  const double slo_ms_applied = outcome.applied_slo_ms;
+  if (outcome.shed) {
+    ++shed_;
+    if (slo_ms_applied > 0.0) {
+      ++with_slo_;  // a shed request is a missed SLO
+    }
+    return;
+  }
+  ++completed_;
+  const double latency = outcome.latency_ms(clock_ghz_);
+  latency_.add(latency);
+  latency_stats_.add(latency);
+  queue_stats_.add(outcome.queue_ms(clock_ghz_));
+  batch_stats_.add(static_cast<double>(outcome.batch_size));
+  if (slo_ms_applied > 0.0) {
+    ++with_slo_;
+    if (latency <= slo_ms_applied) {
+      ++slo_met_;
+    }
+  }
+}
+
+MetricsSummary Metrics::summary(Cycle end_cycle) const {
+  MetricsSummary s;
+  s.completed = completed_;
+  s.shed = shed_;
+  if (completed_ > 0) {
+    s.p50_ms = latency_.quantile(0.50);
+    s.p95_ms = latency_.quantile(0.95);
+    s.p99_ms = latency_.quantile(0.99);
+    s.mean_ms = latency_stats_.mean();
+    s.max_ms = latency_stats_.max();
+    s.mean_queue_ms = queue_stats_.mean();
+    s.mean_batch_size = batch_stats_.mean();
+  }
+  const double seconds = cycles_to_ms(end_cycle, clock_ghz_) / 1e3;
+  s.throughput_rps = seconds > 0.0 ? static_cast<double>(completed_) / seconds : 0.0;
+  s.slo_attainment = with_slo_ > 0
+                         ? static_cast<double>(slo_met_) / static_cast<double>(with_slo_)
+                         : 1.0;
+  return s;
+}
+
+double ServeReport::device_utilization(std::size_t device) const {
+  GNNERATOR_CHECK(device < devices.size());
+  if (end_cycle == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(devices[device].busy_cycles) / static_cast<double>(end_cycle);
+}
+
+double ServeReport::fleet_utilization() const {
+  if (devices.empty() || end_cycle == 0) {
+    return 0.0;
+  }
+  Cycle busy = 0;
+  for (const DeviceStats& d : devices) {
+    busy += d.busy_cycles;
+  }
+  return static_cast<double>(busy) /
+         (static_cast<double>(end_cycle) * static_cast<double>(devices.size()));
+}
+
+std::string ServeReport::format() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  os << "served " << metrics.completed << " requests (" << metrics.shed << " shed) in "
+     << duration_ms() << " ms simulated\n";
+  os << "latency ms: p50=" << metrics.p50_ms << " p95=" << metrics.p95_ms
+     << " p99=" << metrics.p99_ms << " mean=" << metrics.mean_ms
+     << " max=" << metrics.max_ms << " (queue mean=" << metrics.mean_queue_ms << ")\n";
+  os << "throughput: " << std::setprecision(1) << metrics.throughput_rps
+     << " req/s, mean batch " << std::setprecision(2) << metrics.mean_batch_size
+     << ", SLO attainment " << std::setprecision(4) << metrics.slo_attainment << "\n";
+  os << "queue depth: mean " << std::setprecision(2) << mean_queue_depth << ", max "
+     << max_queue_depth << "\n";
+  os << "devices:";
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    os << " [" << d << "] " << std::setprecision(1) << 100.0 * device_utilization(d) << "% ("
+       << devices[d].batches << " batches, " << devices[d].requests << " reqs)";
+  }
+  os << "\nplan cache: " << plan_cache.hits << " hits / " << plan_cache.misses
+     << " misses / " << plan_cache.evictions << " evictions / "
+     << plan_cache.single_flight_waits << " single-flight waits\n";
+  return os.str();
+}
+
+}  // namespace gnnerator::serve

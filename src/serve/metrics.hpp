@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/plan_cache.hpp"
+#include "serve/request.hpp"
+#include "util/stats.hpp"
+
+namespace gnnerator::serve {
+
+/// Aggregate serving statistics over one Server::serve run, all in
+/// milliseconds at the server clock.
+struct MetricsSummary {
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  double mean_queue_ms = 0.0;
+  /// Completed requests per simulated second.
+  double throughput_rps = 0.0;
+  /// Mean dispatched batch size (over completed requests).
+  double mean_batch_size = 0.0;
+  /// Completed requests that beat their SLO, over completed+shed with an
+  /// SLO; 1.0 when no request carried one.
+  double slo_attainment = 1.0;
+};
+
+/// Streaming aggregator for per-request outcomes: latency quantiles
+/// (util::StreamingQuantiles — exact up to a bound, reservoir beyond),
+/// throughput, batch-size and shed accounting. Feed every Outcome once;
+/// summarize at end of run.
+class Metrics {
+ public:
+  explicit Metrics(double clock_ghz);
+
+  void add(const Outcome& outcome);
+
+  [[nodiscard]] MetricsSummary summary(Cycle end_cycle) const;
+
+ private:
+  double clock_ghz_;
+  std::size_t completed_ = 0;
+  std::size_t shed_ = 0;
+  std::size_t with_slo_ = 0;
+  std::size_t slo_met_ = 0;
+  util::StreamingQuantiles latency_;
+  util::RunningStats latency_stats_;
+  util::RunningStats queue_stats_;
+  util::RunningStats batch_stats_;
+};
+
+/// Per-device accounting the server maintains while serving.
+struct DeviceStats {
+  Cycle busy_cycles = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t requests = 0;
+};
+
+/// Everything one Server::serve run produced: per-request records (indexed
+/// by request id), the aggregate summary, device utilization, queue
+/// pressure and plan-cache effectiveness.
+struct ServeReport {
+  std::vector<Outcome> outcomes;
+  MetricsSummary metrics;
+  Cycle end_cycle = 0;
+  double clock_ghz = 1.0;
+  std::vector<DeviceStats> devices;
+  core::PlanCacheStats plan_cache;
+  double mean_queue_depth = 0.0;
+  std::size_t max_queue_depth = 0;
+
+  [[nodiscard]] double duration_ms() const { return cycles_to_ms(end_cycle, clock_ghz); }
+  [[nodiscard]] double device_utilization(std::size_t device) const;
+  [[nodiscard]] double fleet_utilization() const;
+
+  /// Human-readable multi-line block (examples/CLI).
+  [[nodiscard]] std::string format() const;
+};
+
+}  // namespace gnnerator::serve

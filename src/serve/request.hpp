@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/accelerator.hpp"
+#include "core/gnnerator.hpp"
+
+namespace gnnerator::serve {
+
+/// Simulated serving time: cycles of the fleet's device clock. The whole
+/// serving layer runs in virtual time — arrivals, batching windows, SLO
+/// deadlines and completions are all cycle counts, mapped to wall-clock
+/// milliseconds only for reporting (ServerOptions::clock_ghz) — so every
+/// policy comparison is deterministic and bit-reproducible.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "no deadline / no event pending".
+inline constexpr Cycle kNoDeadline = ~static_cast<Cycle>(0);
+
+[[nodiscard]] inline double cycles_to_ms(Cycle cycles, double clock_ghz) {
+  return static_cast<double>(cycles) / (clock_ghz * 1e6);
+}
+
+[[nodiscard]] inline Cycle ms_to_cycles(double ms, double clock_ghz) {
+  return static_cast<Cycle>(ms * clock_ghz * 1e6);
+}
+
+/// One inference request as the workload driver emits it: what to run and
+/// when it arrives. The server assigns the id at admission (dense, in
+/// arrival order) and fills the class key / cost estimate.
+struct Request {
+  std::uint64_t id = 0;
+  Cycle arrival = 0;
+  core::SimulationRequest sim;
+  /// Latency SLO in milliseconds at the server clock; <= 0 inherits the
+  /// server's default (ServerOptions::default_slo_ms; <= 0 there = none).
+  double slo_ms = 0.0;
+};
+
+/// Per-request outcome record, in cycles. `shed` requests carry the cycle
+/// the admission controller dropped them in `completion` and no result.
+struct Outcome {
+  std::uint64_t id = 0;
+  Cycle arrival = 0;
+  Cycle dispatch = 0;
+  Cycle completion = 0;
+  std::uint32_t device = 0;
+  std::uint32_t batch_size = 1;
+  bool shed = false;
+  /// The SLO the admission controller applied (request's own, or the
+  /// server default); 0 = none.
+  double applied_slo_ms = 0.0;
+  /// Device occupancy of the batch this request rode in (0 when shed).
+  Cycle service_cycles = 0;
+  /// Plan-compatibility class (dataset + model + config + dataflow + mode
+  /// + seed) — the unit of batching/coalescing.
+  std::string class_key;
+  /// The execution result, shared across a coalesced batch (identical
+  /// requests compute identical results). Only retained when
+  /// ServerOptions::collect_results is set; null for shed requests.
+  std::shared_ptr<const core::ExecutionResult> result;
+
+  [[nodiscard]] double latency_ms(double clock_ghz) const {
+    return cycles_to_ms(completion - arrival, clock_ghz);
+  }
+  [[nodiscard]] double queue_ms(double clock_ghz) const {
+    return cycles_to_ms(dispatch - arrival, clock_ghz);
+  }
+};
+
+}  // namespace gnnerator::serve

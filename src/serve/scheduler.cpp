@@ -1,0 +1,248 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "core/compiler.hpp"
+#include "util/check.hpp"
+
+namespace gnnerator::serve {
+
+std::string_view policy_name(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kFifo:
+      return "fifo";
+    case SchedulingPolicy::kSjf:
+      return "sjf";
+    case SchedulingPolicy::kDynamicBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+std::optional<SchedulingPolicy> parse_policy(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "fifo") {
+    return SchedulingPolicy::kFifo;
+  }
+  if (lower == "sjf") {
+    return SchedulingPolicy::kSjf;
+  }
+  if (lower == "batch" || lower == "dynamic-batch") {
+    return SchedulingPolicy::kDynamicBatch;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  void enqueue(QueuedRequest queued, Cycle /*now*/) override {
+    queue_.push_back(std::move(queued));
+  }
+
+  std::optional<DispatchBatch> pop(Cycle /*now*/) override {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    DispatchBatch batch;
+    batch.requests.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    return batch;
+  }
+
+  [[nodiscard]] Cycle next_ready(Cycle now) const override {
+    return queue_.empty() ? kNoDeadline : now;
+  }
+
+  [[nodiscard]] std::size_t depth() const override { return queue_.size(); }
+
+ private:
+  std::deque<QueuedRequest> queue_;
+};
+
+class SjfScheduler final : public Scheduler {
+ public:
+  void enqueue(QueuedRequest queued, Cycle /*now*/) override {
+    queue_.push_back(std::move(queued));
+  }
+
+  std::optional<DispatchBatch> pop(Cycle /*now*/) override {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    const auto it = std::min_element(
+        queue_.begin(), queue_.end(), [](const QueuedRequest& a, const QueuedRequest& b) {
+          if (a.cost_estimate != b.cost_estimate) {
+            return a.cost_estimate < b.cost_estimate;
+          }
+          return a.request.id < b.request.id;  // FIFO among equal-cost jobs
+        });
+    DispatchBatch batch;
+    batch.requests.push_back(std::move(*it));
+    queue_.erase(it);
+    return batch;
+  }
+
+  [[nodiscard]] Cycle next_ready(Cycle now) const override {
+    return queue_.empty() ? kNoDeadline : now;
+  }
+
+  [[nodiscard]] std::size_t depth() const override { return queue_.size(); }
+
+ private:
+  std::vector<QueuedRequest> queue_;
+};
+
+class DynamicBatchScheduler final : public Scheduler {
+ public:
+  explicit DynamicBatchScheduler(Limits limits) : limits_(limits) {
+    GNNERATOR_CHECK_MSG(limits_.max_batch > 0, "dynamic batching needs max_batch >= 1");
+  }
+
+  void enqueue(QueuedRequest queued, Cycle now) override {
+    auto [it, inserted] = groups_.try_emplace(queued.class_key);
+    Group& group = it->second;
+    if (inserted) {
+      group.deadline = now + limits_.batch_window;
+      group.opened_by = queued.request.id;
+    }
+    group.members.push_back(std::move(queued));
+    ++depth_;
+  }
+
+  std::optional<DispatchBatch> pop(Cycle now) override {
+    // The ripe group that has waited longest: smallest (deadline, opener).
+    // std::map iteration is key-ordered, so the scan is deterministic.
+    auto best = groups_.end();
+    for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+      if (!ripe(it->second, now)) {
+        continue;
+      }
+      if (best == groups_.end() ||
+          std::pair(it->second.deadline, it->second.opened_by) <
+              std::pair(best->second.deadline, best->second.opened_by)) {
+        best = it;
+      }
+    }
+    if (best == groups_.end()) {
+      return std::nullopt;
+    }
+    DispatchBatch batch;
+    Group& group = best->second;
+    if (group.members.size() <= limits_.max_batch) {
+      batch.requests = std::move(group.members);
+      depth_ -= batch.requests.size();
+      groups_.erase(best);
+      return batch;
+    }
+    // Cap the dispatch at max_batch; the remainder stays as a (still ripe)
+    // group headed by its new oldest member, so the next idle device picks
+    // it up immediately.
+    batch.requests.assign(std::make_move_iterator(group.members.begin()),
+                          std::make_move_iterator(group.members.begin() +
+                                                  static_cast<std::ptrdiff_t>(limits_.max_batch)));
+    group.members.erase(group.members.begin(),
+                        group.members.begin() + static_cast<std::ptrdiff_t>(limits_.max_batch));
+    group.opened_by = group.members.front().request.id;
+    depth_ -= batch.requests.size();
+    return batch;
+  }
+
+  [[nodiscard]] Cycle next_ready(Cycle now) const override {
+    Cycle earliest = kNoDeadline;
+    for (const auto& [key, group] : groups_) {
+      earliest = std::min(earliest, ripe(group, now) ? now : group.deadline);
+    }
+    return earliest;
+  }
+
+  [[nodiscard]] std::size_t depth() const override { return depth_; }
+
+ private:
+  struct Group {
+    std::vector<QueuedRequest> members;
+    Cycle deadline = 0;
+    std::uint64_t opened_by = 0;  ///< id of the request that opened the group
+  };
+
+  [[nodiscard]] bool ripe(const Group& group, Cycle now) const {
+    return group.deadline <= now || group.members.size() >= limits_.max_batch;
+  }
+
+  Limits limits_;
+  /// Keyed by class; std::map so every scan order is deterministic.
+  std::map<std::string, Group> groups_;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulingPolicy policy, Scheduler::Limits limits) {
+  switch (policy) {
+    case SchedulingPolicy::kFifo:
+      return std::make_unique<FifoScheduler>();
+    case SchedulingPolicy::kSjf:
+      return std::make_unique<SjfScheduler>();
+    case SchedulingPolicy::kDynamicBatch:
+      return std::make_unique<DynamicBatchScheduler>(limits);
+  }
+  GNNERATOR_CHECK_MSG(false, "unknown scheduling policy");
+  return nullptr;
+}
+
+std::string request_class_key(std::string_view dataset_key,
+                              const core::SimulationRequest& sim) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << dataset_key << '|' << sim.model.name;
+  for (const gnn::LayerSpec& layer : sim.model.layers) {
+    os << ';' << static_cast<int>(layer.kind) << ',' << layer.in_dim << ',' << layer.out_dim
+       << ',' << static_cast<int>(layer.activation);
+  }
+  const core::AcceleratorConfig& c = sim.config;
+  os << '|' << c.name << ',' << c.clock_ghz << ',' << c.dense.array.rows << 'x'
+     << c.dense.array.cols << ',' << static_cast<int>(c.dense.array.dataflow) << ','
+     << c.dense.input_buffer_bytes << ','
+     << c.dense.weight_buffer_bytes << ',' << c.dense.output_buffer_bytes << ','
+     << c.graph.geometry.num_gpes << ',' << c.graph.geometry.simd_lanes << ','
+     << c.graph.feature_scratch_bytes << ',' << c.graph.edge_buffer_bytes << ','
+     << c.dram.bytes_per_cycle << ',' << c.dram.latency_cycles << ','
+     << c.dram.transaction_bytes;
+  // Raw dataflow spellings are compared, not resolved signatures: this is a
+  // conservative compatibility test (equivalent spellings simply land in
+  // separate batches; the shared plan cache still unifies their plans).
+  const core::DataflowOptions& d = sim.dataflow;
+  os << '|' << d.feature_blocking << ',' << d.block_size << ','
+     << (d.traversal ? static_cast<int>(*d.traversal) : -1) << ','
+     << d.sparsity_elimination << ',' << d.autotune;
+  os << '|' << static_cast<int>(sim.mode);
+  if (sim.mode == core::SimMode::kFunctional) {
+    os << ",w" << sim.weight_seed;  // functional results depend on the seed
+  }
+  return os.str();
+}
+
+std::uint64_t JobCostModel::estimate(const graph::Dataset& dataset,
+                                     const core::SimulationRequest& sim,
+                                     const std::string& class_key) {
+  if (const auto it = memo_.find(class_key); it != memo_.end()) {
+    return it->second;
+  }
+  core::Compiler compiler(dataset.graph, sim.config, sim.dataflow);
+  const double cycles = compiler.estimate_cycles(sim.model);
+  const auto estimate = static_cast<std::uint64_t>(std::llround(std::max(cycles, 1.0)));
+  memo_.emplace(class_key, estimate);
+  return estimate;
+}
+
+}  // namespace gnnerator::serve

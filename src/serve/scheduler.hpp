@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/datasets.hpp"
+#include "serve/request.hpp"
+
+namespace gnnerator::serve {
+
+/// Pluggable queueing disciplines for the serving fleet.
+///
+///   * kFifo          — strict arrival order, one request per dispatch.
+///   * kSjf           — shortest job first: the queued request with the
+///                      smallest analytic cost estimate
+///                      (core::Compiler::estimate_cycles over resolved
+///                      stage choices) dispatches first; ties break to the
+///                      lower id so the order is total and deterministic.
+///   * kDynamicBatch  — requests of the same plan-compatibility class
+///                      coalesce into one device batch; a class's batch
+///                      dispatches when its window expires or it reaches
+///                      max_batch, whichever is first.
+enum class SchedulingPolicy { kFifo, kSjf, kDynamicBatch };
+
+[[nodiscard]] std::string_view policy_name(SchedulingPolicy policy);
+/// Parses "fifo" / "sjf" / "batch" (case-insensitive); nullopt otherwise.
+[[nodiscard]] std::optional<SchedulingPolicy> parse_policy(std::string_view name);
+
+/// A request staged in the scheduler, with the admission-time annotations
+/// policies decide on.
+struct QueuedRequest {
+  Request request;
+  std::string class_key;
+  /// SJF's job-size oracle value (estimated service cycles).
+  std::uint64_t cost_estimate = 0;
+};
+
+/// What one device executes at once: 1 request (FIFO/SJF) or a coalesced
+/// group of plan-compatible requests (dynamic batching).
+struct DispatchBatch {
+  std::vector<QueuedRequest> requests;
+};
+
+/// A scheduling policy's queue. Implementations are single-threaded (the
+/// server's event loop owns them) and fully deterministic.
+class Scheduler {
+ public:
+  struct Limits {
+    /// Dynamic batching: max requests coalesced into one dispatch.
+    std::size_t max_batch = 16;
+    /// Dynamic batching: cycles a freshly opened class batch waits for
+    /// companions before it becomes dispatchable.
+    Cycle batch_window = 1'000'000;
+  };
+
+  virtual ~Scheduler() = default;
+
+  virtual void enqueue(QueuedRequest queued, Cycle now) = 0;
+
+  /// Removes and returns the next dispatchable batch at `now`, or nullopt
+  /// when nothing is ready (empty queue, or every batch still inside its
+  /// window).
+  virtual std::optional<DispatchBatch> pop(Cycle now) = 0;
+
+  /// Earliest cycle at which pop() could return work without any new
+  /// arrival: `now` when work is ready, a batching-window expiry in the
+  /// future, or kNoDeadline when the queue is empty. The server's event
+  /// loop uses this as a wake-up event while devices sit idle.
+  [[nodiscard]] virtual Cycle next_ready(Cycle now) const = 0;
+
+  /// Requests currently queued (not yet dispatched).
+  [[nodiscard]] virtual std::size_t depth() const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(SchedulingPolicy policy,
+                                                        Scheduler::Limits limits);
+
+/// The plan-compatibility class of a request: two requests with the same
+/// key run the same plan on the same graph with the same seed, so they
+/// compute identical results and may be coalesced into one device batch.
+/// `dataset_key` is the registered dataset's structural fingerprint.
+[[nodiscard]] std::string request_class_key(std::string_view dataset_key,
+                                            const core::SimulationRequest& sim);
+
+/// SJF's job-size oracle: analytic service-cycle estimates from the
+/// compiler's autotune cost model (Table I ShardCostBreakdown traffic +
+/// SCALE-Sim tile sums), memoized per class key. Deterministic and
+/// microsecond-cheap per distinct class.
+class JobCostModel {
+ public:
+  std::uint64_t estimate(const graph::Dataset& dataset, const core::SimulationRequest& sim,
+                         const std::string& class_key);
+
+ private:
+  std::unordered_map<std::string, std::uint64_t> memo_;
+};
+
+}  // namespace gnnerator::serve

@@ -1,0 +1,318 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace gnnerator::serve {
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      plan_cache_(std::make_shared<core::PlanCache>(options_.plan_cache_capacity)) {
+  GNNERATOR_CHECK_MSG(options_.num_devices > 0, "server needs at least one device");
+  GNNERATOR_CHECK_MSG(options_.clock_ghz > 0.0, "server needs a positive device clock");
+  devices_.reserve(options_.num_devices);
+  for (std::size_t d = 0; d < options_.num_devices; ++d) {
+    core::EngineOptions engine_options;
+    // Device workers are simulated serially inside the deterministic event
+    // loop; threads would only perturb nothing and cost context switches.
+    engine_options.num_threads = 1;
+    engine_options.shared_plan_cache = plan_cache_;
+    Device device;
+    device.engine = std::make_unique<core::Engine>(engine_options);
+    devices_.push_back(std::move(device));
+  }
+}
+
+const graph::Dataset& Server::add_dataset(graph::Dataset dataset) {
+  RegisteredDataset entry;
+  entry.dataset = std::make_shared<const graph::Dataset>(std::move(dataset));
+  entry.fingerprint = core::graph_fingerprint(entry.dataset->graph);
+  for (Device& device : devices_) {
+    device.engine->add_dataset(entry.dataset, entry.fingerprint);
+  }
+  const std::string name = entry.dataset->spec.name;
+  auto [it, inserted] = datasets_.insert_or_assign(name, std::move(entry));
+  return *it->second.dataset;
+}
+
+bool Server::has_dataset(std::string_view name) const {
+  return datasets_.find(name) != datasets_.end();
+}
+
+const Server::RegisteredDataset& Server::registered(const std::string& name) const {
+  const auto it = datasets_.find(name);
+  GNNERATOR_CHECK_MSG(it != datasets_.end(), "no dataset registered as '" << name << "'");
+  return it->second;
+}
+
+std::string Server::class_key(const core::SimulationRequest& sim) const {
+  return request_class_key(registered(sim.dataset).fingerprint, sim);
+}
+
+std::uint64_t Server::cost_estimate(const core::SimulationRequest& sim) {
+  const RegisteredDataset& dataset = registered(sim.dataset);
+  return cost_model_.estimate(*dataset.dataset, sim,
+                              request_class_key(dataset.fingerprint, sim));
+}
+
+void Server::ensure_class_results(Device& device, const DispatchBatch& batch) {
+  std::vector<const QueuedRequest*> missing;
+  for (const QueuedRequest& q : batch.requests) {
+    if (class_results_.contains(q.class_key)) {
+      continue;
+    }
+    const bool queued = std::any_of(missing.begin(), missing.end(), [&](const QueuedRequest* m) {
+      return m->class_key == q.class_key;
+    });
+    if (!queued) {
+      missing.push_back(&q);
+    }
+  }
+  if (missing.empty()) {
+    return;
+  }
+  // One run_batch per dispatch covers every distinct class the batch needs;
+  // the shared plan cache means at most one compile across the whole fleet.
+  std::vector<core::SimulationRequest> sims;
+  sims.reserve(missing.size());
+  for (const QueuedRequest* q : missing) {
+    sims.push_back(q->request.sim);
+  }
+  std::vector<core::ExecutionResult> results = device.engine->run_batch(sims);
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    if (!options_.collect_results) {
+      // The memo only has to answer "how many cycles does this class
+      // occupy a device for"; without collect_results, dropping the
+      // functional output keeps a long mixed-seed run from pinning one
+      // [V x out_dim] tensor per class forever.
+      results[i].output.reset();
+    }
+    class_results_.emplace(missing[i]->class_key, std::make_shared<const core::ExecutionResult>(
+                                                      std::move(results[i])));
+  }
+}
+
+Cycle Server::batch_service_cycles(const DispatchBatch& batch) const {
+  // One accelerator execution per distinct class (coalesced requests share
+  // it), plus the per-request dispatch/response overhead.
+  Cycle service = 0;
+  std::vector<const std::string*> seen;
+  for (const QueuedRequest& q : batch.requests) {
+    const bool counted = std::any_of(seen.begin(), seen.end(),
+                                     [&](const std::string* k) { return *k == q.class_key; });
+    if (counted) {
+      continue;
+    }
+    seen.push_back(&q.class_key);
+    const auto it = class_results_.find(q.class_key);
+    GNNERATOR_CHECK_MSG(it != class_results_.end(), "class result missing at dispatch");
+    service += it->second->cycles;
+  }
+  service += options_.per_request_overhead * static_cast<Cycle>(batch.requests.size());
+  return service;
+}
+
+ServeReport Server::serve(WorkloadSource& workload) {
+  const std::unique_ptr<Scheduler> scheduler = make_scheduler(options_.policy, options_.limits);
+
+  struct PendingArrival {
+    Cycle at = 0;
+    std::uint64_t seq = 0;  ///< emission order: total tie-break at equal cycles
+    Request request;
+  };
+  const auto later = [](const PendingArrival& a, const PendingArrival& b) {
+    return std::tie(a.at, a.seq) > std::tie(b.at, b.seq);
+  };
+  std::priority_queue<PendingArrival, std::vector<PendingArrival>, decltype(later)> arrivals(
+      later);
+  std::uint64_t seq = 0;
+  for (Request& request : workload.initial_arrivals()) {
+    const Cycle at = request.arrival;
+    arrivals.push(PendingArrival{at, seq++, std::move(request)});
+  }
+
+  std::vector<Outcome> records;
+  util::RunningStats depth_stats;
+  std::size_t max_depth = 0;
+  Cycle now = 0;
+
+  const auto applied_slo = [&](const Request& request) {
+    return request.slo_ms > 0.0 ? request.slo_ms : options_.default_slo_ms;
+  };
+  const auto feed_back = [&](const Outcome& outcome) {
+    for (Request& request : workload.on_outcome(outcome)) {
+      const Cycle at = std::max(request.arrival, now);
+      arrivals.push(PendingArrival{at, seq++, std::move(request)});
+    }
+  };
+  const auto admit = [&](Request request) {
+    GNNERATOR_CHECK_MSG(!request.sim.dataset.empty(), "serve request needs a dataset id");
+    GNNERATOR_CHECK_MSG(!request.sim.model.layers.empty(), "serve request needs a model");
+    const RegisteredDataset& dataset = registered(request.sim.dataset);
+
+    request.id = static_cast<std::uint64_t>(records.size());
+    QueuedRequest queued;
+    queued.class_key = request_class_key(dataset.fingerprint, request.sim);
+    queued.cost_estimate =
+        cost_model_.estimate(*dataset.dataset, request.sim, queued.class_key);
+
+    Outcome record;
+    record.id = request.id;
+    record.arrival = request.arrival;
+    record.class_key = queued.class_key;
+    record.applied_slo_ms = applied_slo(request);
+    records.push_back(record);
+
+    if (options_.queue_capacity > 0 && scheduler->depth() >= options_.queue_capacity) {
+      Outcome& shed = records.back();
+      shed.shed = true;
+      shed.dispatch = now;
+      shed.completion = now;
+      feed_back(shed);
+      return;
+    }
+    queued.request = std::move(request);
+    scheduler->enqueue(std::move(queued), now);
+  };
+
+  while (true) {
+    // ---- Next event: earliest of (batch completion, arrival, scheduler
+    // window expiry — only meaningful while a device is idle). -----------
+    Cycle next = kNoDeadline;
+    bool any_idle = false;
+    for (const Device& device : devices_) {
+      if (device.inflight.empty()) {
+        any_idle = true;
+      } else {
+        next = std::min(next, device.busy_until);
+      }
+    }
+    if (!arrivals.empty()) {
+      next = std::min(next, arrivals.top().at);
+    }
+    if (any_idle) {
+      next = std::min(next, scheduler->next_ready(now));
+    }
+    if (next == kNoDeadline) {
+      break;
+    }
+    GNNERATOR_CHECK_MSG(next >= now, "serve event loop time went backwards");
+    now = next;
+
+    // ---- Completions (device-index order). ------------------------------
+    for (Device& device : devices_) {
+      if (device.inflight.empty() || device.busy_until != now) {
+        continue;
+      }
+      for (Outcome& outcome : device.inflight) {
+        outcome.completion = now;
+        records[outcome.id] = outcome;
+        feed_back(records[outcome.id]);
+      }
+      device.inflight.clear();
+    }
+
+    // ---- Arrivals at `now` (emission order). -----------------------------
+    while (!arrivals.empty() && arrivals.top().at == now) {
+      // priority_queue::top is const; the element is discarded by pop.
+      Request request = std::move(const_cast<PendingArrival&>(arrivals.top()).request);
+      request.arrival = arrivals.top().at;
+      arrivals.pop();
+      admit(std::move(request));
+    }
+
+    // ---- Dispatch to idle devices (device-index order). ------------------
+    for (std::uint32_t di = 0; di < devices_.size(); ++di) {
+      Device& device = devices_[di];
+      while (device.inflight.empty()) {
+        std::optional<DispatchBatch> popped = scheduler->pop(now);
+        if (!popped) {
+          break;
+        }
+        DispatchBatch batch = std::move(*popped);
+
+        // SLO admission control: a request whose batch would complete past
+        // its deadline is shed *before* occupying the device. Shedding
+        // shrinks the batch (and possibly its class set), which can rescue
+        // the rest — iterate to the fixpoint.
+        while (!batch.requests.empty()) {
+          ensure_class_results(device, batch);
+          const Cycle service = batch_service_cycles(batch);
+          const std::size_t before = batch.requests.size();
+          std::erase_if(batch.requests, [&](const QueuedRequest& queued) {
+            const double slo_ms = applied_slo(queued.request);
+            if (slo_ms <= 0.0) {
+              return false;
+            }
+            const Cycle deadline =
+                queued.request.arrival + ms_to_cycles(slo_ms, options_.clock_ghz);
+            if (now + service <= deadline) {
+              return false;
+            }
+            Outcome& record = records[queued.request.id];
+            record.shed = true;
+            record.dispatch = now;
+            record.completion = now;
+            feed_back(record);
+            return true;
+          });
+          if (batch.requests.size() == before) {
+            break;
+          }
+        }
+        if (batch.requests.empty()) {
+          continue;  // fully shed: try the next batch for this device
+        }
+
+        const Cycle service = batch_service_cycles(batch);
+        for (const QueuedRequest& queued : batch.requests) {
+          Outcome outcome = records[queued.request.id];
+          outcome.dispatch = now;
+          outcome.device = di;
+          outcome.batch_size = static_cast<std::uint32_t>(batch.requests.size());
+          outcome.service_cycles = service;
+          if (options_.collect_results) {
+            outcome.result = class_results_.at(queued.class_key);
+          }
+          device.inflight.push_back(std::move(outcome));
+        }
+        device.busy_until = now + service;
+        device.stats.busy_cycles += service;
+        device.stats.batches += 1;
+        device.stats.requests += static_cast<std::uint64_t>(batch.requests.size());
+        break;  // device occupied; move to the next device
+      }
+    }
+
+    depth_stats.add(static_cast<double>(scheduler->depth()));
+    max_depth = std::max(max_depth, scheduler->depth());
+  }
+  GNNERATOR_CHECK_MSG(scheduler->depth() == 0, "serve loop ended with queued work");
+
+  // ---- Report -------------------------------------------------------------
+  ServeReport report;
+  report.end_cycle = now;
+  report.clock_ghz = options_.clock_ghz;
+  Metrics metrics(options_.clock_ghz);
+  for (const Outcome& outcome : records) {
+    metrics.add(outcome);
+  }
+  report.metrics = metrics.summary(now);
+  report.outcomes = std::move(records);
+  report.devices.reserve(devices_.size());
+  for (Device& device : devices_) {
+    report.devices.push_back(device.stats);
+    device.stats = DeviceStats{};  // reset for the next serve() run
+    device.busy_until = 0;
+  }
+  report.plan_cache = plan_cache_->stats();
+  report.mean_queue_depth = depth_stats.count() > 0 ? depth_stats.mean() : 0.0;
+  report.max_queue_depth = max_depth;
+  return report;
+}
+
+}  // namespace gnnerator::serve

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "serve/metrics.hpp"
+#include "serve/request.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
+
+namespace gnnerator::serve {
+
+struct ServerOptions {
+  /// Size of the simulated device fleet.
+  std::size_t num_devices = 2;
+  SchedulingPolicy policy = SchedulingPolicy::kFifo;
+  /// Dynamic-batching window and size cap (kDynamicBatch only).
+  Scheduler::Limits limits;
+  /// Admission bound on queued (not yet dispatched) requests; an arrival
+  /// finding the queue full is shed on the spot. 0 = unbounded.
+  std::size_t queue_capacity = 0;
+  /// SLO applied to requests that do not carry their own; <= 0 = none.
+  /// A request whose earliest possible completion already misses its SLO
+  /// is shed at dispatch instead of wasting device time.
+  double default_slo_ms = 0.0;
+  /// Device clock: maps simulated cycles to reported milliseconds and SLO
+  /// deadlines to cycles.
+  double clock_ghz = 1.0;
+  /// Per-request dispatch/response overhead a device pays for every
+  /// request in a batch (RPC + host round trip), in device cycles.
+  Cycle per_request_overhead = 10'000;
+  /// Capacity of the fleet-wide shared plan cache.
+  std::size_t plan_cache_capacity = 64;
+  /// Retain each request's ExecutionResult in its Outcome (tests /
+  /// functional clients). Off by default: a long load run would hold every
+  /// output tensor alive.
+  bool collect_results = false;
+};
+
+/// A simulated multi-device GNNerator serving deployment.
+///
+/// The Server owns a fleet of device workers — each a core::Engine sharing
+/// one fleet-wide PlanCache, so a model deployed across N devices compiles
+/// once — an admission-controlled request queue, and a pluggable scheduling
+/// policy (FIFO / SJF / dynamic batching, serve/scheduler.hpp).
+///
+/// serve() runs a deterministic discrete-event simulation in virtual device
+/// time: the workload source emits timed arrivals, the policy picks what an
+/// idle device runs next, and a dispatched batch occupies its device for
+/// the accelerator's own simulated cycle count (one execution per distinct
+/// plan-compatibility class in the batch — coalesced requests share it —
+/// plus a per-request dispatch overhead). Event order is total: ties break
+/// by (completions before arrivals before dispatch), device index, then
+/// admission id, so two runs over the same (workload, seed, options) are
+/// bit-identical — policies can be compared on p99s without noise.
+///
+/// The per-class execution result is memoized (identical requests provably
+/// compute identical results), so driving tens of thousands of requests
+/// through the fleet costs one accelerator simulation per distinct class —
+/// this is what PR 2's time-skipping kernel and PR 1/3's plan cache bought.
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+
+  /// Registers a dataset with every device engine (shared, not copied) and
+  /// with the server's admission controller. Same contract as
+  /// Engine::add_dataset.
+  const graph::Dataset& add_dataset(graph::Dataset dataset);
+
+  /// Runs the serving simulation until the workload is drained and every
+  /// device is idle. May be called repeatedly; the plan cache and result
+  /// memo stay warm across calls (ids and virtual time restart at 0).
+  ServeReport serve(WorkloadSource& workload);
+
+  [[nodiscard]] core::PlanCacheStats cache_stats() const { return plan_cache_->stats(); }
+  /// The plan-compatibility class a request would be admitted under
+  /// (clients/tests correlate outcomes back to their mix entries). The
+  /// request's dataset must be registered.
+  [[nodiscard]] std::string class_key(const core::SimulationRequest& sim) const;
+  /// The SJF job-size oracle's estimate for a request (cycles), as the
+  /// admission controller would compute it.
+  [[nodiscard]] std::uint64_t cost_estimate(const core::SimulationRequest& sim);
+  [[nodiscard]] std::size_t num_devices() const { return devices_.size(); }
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+  [[nodiscard]] bool has_dataset(std::string_view name) const;
+
+ private:
+  struct RegisteredDataset {
+    std::shared_ptr<const graph::Dataset> dataset;
+    std::string fingerprint;
+  };
+
+  struct Device {
+    std::unique_ptr<core::Engine> engine;
+    Cycle busy_until = 0;
+    /// Outcomes of the batch in flight (empty when idle); completion is
+    /// stamped when the batch finishes.
+    std::vector<Outcome> inflight;
+    DeviceStats stats;
+  };
+
+  [[nodiscard]] const RegisteredDataset& registered(const std::string& name) const;
+  /// The memoized canonical execution of one class; runs the missing
+  /// classes of `batch` through `device`'s engine (one run_batch call).
+  void ensure_class_results(Device& device, const DispatchBatch& batch);
+  [[nodiscard]] Cycle batch_service_cycles(const DispatchBatch& batch) const;
+
+  ServerOptions options_;
+  std::shared_ptr<core::PlanCache> plan_cache_;
+  std::vector<Device> devices_;
+  std::map<std::string, RegisteredDataset, std::less<>> datasets_;
+  JobCostModel cost_model_;
+  /// class key -> canonical execution result (cycles + output), computed
+  /// once per class for the whole fleet.
+  std::unordered_map<std::string, std::shared_ptr<const core::ExecutionResult>> class_results_;
+};
+
+}  // namespace gnnerator::serve

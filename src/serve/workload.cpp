@@ -1,0 +1,171 @@
+#include "serve/workload.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace gnnerator::serve {
+
+namespace {
+
+std::vector<double> mix_weights(const std::vector<RequestTemplate>& mix) {
+  GNNERATOR_CHECK_MSG(!mix.empty(), "workload needs a non-empty request mix");
+  std::vector<double> weights;
+  weights.reserve(mix.size());
+  for (const RequestTemplate& t : mix) {
+    GNNERATOR_CHECK_MSG(t.weight >= 0.0, "negative mix weight");
+    weights.push_back(t.weight);
+  }
+  return weights;
+}
+
+Request instantiate(const RequestTemplate& t, Cycle arrival) {
+  Request request;
+  request.arrival = arrival;
+  request.sim = t.sim;
+  request.slo_ms = t.slo_ms;
+  return request;
+}
+
+/// Exponential draw of mean `mean_cycles`, in whole cycles.
+Cycle exponential_cycles(util::Prng& prng, double mean_cycles) {
+  if (mean_cycles <= 0.0) {
+    return 0;
+  }
+  const double u = prng.uniform();  // [0, 1)
+  const double gap = -std::log1p(-u) * mean_cycles;
+  return static_cast<Cycle>(std::llround(gap));
+}
+
+}  // namespace
+
+std::vector<Request> WorkloadSource::on_outcome(const Outcome& /*outcome*/) { return {}; }
+
+PoissonWorkload::PoissonWorkload(std::vector<RequestTemplate> mix, double rate_rps,
+                                 std::size_t num_requests, double clock_ghz,
+                                 std::uint64_t seed)
+    : mix_(std::move(mix)),
+      rate_rps_(rate_rps),
+      num_requests_(num_requests),
+      clock_ghz_(clock_ghz),
+      prng_(seed) {
+  GNNERATOR_CHECK_MSG(rate_rps_ > 0.0, "Poisson arrival rate must be positive");
+}
+
+std::vector<Request> PoissonWorkload::initial_arrivals() {
+  const std::vector<double> weights = mix_weights(mix_);
+  const double mean_gap_cycles = clock_ghz_ * 1e9 / rate_rps_;
+  std::vector<Request> arrivals;
+  arrivals.reserve(num_requests_);
+  Cycle now = 0;
+  for (std::size_t i = 0; i < num_requests_; ++i) {
+    now += exponential_cycles(prng_, mean_gap_cycles);
+    arrivals.push_back(instantiate(mix_[prng_.weighted_index(weights)], now));
+  }
+  return arrivals;
+}
+
+ClosedLoopWorkload::ClosedLoopWorkload(std::vector<RequestTemplate> mix,
+                                       std::size_t num_clients, std::size_t total_requests,
+                                       double think_ms, double clock_ghz, std::uint64_t seed)
+    : mix_(std::move(mix)),
+      weights_(mix_weights(mix_)),
+      num_clients_(num_clients),
+      total_requests_(total_requests),
+      think_ms_(think_ms),
+      clock_ghz_(clock_ghz),
+      prng_(seed) {
+  GNNERATOR_CHECK_MSG(num_clients_ > 0, "closed loop needs at least one client");
+}
+
+Request ClosedLoopWorkload::next_request(Cycle issue_at) {
+  ++issued_;
+  return instantiate(mix_[prng_.weighted_index(weights_)], issue_at);
+}
+
+std::vector<Request> ClosedLoopWorkload::initial_arrivals() {
+  std::vector<Request> arrivals;
+  const std::size_t first_wave = std::min(num_clients_, total_requests_);
+  arrivals.reserve(first_wave);
+  for (std::size_t c = 0; c < first_wave; ++c) {
+    arrivals.push_back(next_request(/*issue_at=*/0));
+  }
+  return arrivals;
+}
+
+std::vector<Request> ClosedLoopWorkload::on_outcome(const Outcome& outcome) {
+  if (issued_ >= total_requests_) {
+    return {};  // this client retires
+  }
+  const Cycle think = exponential_cycles(prng_, think_ms_ * clock_ghz_ * 1e6);
+  return {next_request(outcome.completion + think)};
+}
+
+TraceWorkload TraceWorkload::from_rows(const std::vector<std::vector<std::string>>& rows,
+                                       const core::SimulationRequest& base,
+                                       double clock_ghz) {
+  GNNERATOR_CHECK_MSG(!rows.empty(), "empty workload trace");
+  const std::vector<std::string>& header = rows.front();
+  GNNERATOR_CHECK_MSG(header.size() >= 4 && header[0] == "arrival_ms" &&
+                          header[1] == "dataset" && header[2] == "model" &&
+                          header[3] == "slo_ms",
+                      "trace header must be arrival_ms,dataset,model,slo_ms");
+
+  TraceWorkload workload;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const std::vector<std::string>& row = rows[r];
+    if (row.size() == 1 && row[0].empty()) {
+      continue;  // blank line
+    }
+    GNNERATOR_CHECK_MSG(row.size() >= 4, "trace row " << r << " has " << row.size()
+                                                      << " cells, expected 4");
+    Request request;
+    request.sim = base;
+    double arrival_ms = 0.0;
+    try {
+      arrival_ms = std::stod(row[0]);
+      request.slo_ms = std::stod(row[3]);
+    } catch (const std::exception&) {
+      GNNERATOR_CHECK_MSG(false, "trace row " << r << ": malformed number");
+    }
+    GNNERATOR_CHECK_MSG(arrival_ms >= 0.0,
+                        "trace row " << r << ": negative arrival_ms " << arrival_ms);
+    GNNERATOR_CHECK_MSG(request.slo_ms >= 0.0,
+                        "trace row " << r << ": negative slo_ms " << request.slo_ms);
+    request.arrival = ms_to_cycles(arrival_ms, clock_ghz);
+    const std::optional<graph::DatasetSpec> spec = graph::find_dataset(row[1]);
+    GNNERATOR_CHECK_MSG(spec.has_value(), "trace row " << r << ": unknown dataset '"
+                                                       << row[1] << "'");
+    request.sim.dataset = spec->name;
+    std::optional<gnn::LayerKind> kind;
+    for (const gnn::LayerKind k :
+         {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean, gnn::LayerKind::kSagePool}) {
+      if (row[2] == gnn::layer_kind_name(k)) {
+        kind = k;
+      }
+    }
+    GNNERATOR_CHECK_MSG(kind.has_value(), "trace row " << r << ": unknown model '" << row[2]
+                                                       << "' (gcn, gsage, gsage-max)");
+    request.sim.model = core::table3_model(*kind, *spec);
+    workload.arrivals_.push_back(std::move(request));
+  }
+  return workload;
+}
+
+TraceWorkload TraceWorkload::from_csv(const std::string& csv_text,
+                                      const core::SimulationRequest& base,
+                                      double clock_ghz) {
+  return from_rows(util::parse_csv(csv_text), base, clock_ghz);
+}
+
+TraceWorkload TraceWorkload::from_file(const std::string& path,
+                                       const core::SimulationRequest& base,
+                                       double clock_ghz) {
+  return from_rows(util::read_csv_file(path), base, clock_ghz);
+}
+
+std::vector<Request> TraceWorkload::initial_arrivals() { return arrivals_; }
+
+}  // namespace gnnerator::serve

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "util/prng.hpp"
+
+namespace gnnerator::serve {
+
+/// One entry of a workload mix: what a request class looks like and how
+/// often it occurs (weights are relative, need not sum to 1).
+struct RequestTemplate {
+  core::SimulationRequest sim;
+  double slo_ms = 0.0;
+  double weight = 1.0;
+};
+
+/// A source of timed arrivals for Server::serve. The server pulls the
+/// up-front arrivals once, then feeds every per-request outcome back —
+/// closed-loop generators use the feedback to re-arm their clients,
+/// open-loop generators ignore it. All randomness comes from util::Prng, so
+/// a (source, seed) pair always produces the identical arrival sequence.
+class WorkloadSource {
+ public:
+  virtual ~WorkloadSource() = default;
+
+  /// Arrivals known before serving starts (open-loop: the whole trace;
+  /// closed-loop: each client's first request). May be unsorted; the
+  /// server orders them by (arrival cycle, emission index).
+  virtual std::vector<Request> initial_arrivals() = 0;
+
+  /// Arrivals triggered by a request finishing (or being shed). Closed-loop
+  /// clients re-issue here after think time.
+  virtual std::vector<Request> on_outcome(const Outcome& outcome);
+};
+
+/// Open-loop Poisson arrivals: `num_requests` requests with exponential
+/// inter-arrival gaps at `rate_rps` requests per second (of simulated device
+/// time), each drawn from the mix by weight. The textbook "heavy traffic"
+/// model: arrivals do not slow down when the fleet saturates, so queues —
+/// and tail latency — grow until admission control sheds load.
+class PoissonWorkload final : public WorkloadSource {
+ public:
+  PoissonWorkload(std::vector<RequestTemplate> mix, double rate_rps,
+                  std::size_t num_requests, double clock_ghz, std::uint64_t seed);
+
+  std::vector<Request> initial_arrivals() override;
+
+ private:
+  std::vector<RequestTemplate> mix_;
+  double rate_rps_;
+  std::size_t num_requests_;
+  double clock_ghz_;
+  util::Prng prng_;
+};
+
+/// Closed-loop clients: `num_clients` clients each keep exactly one request
+/// outstanding; when it completes (or is shed) the client thinks for an
+/// exponential time of mean `think_ms` and issues the next one, until
+/// `total_requests` have been issued overall. Offered load self-regulates
+/// with fleet speed — the classic interactive-user model.
+class ClosedLoopWorkload final : public WorkloadSource {
+ public:
+  ClosedLoopWorkload(std::vector<RequestTemplate> mix, std::size_t num_clients,
+                     std::size_t total_requests, double think_ms, double clock_ghz,
+                     std::uint64_t seed);
+
+  std::vector<Request> initial_arrivals() override;
+  std::vector<Request> on_outcome(const Outcome& outcome) override;
+
+ private:
+  Request next_request(Cycle issue_at);
+
+  std::vector<RequestTemplate> mix_;
+  std::vector<double> weights_;  ///< mix weights, validated once
+  std::size_t num_clients_;
+  std::size_t total_requests_;
+  double think_ms_;
+  double clock_ghz_;
+  util::Prng prng_;
+  std::size_t issued_ = 0;
+};
+
+/// Replays a recorded trace. CSV columns (header required):
+///
+///   arrival_ms,dataset,model,slo_ms
+///
+/// `model` is a Table III network family over the named dataset: "gcn",
+/// "gsage" or "gsage-max" (gnn::layer_kind_name spellings). Rows may be
+/// unsorted; blank lines are skipped. Unknown datasets/models throw
+/// CheckError naming the row.
+class TraceWorkload final : public WorkloadSource {
+ public:
+  /// Parses CSV text (util::parse_csv). `base` supplies everything the
+  /// trace does not carry (config, dataflow, mode, weight seed).
+  static TraceWorkload from_csv(const std::string& csv_text,
+                                const core::SimulationRequest& base, double clock_ghz);
+  /// Reads and parses a trace file.
+  static TraceWorkload from_file(const std::string& path,
+                                 const core::SimulationRequest& base, double clock_ghz);
+
+  std::vector<Request> initial_arrivals() override;
+
+  [[nodiscard]] std::size_t size() const { return arrivals_.size(); }
+
+ private:
+  static TraceWorkload from_rows(const std::vector<std::vector<std::string>>& rows,
+                                 const core::SimulationRequest& base, double clock_ghz);
+
+  std::vector<Request> arrivals_;
+};
+
+}  // namespace gnnerator::serve

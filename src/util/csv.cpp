@@ -6,6 +6,75 @@
 
 namespace gnnerator::util {
 
+std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;  // distinguishes a final "" cell from no cell
+
+  const auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+  };
+  const auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';  // escaped quote
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        cell_started = true;
+        break;
+      case ',':
+        cell_started = true;  // the comma implies a cell on both sides
+        end_cell();
+        break;
+      case '\r':
+        break;  // CRLF: the '\n' ends the row
+      case '\n':
+        end_row();
+        break;
+      default:
+        cell += c;
+        cell_started = true;
+        break;
+    }
+  }
+  GNNERATOR_CHECK_MSG(!in_quotes, "CSV ends inside a quoted cell");
+  if (cell_started || !row.empty()) {
+    end_row();  // final row without a trailing newline
+  }
+  return rows;
+}
+
+std::vector<std::vector<std::string>> read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GNNERATOR_CHECK_MSG(in.good(), "cannot open " << path << " for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  GNNERATOR_CHECK_MSG(!in.bad(), "read failed for " << path);
+  return parse_csv(buffer.str());
+}
+
 CsvWriter::CsvWriter(std::vector<std::string> header) : columns_(header.size()) {
   GNNERATOR_CHECK(columns_ > 0);
   emit_row(header);

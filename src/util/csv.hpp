@@ -3,9 +3,20 @@
 #include <initializer_list>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace gnnerator::util {
+
+/// Parses RFC-4180 CSV text into rows of cells: quoted cells may contain
+/// commas, doubled quotes and embedded newlines; CRLF and LF line endings
+/// both work; a trailing newline does not produce an empty row. The inverse
+/// of CsvWriter (round-trips its output). Used by the serving subsystem's
+/// workload-trace replay. Throws CheckError on an unterminated quoted cell.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(std::string_view text);
+
+/// Reads and parses a CSV file; throws CheckError on I/O failure.
+[[nodiscard]] std::vector<std::vector<std::string>> read_csv_file(const std::string& path);
 
 /// Minimal CSV writer (RFC-4180 quoting) used by examples and the benchmark
 /// harness to dump sweep results for offline plotting.

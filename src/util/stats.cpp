@@ -72,6 +72,42 @@ double RunningStats::max() const {
   return max_;
 }
 
+StreamingQuantiles::StreamingQuantiles(std::size_t bound, std::uint64_t seed)
+    : bound_(bound), prng_(seed) {
+  GNNERATOR_CHECK_MSG(bound_ > 0, "StreamingQuantiles needs a nonzero bound");
+  samples_.reserve(std::min<std::size_t>(bound_, 4096));
+}
+
+void StreamingQuantiles::add(double value) {
+  if (count_ < bound_) {
+    samples_.push_back(value);
+  } else {
+    // Algorithm R: the (count_+1)-th sample replaces a reservoir slot with
+    // probability bound/(count_+1); every prefix stays uniformly sampled.
+    const std::uint64_t j = prng_.uniform_u64(count_ + 1);
+    if (j < bound_) {
+      samples_[static_cast<std::size_t>(j)] = value;
+    }
+  }
+  ++count_;
+  sorted_valid_ = false;
+}
+
+double StreamingQuantiles::quantile(double q) const {
+  GNNERATOR_CHECK_MSG(count_ > 0, "quantile of an empty StreamingQuantiles");
+  GNNERATOR_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q=" << q << " outside [0, 1]");
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  const double rank = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins) {
   GNNERATOR_CHECK(bins > 0);
   GNNERATOR_CHECK(hi > lo);

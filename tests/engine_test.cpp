@@ -3,6 +3,9 @@
 // batch determinism — the PR's acceptance criteria.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <future>
+#include <thread>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -88,6 +91,67 @@ TEST(PlanCache, CompileErrorPropagatesAndCachesNothing) {
     return std::make_shared<const LoweredModel>();
   });
   EXPECT_EQ(compiles, 1);
+}
+
+/// A lookup that joins an in-flight compilation counts as a hit *and* as a
+/// single-flight wait, so cache effectiveness reporting can tell instant
+/// LRU hits from blocked joins.
+TEST(PlanCache, SingleFlightWaitCounter) {
+  PlanCache cache(4);
+  std::promise<void> release;
+  std::shared_future<void> release_future = release.get_future().share();
+  std::promise<void> compiling;
+
+  std::thread first([&] {
+    (void)cache.get_or_compile("key", [&] {
+      compiling.set_value();     // the compile is now in flight
+      release_future.wait();     // hold it open until the joiner is counted
+      return std::make_shared<const LoweredModel>();
+    });
+  });
+  compiling.get_future().wait();
+
+  std::thread joiner([&] { (void)cache.get_or_compile("key", [] {
+    ADD_FAILURE() << "joiner must reuse the in-flight compile";
+    return std::make_shared<const LoweredModel>();
+  }); });
+
+  // The joiner increments the wait counter *before* blocking on the shared
+  // future, so polling the stats is race-free.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (cache.stats().single_flight_waits == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(cache.stats().single_flight_waits, 1u);
+  release.set_value();
+  first.join();
+  joiner.join();
+
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // A plain LRU hit is not a single-flight wait.
+  (void)cache.get_or_compile("key", [] { return std::make_shared<const LoweredModel>(); });
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().single_flight_waits, 1u);
+}
+
+/// A fleet of Engines constructed over one shared PlanCache compiles each
+/// plan once; both engines observe the shared counters.
+TEST(Engine, SharedPlanCacheAcrossEngines) {
+  const graph::Dataset ds = graph::make_dataset_by_name("cora", 1, /*with_features=*/false);
+  const auto model = table3_model(gnn::LayerKind::kGcn, ds.spec);
+  const auto shared = std::make_shared<PlanCache>(16);
+
+  Engine a(EngineOptions{.num_threads = 1, .shared_plan_cache = shared});
+  Engine b(EngineOptions{.num_threads = 1, .shared_plan_cache = shared});
+  const auto first = a.run(ds, model, timing_request());
+  const auto second = b.run(ds, model, timing_request());
+  EXPECT_EQ(first.cycles, second.cycles);
+  EXPECT_EQ(shared->stats().misses, 1u) << "second engine must reuse the first's plan";
+  EXPECT_EQ(shared->stats().hits, 1u);
+  EXPECT_EQ(a.cache_stats().hits, b.cache_stats().hits);
+  EXPECT_EQ(a.plan_cache().get(), b.plan_cache().get());
 }
 
 TEST(Engine, RepeatedRequestHitsPlanCache) {

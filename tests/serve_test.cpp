@@ -1,0 +1,411 @@
+// Tests for the serving subsystem (src/serve): batching/coalescing
+// correctness (outputs bitwise identical to individual runs), SJF ordering
+// against the cost-model oracle, SLO admission control shedding exactly the
+// over-SLO tail, metrics percentiles against a brute-force sort, queue
+// capacity, trace replay, closed-loop drivers, fleet-wide plan-cache
+// sharing, and end-to-end determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "serve/metrics.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+#include "util/check.hpp"
+
+namespace gnnerator::serve {
+namespace {
+
+core::SimulationRequest timing_sim(const std::string& dataset, gnn::LayerKind kind) {
+  core::SimulationRequest sim;
+  sim.dataset = dataset;
+  sim.model = core::table3_model(kind, *graph::find_dataset(dataset));
+  sim.mode = core::SimMode::kTiming;
+  return sim;
+}
+
+/// A workload of explicit, pre-timed requests (unit-test driver).
+class FixedWorkload final : public WorkloadSource {
+ public:
+  explicit FixedWorkload(std::vector<Request> arrivals) : arrivals_(std::move(arrivals)) {}
+  std::vector<Request> initial_arrivals() override { return arrivals_; }
+
+ private:
+  std::vector<Request> arrivals_;
+};
+
+Request at_cycle(Cycle arrival, core::SimulationRequest sim, double slo_ms = 0.0) {
+  Request r;
+  r.arrival = arrival;
+  r.sim = std::move(sim);
+  r.slo_ms = slo_ms;
+  return r;
+}
+
+/// Acceptance: a coalesced batch's broadcast result is bitwise identical to
+/// running every request individually through a plain Engine.
+TEST(Serve, BatchedAndIndividualOutputsBitwiseIdentical) {
+  ServerOptions options;
+  options.num_devices = 2;
+  options.policy = SchedulingPolicy::kDynamicBatch;
+  options.limits.batch_window = ms_to_cycles(1.0, options.clock_ghz);
+  options.collect_results = true;
+  Server server(options);
+  const graph::Dataset& cora = server.add_dataset(graph::make_dataset_by_name("cora"));
+  const graph::Dataset& cite = server.add_dataset(graph::make_dataset_by_name("citeseer"));
+
+  core::SimulationRequest f1 = timing_sim("cora", gnn::LayerKind::kGcn);
+  f1.mode = core::SimMode::kFunctional;
+  core::SimulationRequest f2 = timing_sim("citeseer", gnn::LayerKind::kSageMean);
+  f2.mode = core::SimMode::kFunctional;
+
+  // Three copies of each class inside one batching window -> two coalesced
+  // batches of three.
+  std::vector<Request> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    arrivals.push_back(at_cycle(static_cast<Cycle>(i) * 1000, f1));
+    arrivals.push_back(at_cycle(static_cast<Cycle>(i) * 1000, f2));
+  }
+  FixedWorkload workload(arrivals);
+  const ServeReport report = server.serve(workload);
+
+  ASSERT_EQ(report.outcomes.size(), 6u);
+  core::Engine reference(core::EngineOptions{.num_threads = 1});
+  const std::vector<core::ExecutionResult> individual = {
+      reference.run(cora, f1.model, f1), reference.run(cite, f2.model, f2)};
+  for (const Outcome& outcome : report.outcomes) {
+    ASSERT_FALSE(outcome.shed);
+    EXPECT_EQ(outcome.batch_size, 3u) << "request " << outcome.id << " was not coalesced";
+    ASSERT_NE(outcome.result, nullptr);
+    ASSERT_TRUE(outcome.result->output.has_value());
+    const core::ExecutionResult& expect =
+        outcome.class_key == server.class_key(f1) ? individual[0] : individual[1];
+    EXPECT_EQ(outcome.result->cycles, expect.cycles);
+    EXPECT_EQ(*outcome.result->output, *expect.output)
+        << "batched output diverged for request " << outcome.id;
+  }
+  // One plan per (dataset, model) class across the whole fleet.
+  EXPECT_EQ(server.cache_stats().misses, 2u);
+}
+
+/// Acceptance: with one device and a burst of distinct-cost jobs, SJF
+/// dispatches in exactly the cost-model oracle's order.
+TEST(Serve, SjfDispatchOrderMatchesCostOracle) {
+  ServerOptions options;
+  options.num_devices = 1;
+  options.policy = SchedulingPolicy::kSjf;
+  Server server(options);
+  for (const char* name : {"cora", "citeseer", "pubmed"}) {
+    server.add_dataset(graph::make_dataset_by_name(name, 1, /*with_features=*/false));
+  }
+
+  // A burst of jobs with well-separated analytic costs, all at cycle 0 in a
+  // deliberately non-sorted emission order.
+  std::vector<core::SimulationRequest> sims = {
+      timing_sim("pubmed", gnn::LayerKind::kSageMean),   // heavy
+      timing_sim("cora", gnn::LayerKind::kGcn),          // light
+      timing_sim("citeseer", gnn::LayerKind::kSagePool), // medium-heavy
+      timing_sim("citeseer", gnn::LayerKind::kGcn),      // medium
+      timing_sim("pubmed", gnn::LayerKind::kSagePool),   // heavy
+      timing_sim("cora", gnn::LayerKind::kSageMean),     // light-medium
+  };
+  std::vector<Request> arrivals;
+  for (const auto& sim : sims) {
+    arrivals.push_back(at_cycle(0, sim));
+  }
+  FixedWorkload workload(arrivals);
+  const ServeReport report = server.serve(workload);
+  ASSERT_EQ(report.outcomes.size(), sims.size());
+
+  // The oracle's expected order: ascending (estimate, id).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> expected;  // (cost, id)
+  for (std::size_t i = 0; i < sims.size(); ++i) {
+    expected.emplace_back(server.cost_estimate(sims[i]), i);
+  }
+  std::sort(expected.begin(), expected.end());
+
+  // Observed order: ids sorted by their dispatch cycle (single device, so
+  // dispatch times are distinct).
+  std::vector<Cycle> dispatched_at(report.outcomes.size());
+  for (const Outcome& outcome : report.outcomes) {
+    dispatched_at[outcome.id] = outcome.dispatch;
+  }
+  std::vector<std::uint64_t> order(sims.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](std::uint64_t a, std::uint64_t b) {
+    return std::pair(dispatched_at[a], a) < std::pair(dispatched_at[b], b);
+  });
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], expected[i].second)
+        << "position " << i << ": SJF dispatched a job the oracle ranks differently";
+  }
+}
+
+/// Acceptance: under overload with a hard SLO, admission control sheds
+/// exactly the tail that could not have met the deadline — no more, no less.
+TEST(Serve, AdmissionControlShedsExactlyTheOverSloTail) {
+  ServerOptions options;
+  options.num_devices = 1;
+  options.policy = SchedulingPolicy::kFifo;
+  options.per_request_overhead = 5000;
+  Server server(options);
+  server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+  const core::SimulationRequest sim = timing_sim("cora", gnn::LayerKind::kGcn);
+
+  // Learn the exact service time from a probe run, then give a burst of 8 a
+  // budget of ~3.5 service times: requests 0..2 can finish in time,
+  // requests 3..7 provably cannot.
+  {
+    FixedWorkload probe({at_cycle(0, sim)});
+    (void)server.serve(probe);
+  }
+  core::Engine probe_engine(core::EngineOptions{.num_threads = 1});
+  const graph::Dataset cora_copy =
+      graph::make_dataset_by_name("cora", 1, /*with_features=*/false);
+  const Cycle service =
+      probe_engine.run(cora_copy, sim.model, sim).cycles + options.per_request_overhead;
+  const double slo_ms = cycles_to_ms(service, options.clock_ghz) * 3.5;
+
+  std::vector<Request> burst;
+  for (int i = 0; i < 8; ++i) {
+    burst.push_back(at_cycle(0, sim, slo_ms));
+  }
+  FixedWorkload workload(burst);
+  const ServeReport report = server.serve(workload);
+
+  ASSERT_EQ(report.outcomes.size(), 8u);
+  for (const Outcome& outcome : report.outcomes) {
+    const bool should_shed = outcome.id >= 3;
+    EXPECT_EQ(outcome.shed, should_shed)
+        << "request " << outcome.id << ": completion " << (outcome.id + 1) * service
+        << " vs deadline " << ms_to_cycles(slo_ms, options.clock_ghz);
+    if (!outcome.shed) {
+      EXPECT_EQ(outcome.completion, (outcome.id + 1) * service);
+      EXPECT_LE(outcome.latency_ms(options.clock_ghz), slo_ms);
+    }
+  }
+  EXPECT_EQ(report.metrics.shed, 5u);
+  EXPECT_EQ(report.metrics.completed, 3u);
+  // Attainment counts shed requests as missed SLOs: 3 of 8.
+  EXPECT_NEAR(report.metrics.slo_attainment, 3.0 / 8.0, 1e-12);
+}
+
+/// Acceptance: the report's streaming percentiles equal a brute-force sort
+/// of the same latencies (exact regime).
+TEST(Serve, MetricsPercentilesMatchBruteForceSort) {
+  ServerOptions options;
+  options.num_devices = 2;
+  options.policy = SchedulingPolicy::kFifo;
+  Server server(options);
+  server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+  server.add_dataset(graph::make_dataset_by_name("citeseer", 1, /*with_features=*/false));
+
+  std::vector<RequestTemplate> mix;
+  for (const char* name : {"cora", "citeseer"}) {
+    for (const gnn::LayerKind kind : {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean}) {
+      RequestTemplate t;
+      t.sim = timing_sim(name, kind);
+      mix.push_back(std::move(t));
+    }
+  }
+  PoissonWorkload workload(mix, /*rate_rps=*/8000.0, /*num_requests=*/200,
+                           options.clock_ghz, /*seed=*/99);
+  const ServeReport report = server.serve(workload);
+  ASSERT_EQ(report.metrics.completed, 200u);
+
+  std::vector<double> latencies;
+  for (const Outcome& outcome : report.outcomes) {
+    latencies.push_back(outcome.latency_ms(options.clock_ghz));
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto brute = [&](double q) {
+    const double rank = q * static_cast<double>(latencies.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, latencies.size() - 1);
+    return latencies[lo] + (rank - static_cast<double>(lo)) * (latencies[hi] - latencies[lo]);
+  };
+  EXPECT_DOUBLE_EQ(report.metrics.p50_ms, brute(0.50));
+  EXPECT_DOUBLE_EQ(report.metrics.p95_ms, brute(0.95));
+  EXPECT_DOUBLE_EQ(report.metrics.p99_ms, brute(0.99));
+}
+
+/// Two seeded runs produce identical per-request records, for every policy.
+TEST(Serve, CompletionRecordsDeterministicAcrossRuns) {
+  for (const SchedulingPolicy policy :
+       {SchedulingPolicy::kFifo, SchedulingPolicy::kSjf, SchedulingPolicy::kDynamicBatch}) {
+    SCOPED_TRACE(std::string(policy_name(policy)));
+    std::vector<ServeReport> reports;
+    for (int run = 0; run < 2; ++run) {
+      ServerOptions options;
+      options.num_devices = 3;
+      options.policy = policy;
+      Server server(options);
+      server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+      std::vector<RequestTemplate> mix;
+      for (const gnn::LayerKind kind :
+           {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean, gnn::LayerKind::kSagePool}) {
+        RequestTemplate t;
+        t.sim = timing_sim("cora", kind);
+        mix.push_back(std::move(t));
+      }
+      PoissonWorkload workload(mix, /*rate_rps=*/30000.0, /*num_requests=*/300,
+                               options.clock_ghz, /*seed=*/4242);
+      reports.push_back(server.serve(workload));
+    }
+    const ServeReport& a = reports[0];
+    const ServeReport& b = reports[1];
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    EXPECT_EQ(a.end_cycle, b.end_cycle);
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+      EXPECT_EQ(a.outcomes[i].dispatch, b.outcomes[i].dispatch) << "request " << i;
+      EXPECT_EQ(a.outcomes[i].completion, b.outcomes[i].completion) << "request " << i;
+      EXPECT_EQ(a.outcomes[i].device, b.outcomes[i].device) << "request " << i;
+      EXPECT_EQ(a.outcomes[i].batch_size, b.outcomes[i].batch_size) << "request " << i;
+      EXPECT_EQ(a.outcomes[i].shed, b.outcomes[i].shed) << "request " << i;
+    }
+    EXPECT_EQ(a.format(), b.format());
+  }
+}
+
+/// A fleet compiles each plan once: every device engine shares one cache.
+TEST(Serve, FleetSharesOnePlanCache) {
+  ServerOptions options;
+  options.num_devices = 4;
+  options.policy = SchedulingPolicy::kFifo;
+  Server server(options);
+  server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+  server.add_dataset(graph::make_dataset_by_name("citeseer", 1, /*with_features=*/false));
+
+  std::vector<Request> arrivals;
+  for (int i = 0; i < 20; ++i) {
+    arrivals.push_back(at_cycle(static_cast<Cycle>(i) * 100,
+                                timing_sim(i % 2 == 0 ? "cora" : "citeseer",
+                                           gnn::LayerKind::kGcn)));
+  }
+  FixedWorkload workload(arrivals);
+  const ServeReport report = server.serve(workload);
+  EXPECT_EQ(report.metrics.completed, 20u);
+  EXPECT_EQ(report.plan_cache.misses, 2u) << "one compile per class across 4 devices";
+}
+
+/// Dynamic batching honours max_batch: an oversize ripe group splits into
+/// capped dispatches instead of one giant batch.
+TEST(Serve, DynamicBatchingCapsBatchSize) {
+  ServerOptions options;
+  options.num_devices = 1;
+  options.policy = SchedulingPolicy::kDynamicBatch;
+  options.limits.max_batch = 8;
+  options.limits.batch_window = ms_to_cycles(0.01, options.clock_ghz);
+  Server server(options);
+  server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+
+  std::vector<Request> burst;
+  for (int i = 0; i < 40; ++i) {
+    burst.push_back(at_cycle(0, timing_sim("cora", gnn::LayerKind::kGcn)));
+  }
+  FixedWorkload workload(burst);
+  const ServeReport report = server.serve(workload);
+  ASSERT_EQ(report.metrics.completed, 40u);
+  for (const Outcome& outcome : report.outcomes) {
+    EXPECT_LE(outcome.batch_size, 8u) << "request " << outcome.id;
+    EXPECT_EQ(outcome.batch_size, 8u) << "full groups should dispatch at the cap";
+  }
+  EXPECT_EQ(report.devices[0].batches, 5u);
+}
+
+/// Bounded admission queue sheds on arrival once full.
+TEST(Serve, QueueCapacityShedsOnArrival) {
+  ServerOptions options;
+  options.num_devices = 1;
+  options.policy = SchedulingPolicy::kFifo;
+  options.queue_capacity = 2;
+  Server server(options);
+  server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+
+  std::vector<Request> burst;
+  for (int i = 0; i < 10; ++i) {
+    burst.push_back(at_cycle(0, timing_sim("cora", gnn::LayerKind::kGcn)));
+  }
+  FixedWorkload workload(burst);
+  const ServeReport report = server.serve(workload);
+  EXPECT_EQ(report.metrics.completed, 2u);
+  EXPECT_EQ(report.metrics.shed, 8u);
+  // Depth is sampled after dispatch: the burst fills to capacity 2, the
+  // device immediately drains one.
+  EXPECT_EQ(report.max_queue_depth, 1u);
+}
+
+/// Trace replay: arrival times and SLOs come from the CSV, quoting and
+/// unsorted rows included; unknown names fail with a row-numbered error.
+TEST(Serve, TraceReplayRespectsArrivalsAndSlo) {
+  const std::string csv =
+      "arrival_ms,dataset,model,slo_ms\n"
+      "2.5,cora,gcn,10\n"
+      "0.5,\"cora\",gsage,0\n"
+      "1.0,citeseer,gsage-max,5\n";
+  core::SimulationRequest base;
+  TraceWorkload trace = TraceWorkload::from_csv(csv, base, /*clock_ghz=*/1.0);
+  ASSERT_EQ(trace.size(), 3u);
+  std::vector<Request> arrivals = trace.initial_arrivals();
+  EXPECT_EQ(arrivals[0].arrival, ms_to_cycles(2.5, 1.0));
+  EXPECT_EQ(arrivals[0].slo_ms, 10.0);
+  EXPECT_EQ(arrivals[1].sim.model.name, "gsage");
+  EXPECT_EQ(arrivals[2].sim.dataset, "citeseer");
+
+  ServerOptions options;
+  options.num_devices = 1;
+  Server server(options);
+  server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+  server.add_dataset(graph::make_dataset_by_name("citeseer", 1, /*with_features=*/false));
+  const ServeReport report = server.serve(trace);
+  ASSERT_EQ(report.outcomes.size(), 3u);
+  // Ids are assigned in arrival order: 0.5ms, 1.0ms, 2.5ms.
+  EXPECT_EQ(report.outcomes[0].arrival, ms_to_cycles(0.5, 1.0));
+  EXPECT_EQ(report.outcomes[1].arrival, ms_to_cycles(1.0, 1.0));
+  EXPECT_EQ(report.outcomes[2].arrival, ms_to_cycles(2.5, 1.0));
+
+  EXPECT_THROW((void)TraceWorkload::from_csv(
+                   "arrival_ms,dataset,model,slo_ms\n1.0,nosuch,gcn,0\n", base, 1.0),
+               util::CheckError);
+  EXPECT_THROW((void)TraceWorkload::from_csv("wrong,header\n", base, 1.0),
+               util::CheckError);
+}
+
+/// Closed-loop clients re-issue after completion; the total request budget
+/// is honoured and nothing overlaps beyond the client population.
+TEST(Serve, ClosedLoopHonoursClientPopulation) {
+  ServerOptions options;
+  options.num_devices = 2;
+  options.policy = SchedulingPolicy::kFifo;
+  Server server(options);
+  server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+  std::vector<RequestTemplate> mix(1);
+  mix[0].sim = timing_sim("cora", gnn::LayerKind::kGcn);
+
+  ClosedLoopWorkload workload(mix, /*num_clients=*/2, /*total_requests=*/9,
+                              /*think_ms=*/0.05, options.clock_ghz, /*seed=*/5);
+  const ServeReport report = server.serve(workload);
+  ASSERT_EQ(report.outcomes.size(), 9u);
+  EXPECT_EQ(report.metrics.completed, 9u);
+
+  // At any instant at most `num_clients` requests are in the system
+  // (arrived, not completed).
+  for (const Outcome& probe : report.outcomes) {
+    std::size_t in_system = 0;
+    for (const Outcome& other : report.outcomes) {
+      if (other.arrival <= probe.arrival && probe.arrival < other.completion) {
+        ++in_system;
+      }
+    }
+    EXPECT_LE(in_system, 2u) << "at cycle " << probe.arrival;
+  }
+}
+
+}  // namespace
+}  // namespace gnnerator::serve

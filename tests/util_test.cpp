@@ -1,8 +1,10 @@
 // Unit tests for the utility layer: PRNG, tables, CSV, stats, args, units.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "util/args.hpp"
 #include "util/check.hpp"
@@ -184,6 +186,35 @@ TEST(Csv, RejectsArityMismatch) {
   EXPECT_THROW(csv.add_row({"1", "2", "3"}), CheckError);
 }
 
+TEST(Csv, ParsesPlainRows) {
+  const auto rows = parse_csv("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(Csv, ParsesQuotingCrlfAndEmptyCells) {
+  const auto rows = parse_csv("\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\r\nx,,\r\nlast");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a,b", "say \"hi\"", "line\nbreak"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"x", "", ""}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"last"}));  // no trailing newline
+}
+
+TEST(Csv, ParseRoundTripsWriter) {
+  CsvWriter csv({"name", "note"});
+  csv.add_row({"a,b", "say \"hi\""});
+  csv.add_row({"plain", "line\nbreak"});
+  const auto rows = parse_csv(csv.to_string());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"a,b", "say \"hi\""}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"plain", "line\nbreak"}));
+}
+
+TEST(Csv, ParseRejectsUnterminatedQuote) {
+  EXPECT_THROW((void)parse_csv("\"oops"), CheckError);
+}
+
 // ----------------------------------------------------------------- stats --
 TEST(Stats, GeomeanOfPowersOfTwo) {
   const std::vector<double> v = {1.0, 4.0};
@@ -225,6 +256,62 @@ TEST(Stats, HistogramBinsAndClamps) {
   EXPECT_EQ(h.bin_count(0), 2u);
   EXPECT_EQ(h.bin_count(4), 2u);
   EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Stats, StreamingQuantilesExactMatchesBruteForce) {
+  // Within the bound, quantiles equal a brute-force sort with linear
+  // interpolation, whatever the insertion order.
+  Prng prng(11);
+  std::vector<double> values;
+  StreamingQuantiles sq(/*bound=*/512);
+  for (int i = 0; i < 400; ++i) {
+    const double v = prng.normal(10.0, 3.0);
+    values.push_back(v);
+    sq.add(v);
+  }
+  ASSERT_TRUE(sq.exact());
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    const double rank = q * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double brute =
+        values[lo] + (rank - static_cast<double>(lo)) * (values[hi] - values[lo]);
+    EXPECT_DOUBLE_EQ(sq.quantile(q), brute) << "q=" << q;
+  }
+}
+
+TEST(Stats, StreamingQuantilesReservoirApproximatesKnownDistribution) {
+  // Past the bound the reservoir is a uniform sample: quantiles of U(0,1)
+  // land close to q itself. 50k samples into a 2k reservoir.
+  Prng prng(1234);
+  StreamingQuantiles sq(/*bound=*/2048);
+  for (int i = 0; i < 50'000; ++i) {
+    sq.add(prng.uniform());
+  }
+  EXPECT_FALSE(sq.exact());
+  EXPECT_EQ(sq.count(), 50'000u);
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(sq.quantile(q), q, 0.05) << "q=" << q;
+  }
+}
+
+TEST(Stats, StreamingQuantilesDeterministicAndValidating) {
+  // Same sample stream -> identical reservoir, bit for bit.
+  StreamingQuantiles a(/*bound=*/64), b(/*bound=*/64);
+  Prng pa(9), pb(9);
+  for (int i = 0; i < 1000; ++i) {
+    a.add(pa.uniform());
+    b.add(pb.uniform());
+  }
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), b.quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.quantile(0.99), b.quantile(0.99));
+
+  StreamingQuantiles empty;
+  EXPECT_THROW((void)empty.quantile(0.5), CheckError);
+  empty.add(1.0);
+  EXPECT_THROW((void)empty.quantile(1.5), CheckError);
+  EXPECT_THROW(StreamingQuantiles(0), CheckError);
 }
 
 // ------------------------------------------------------------------ args --
