@@ -1,24 +1,32 @@
 // A GNNerator serving deployment in one command: a fleet of simulated
-// devices behind an admission-controlled queue, driven by an open-loop
-// Poisson workload (or a recorded CSV trace) and measured with production
-// metrics — tail latency, throughput, utilization, shed count, plan-cache
-// effectiveness. Everything runs in simulated device time, so two runs with
-// the same seed are bit-identical.
+// devices — optionally heterogeneous, mixing Table IV baseline and Fig. 5
+// next-generation device classes — behind an admission-controlled queue,
+// driven by an open-loop Poisson workload (or a recorded CSV trace) and
+// measured with production metrics: tail latency (overall and per request
+// class), throughput, utilization, shed count, plan-cache effectiveness.
+// Everything runs in simulated device time, so two runs with the same seed
+// are bit-identical.
 //
-//   ./gnn_service [--devices N] [--policy fifo|sjf|batch]
-//                 [--arrival-rate RPS] [--requests N] [--trace FILE.csv]
-//                 [--slo-ms MS] [--datasets cora,citeseer,pubmed]
-//                 [--window-ms MS] [--max-batch N] [--queue-cap N]
-//                 [--seed S] [--verbose]
+//   ./gnn_service [--devices N | --fleet SPEC] [--policy fifo|sjf|batch|affinity]
+//                 [--classes SPEC] [--arrival-rate RPS] [--requests N]
+//                 [--trace FILE.csv] [--slo-ms MS]
+//                 [--datasets cora,citeseer,pubmed] [--window-ms MS]
+//                 [--max-batch N] [--queue-cap N] [--seed S] [--verbose]
 //
-// Trace CSV columns: arrival_ms,dataset,model,slo_ms  (model: gcn, gsage,
-// gsage-max). Example row: 12.5,cora,gcn,10
+// --fleet takes "2xbaseline,1xnextgen" (classes: baseline, 2x-graph-mem,
+// 2x-dense, 2x-bw, nextgen). --classes takes comma-separated
+// "name[:slo_ms[:weight[:priority]]]" request classes (SLO tiers), e.g.
+// "interactive:10:4:1,bulk"; workload mix entries are assigned to the
+// classes round-robin. Trace CSV columns:
+// arrival_ms,dataset,model,slo_ms[,class] (model: gcn, gsage, gsage-max).
+// Example row: 12.5,cora,gcn,10,interactive
 #include <algorithm>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "serve/fleet.hpp"
 #include "serve/server.hpp"
 #include "serve/workload.hpp"
 #include "util/args.hpp"
@@ -31,9 +39,11 @@ using namespace gnnerator;
 namespace {
 
 constexpr std::string_view kUsage =
-    "[--devices N] [--policy fifo|sjf|batch] [--arrival-rate RPS] [--requests N]\n"
-    "  [--trace FILE.csv] [--slo-ms MS] [--datasets cora,citeseer,pubmed]\n"
-    "  [--window-ms MS] [--max-batch N] [--queue-cap N] [--seed S] [--verbose]";
+    "[--devices N | --fleet 2xbaseline,1xnextgen] [--policy fifo|sjf|batch|affinity]\n"
+    "  [--classes name[:slo_ms[:weight[:priority]]],...] [--arrival-rate RPS]\n"
+    "  [--requests N] [--trace FILE.csv] [--slo-ms MS]\n"
+    "  [--datasets cora,citeseer,pubmed] [--window-ms MS] [--max-batch N]\n"
+    "  [--queue-cap N] [--seed S] [--verbose]";
 
 std::vector<std::string> split_list(const std::string& csv) {
   std::vector<std::string> out;
@@ -53,12 +63,19 @@ int run(const util::Args& args) {
   }
 
   serve::ServerOptions options;
-  options.num_devices =
-      static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("devices", 4)));
+  if (args.has("fleet")) {
+    options.fleet = serve::parse_fleet_spec(args.get("fleet"));
+  } else {
+    options.num_devices =
+        static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("devices", 4)));
+  }
+  if (args.has("classes")) {
+    options.classes = serve::parse_class_spec(args.get("classes"));
+  }
   const std::string policy_arg = args.get("policy", "batch");
   const auto policy = serve::parse_policy(policy_arg);
   GNNERATOR_CHECK_MSG(policy.has_value(),
-                      "unknown policy '" << policy_arg << "' (fifo, sjf, batch)");
+                      "unknown policy '" << policy_arg << "' (fifo, sjf, batch, affinity)");
   options.policy = *policy;
   options.default_slo_ms = args.get_double("slo-ms", 0.0);
   options.limits.batch_window =
@@ -81,18 +98,35 @@ int run(const util::Args& args) {
       serve::RequestTemplate t;
       t.sim.dataset = ds.spec.name;
       t.sim.model = core::table3_model(kind, ds.spec);
+      if (!options.classes.empty()) {
+        t.klass = options.classes[mix.size() % options.classes.size()].name;
+      }
       mix.push_back(std::move(t));
     }
   }
 
+  const auto fleet_line = [&] {
+    std::ostringstream os;
+    if (options.fleet.empty()) {
+      os << options.num_devices << " device(s)";
+    } else {
+      os << server.num_devices() << " device(s) [";
+      for (std::size_t c = 0; c < options.fleet.size(); ++c) {
+        os << (c > 0 ? "," : "") << options.fleet[c].count << "x" << options.fleet[c].name;
+      }
+      os << "]";
+    }
+    return os.str();
+  };
+
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   serve::ServeReport report;
   if (args.has("trace")) {
-    core::SimulationRequest base;  // trace rows carry dataset/model/slo
+    core::SimulationRequest base;  // trace rows carry dataset/model/slo/class
     serve::TraceWorkload workload =
         serve::TraceWorkload::from_file(args.get("trace"), base, options.clock_ghz);
     std::cout << "replaying trace '" << args.get("trace") << "': " << workload.size()
-              << " requests on " << options.num_devices << " device(s), policy "
+              << " requests on " << fleet_line() << ", policy "
               << serve::policy_name(options.policy) << "\n\n";
     report = server.serve(workload);
   } else {
@@ -102,8 +136,8 @@ int run(const util::Args& args) {
     serve::PoissonWorkload workload(mix, rate, requests, options.clock_ghz, seed);
     std::cout << "open-loop Poisson: " << requests << " requests at " << rate
               << " req/s over " << datasets.size() << " dataset(s) x 3 models, "
-              << options.num_devices << " device(s), policy "
-              << serve::policy_name(options.policy) << "\n\n";
+              << fleet_line() << ", policy " << serve::policy_name(options.policy)
+              << "\n\n";
     report = server.serve(workload);
   }
 

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/config.hpp"
+#include "serve/request.hpp"
+
+namespace gnnerator::serve {
+
+/// One device class of a heterogeneous serving fleet: a named accelerator
+/// configuration (e.g. the paper's Table IV baseline, or a Fig. 5 scaled
+/// next-generation point) plus its clock. Every worker of this class
+/// compiles requests under `config` through the fleet-wide shared PlanCache
+/// (cache keys embed the config, so per-class plans coexist) and its
+/// simulated service cycles are converted to the server's virtual timeline
+/// with the class clock.
+struct DeviceClass {
+  std::string name = "baseline";
+  core::AcceleratorConfig config = core::AcceleratorConfig::table4();
+  /// Device clock in GHz for cycle -> server-time conversion;
+  /// 0 = config.clock_ghz.
+  double clock_ghz = 0.0;
+  /// Number of workers of this class in the fleet.
+  std::size_t count = 1;
+
+  [[nodiscard]] double effective_clock_ghz() const {
+    return clock_ghz > 0.0 ? clock_ghz : config.clock_ghz;
+  }
+};
+
+/// The named device classes a fleet spec may reference:
+///   baseline       Table IV GNNerator
+///   2x-graph-mem   Fig. 5: doubled Graph Engine SRAM
+///   2x-dense       Fig. 5: doubled Dense Engine array (4x MACs)
+///   2x-bw          Fig. 5: doubled off-chip bandwidth
+///   nextgen        all three Fig. 5 scalings combined
+/// nullopt for an unknown name.
+[[nodiscard]] std::optional<DeviceClass> find_device_class(std::string_view name);
+
+/// The names find_device_class knows, for error messages and CLIs.
+[[nodiscard]] std::vector<std::string> device_class_names();
+
+/// Parses a fleet spec like "2xbaseline,1xnextgen" (util::parse_count_list
+/// grammar: comma-separated `<count>x<name>` elements, bare names count 1)
+/// into device classes. Throws CheckError on an unknown class name or a
+/// malformed spec.
+[[nodiscard]] std::vector<DeviceClass> parse_fleet_spec(std::string_view spec);
+
+/// One request class (SLO tier): requests tagged with the class name share
+/// its SLO, its strict dispatch priority and its weighted-fair share.
+/// Dispatch order across tiers is: higher `priority` strictly first; among
+/// equal-priority tiers, deterministic weighted-fair queuing on estimated
+/// service cycles (each tier accrues virtual time at cost/weight; the tier
+/// with the smallest virtual time dispatches next, ties to the lower tier
+/// index). Within a tier the configured scheduling policy applies.
+struct RequestClass {
+  std::string name = "default";
+  /// Tier SLO in ms, applied when a request carries none; <= 0 defers to
+  /// ServerOptions::default_slo_ms.
+  double slo_ms = 0.0;
+  /// Strict priority: a higher-priority tier with ready work always
+  /// dispatches before a lower one.
+  std::uint32_t priority = 0;
+  /// Weighted-fair share among tiers of equal priority; must be > 0.
+  double weight = 1.0;
+};
+
+/// Parses a request-class spec: comma-separated
+/// `name[:slo_ms[:weight[:priority]]]` elements, e.g.
+/// "interactive:10:4:1,bulk:0:1". Throws CheckError on malformed numbers,
+/// a non-positive weight, or a duplicate name.
+[[nodiscard]] std::vector<RequestClass> parse_class_spec(std::string_view spec);
+
+}  // namespace gnnerator::serve

@@ -7,51 +7,79 @@
 
 namespace gnnerator::serve {
 
-Metrics::Metrics(double clock_ghz) : clock_ghz_(clock_ghz) {
+Metrics::Metrics(double clock_ghz, std::size_t quantile_bound)
+    : clock_ghz_(clock_ghz), quantile_bound_(quantile_bound), total_(quantile_bound) {
   GNNERATOR_CHECK_MSG(clock_ghz_ > 0.0, "metrics need a positive clock rate");
 }
 
-void Metrics::add(const Outcome& outcome) {
-  const double slo_ms_applied = outcome.applied_slo_ms;
-  if (outcome.shed) {
-    ++shed_;
-    if (slo_ms_applied > 0.0) {
-      ++with_slo_;  // a shed request is a missed SLO
+void Metrics::Bucket::add(double latency_ms, bool shed_outcome, double applied_slo_ms) {
+  if (shed_outcome) {
+    ++shed;
+    if (applied_slo_ms > 0.0) {
+      ++with_slo;  // a shed request is a missed SLO
     }
     return;
   }
-  ++completed_;
-  const double latency = outcome.latency_ms(clock_ghz_);
-  latency_.add(latency);
-  latency_stats_.add(latency);
-  queue_stats_.add(outcome.queue_ms(clock_ghz_));
-  batch_stats_.add(static_cast<double>(outcome.batch_size));
-  if (slo_ms_applied > 0.0) {
-    ++with_slo_;
-    if (latency <= slo_ms_applied) {
-      ++slo_met_;
+  ++completed;
+  latency.add(latency_ms);
+  latency_stats.add(latency_ms);
+  if (applied_slo_ms > 0.0) {
+    ++with_slo;
+    if (latency_ms <= applied_slo_ms) {
+      ++slo_met;
     }
   }
 }
 
+void Metrics::add(const Outcome& outcome) {
+  const double latency = outcome.shed ? 0.0 : outcome.latency_ms(clock_ghz_);
+  total_.add(latency, outcome.shed, outcome.applied_slo_ms);
+  auto [it, inserted] = classes_.try_emplace(outcome.klass, quantile_bound_);
+  it->second.add(latency, outcome.shed, outcome.applied_slo_ms);
+  if (!outcome.shed) {
+    queue_stats_.add(outcome.queue_ms(clock_ghz_));
+    batch_stats_.add(static_cast<double>(outcome.batch_size));
+  }
+}
+
+namespace {
+
+double attainment(std::size_t slo_met, std::size_t with_slo) {
+  return with_slo > 0 ? static_cast<double>(slo_met) / static_cast<double>(with_slo) : 1.0;
+}
+
+}  // namespace
+
 MetricsSummary Metrics::summary(Cycle end_cycle) const {
   MetricsSummary s;
-  s.completed = completed_;
-  s.shed = shed_;
-  if (completed_ > 0) {
-    s.p50_ms = latency_.quantile(0.50);
-    s.p95_ms = latency_.quantile(0.95);
-    s.p99_ms = latency_.quantile(0.99);
-    s.mean_ms = latency_stats_.mean();
-    s.max_ms = latency_stats_.max();
+  s.completed = total_.completed;
+  s.shed = total_.shed;
+  if (total_.completed > 0) {
+    s.p50_ms = total_.latency.quantile(0.50);
+    s.p95_ms = total_.latency.quantile(0.95);
+    s.p99_ms = total_.latency.quantile(0.99);
+    s.mean_ms = total_.latency_stats.mean();
+    s.max_ms = total_.latency_stats.max();
     s.mean_queue_ms = queue_stats_.mean();
     s.mean_batch_size = batch_stats_.mean();
   }
   const double seconds = cycles_to_ms(end_cycle, clock_ghz_) / 1e3;
-  s.throughput_rps = seconds > 0.0 ? static_cast<double>(completed_) / seconds : 0.0;
-  s.slo_attainment = with_slo_ > 0
-                         ? static_cast<double>(slo_met_) / static_cast<double>(with_slo_)
-                         : 1.0;
+  s.throughput_rps = seconds > 0.0 ? static_cast<double>(total_.completed) / seconds : 0.0;
+  s.slo_attainment = attainment(total_.slo_met, total_.with_slo);
+  for (const auto& [name, bucket] : classes_) {
+    ClassMetricsSummary c;
+    c.name = name;
+    c.completed = bucket.completed;
+    c.shed = bucket.shed;
+    if (bucket.completed > 0) {
+      c.p50_ms = bucket.latency.quantile(0.50);
+      c.p95_ms = bucket.latency.quantile(0.95);
+      c.p99_ms = bucket.latency.quantile(0.99);
+      c.mean_ms = bucket.latency_stats.mean();
+    }
+    c.slo_attainment = attainment(bucket.slo_met, bucket.with_slo);
+    s.classes.push_back(std::move(c));
+  }
   return s;
 }
 
@@ -88,9 +116,21 @@ std::string ServeReport::format() const {
      << ", SLO attainment " << std::setprecision(4) << metrics.slo_attainment << "\n";
   os << "queue depth: mean " << std::setprecision(2) << mean_queue_depth << ", max "
      << max_queue_depth << "\n";
+  if (metrics.classes.size() > 1) {
+    for (const ClassMetricsSummary& c : metrics.classes) {
+      os << "class " << c.name << ": " << c.completed << " completed, " << c.shed
+         << " shed, p50=" << std::setprecision(3) << c.p50_ms << " p95=" << c.p95_ms
+         << " p99=" << c.p99_ms << " mean=" << c.mean_ms << ", SLO attainment "
+         << std::setprecision(4) << c.slo_attainment << "\n";
+    }
+  }
   os << "devices:";
   for (std::size_t d = 0; d < devices.size(); ++d) {
-    os << " [" << d << "] " << std::setprecision(1) << 100.0 * device_utilization(d) << "% ("
+    os << " [" << d << "]";
+    if (!devices[d].klass.empty()) {
+      os << " " << devices[d].klass;
+    }
+    os << " " << std::setprecision(1) << 100.0 * device_utilization(d) << "% ("
        << devices[d].batches << " batches, " << devices[d].requests << " reqs)";
   }
   os << "\nplan cache: " << plan_cache.hits << " hits / " << plan_cache.misses

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,20 @@
 #include "util/stats.hpp"
 
 namespace gnnerator::serve {
+
+/// Per-request-class (SLO tier) slice of the serving statistics, in
+/// milliseconds at the server clock.
+struct ClassMetricsSummary {
+  std::string name;
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  /// SLO attainment within the class; 1.0 when no request carried an SLO.
+  double slo_attainment = 1.0;
+};
 
 /// Aggregate serving statistics over one Server::serve run, all in
 /// milliseconds at the server clock.
@@ -28,6 +43,10 @@ struct MetricsSummary {
   /// Completed requests that beat their SLO, over completed+shed with an
   /// SLO; 1.0 when no request carried one.
   double slo_attainment = 1.0;
+  /// Per-request-class breakdown, ordered by class name. Class completed /
+  /// shed counts always sum to the totals above (every outcome carries
+  /// exactly one class).
+  std::vector<ClassMetricsSummary> classes;
 };
 
 /// Streaming aggregator for per-request outcomes: latency quantiles
@@ -36,26 +55,47 @@ struct MetricsSummary {
 /// summarize at end of run.
 class Metrics {
  public:
-  explicit Metrics(double clock_ghz);
+  /// `quantile_bound` is the exact-sample bound of every latency quantile
+  /// estimator (global and per class); beyond it the estimator degrades to
+  /// the deterministic reservoir (util::StreamingQuantiles).
+  explicit Metrics(double clock_ghz, std::size_t quantile_bound = 4096);
 
   void add(const Outcome& outcome);
 
   [[nodiscard]] MetricsSummary summary(Cycle end_cycle) const;
 
  private:
+  /// One aggregation bucket (the run total, or one request class).
+  struct Bucket {
+    explicit Bucket(std::size_t quantile_bound) : latency(quantile_bound) {}
+
+    void add(double latency_ms, bool shed_outcome, double applied_slo_ms);
+
+    std::size_t completed = 0;
+    std::size_t shed = 0;
+    std::size_t with_slo = 0;
+    std::size_t slo_met = 0;
+    util::StreamingQuantiles latency;
+    util::RunningStats latency_stats;
+  };
+
   double clock_ghz_;
-  std::size_t completed_ = 0;
-  std::size_t shed_ = 0;
-  std::size_t with_slo_ = 0;
-  std::size_t slo_met_ = 0;
-  util::StreamingQuantiles latency_;
-  util::RunningStats latency_stats_;
+  std::size_t quantile_bound_;
+  Bucket total_;
+  /// Keyed by request class name; std::map so the summary order is
+  /// deterministic.
+  std::map<std::string, Bucket> classes_;
   util::RunningStats queue_stats_;
   util::RunningStats batch_stats_;
 };
 
 /// Per-device accounting the server maintains while serving.
 struct DeviceStats {
+  /// Device class name ("baseline", "nextgen", ...); empty on a legacy
+  /// homogeneous fleet.
+  std::string klass;
+  /// Busy time on the server's virtual timeline (device cycles converted
+  /// through the class clock on a heterogeneous fleet).
   Cycle busy_cycles = 0;
   std::uint64_t batches = 0;
   std::uint64_t requests = 0;

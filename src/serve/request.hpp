@@ -35,8 +35,12 @@ struct Request {
   Cycle arrival = 0;
   core::SimulationRequest sim;
   /// Latency SLO in milliseconds at the server clock; <= 0 inherits the
-  /// server's default (ServerOptions::default_slo_ms; <= 0 there = none).
+  /// request class's tier SLO, then the server's default
+  /// (ServerOptions::default_slo_ms; <= 0 there = none).
   double slo_ms = 0.0;
+  /// Request class (SLO tier) name; empty = the first configured class.
+  /// Unknown names fail at admission.
+  std::string klass;
 };
 
 /// Per-request outcome record, in cycles. `shed` requests carry the cycle
@@ -55,8 +59,11 @@ struct Outcome {
   /// Device occupancy of the batch this request rode in (0 when shed).
   Cycle service_cycles = 0;
   /// Plan-compatibility class (dataset + model + config + dataflow + mode
-  /// + seed) — the unit of batching/coalescing.
+  /// + seed) — the unit of batching/coalescing. On a heterogeneous fleet
+  /// the config component is the canonical (first) device class's.
   std::string class_key;
+  /// Request class (SLO tier) the admission controller resolved.
+  std::string klass;
   /// The execution result, shared across a coalesced batch (identical
   /// requests compute identical results). Only retained when
   /// ServerOptions::collect_results is set; null for shed requests.

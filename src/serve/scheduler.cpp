@@ -22,6 +22,8 @@ std::string_view policy_name(SchedulingPolicy policy) {
       return "sjf";
     case SchedulingPolicy::kDynamicBatch:
       return "batch";
+    case SchedulingPolicy::kAffinity:
+      return "affinity";
   }
   return "?";
 }
@@ -39,8 +41,17 @@ std::optional<SchedulingPolicy> parse_policy(std::string_view name) {
   if (lower == "batch" || lower == "dynamic-batch") {
     return SchedulingPolicy::kDynamicBatch;
   }
+  if (lower == "affinity" || lower == "heft") {
+    return SchedulingPolicy::kAffinity;
+  }
   return std::nullopt;
 }
+
+bool Scheduler::has_ready(Cycle now) const { return next_ready(now) <= now; }
+
+std::vector<const QueuedRequest*> Scheduler::ready(Cycle /*now*/) const { return {}; }
+
+std::optional<QueuedRequest> Scheduler::try_take(std::uint64_t /*id*/) { return std::nullopt; }
 
 namespace {
 
@@ -185,9 +196,199 @@ class DynamicBatchScheduler final : public Scheduler {
   std::size_t depth_ = 0;
 };
 
-}  // namespace
+/// The queue behind the affinity (HEFT) policy: arrival order, but the
+/// server performs placement itself via ready()/try_take() — pop() is the
+/// FIFO fallback so the policy still drains if a caller uses the generic
+/// interface. next_ready() is kNoDeadline: affinity dispatch is driven
+/// purely by completions and arrivals (a held request's preferred device
+/// becoming free IS a completion event), so the queue never needs to wake
+/// the event loop on its own.
+class AffinityScheduler final : public Scheduler {
+ public:
+  void enqueue(QueuedRequest queued, Cycle /*now*/) override {
+    queue_.push_back(std::move(queued));
+  }
 
-std::unique_ptr<Scheduler> make_scheduler(SchedulingPolicy policy, Scheduler::Limits limits) {
+  std::optional<DispatchBatch> pop(Cycle /*now*/) override {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    DispatchBatch batch;
+    batch.requests.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    return batch;
+  }
+
+  [[nodiscard]] Cycle next_ready(Cycle /*now*/) const override { return kNoDeadline; }
+
+  [[nodiscard]] std::size_t depth() const override { return queue_.size(); }
+
+  [[nodiscard]] bool has_ready(Cycle /*now*/) const override { return !queue_.empty(); }
+
+  [[nodiscard]] std::vector<const QueuedRequest*> ready(Cycle /*now*/) const override {
+    std::vector<const QueuedRequest*> view;
+    view.reserve(queue_.size());
+    for (const QueuedRequest& queued : queue_) {
+      view.push_back(&queued);
+    }
+    return view;
+  }
+
+  std::optional<QueuedRequest> try_take(std::uint64_t id) override {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->request.id == id) {
+        QueuedRequest taken = std::move(*it);
+        queue_.erase(it);
+        return taken;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::deque<QueuedRequest> queue_;
+};
+
+/// Priority + weighted-fair front end over per-tier instances of the
+/// configured policy. Strict priority between levels; within a level,
+/// deterministic weighted-fair queuing: each tier accrues virtual time at
+/// (dispatched cost estimate / weight), the eligible tier with the smallest
+/// virtual time goes next, ties to the lower tier index. A tier waking from
+/// idle is clamped to the smallest active virtual time so it competes for
+/// its share from now on instead of replaying its idle past.
+class TieredScheduler final : public Scheduler {
+ public:
+  TieredScheduler(std::vector<RequestClass> classes,
+                  std::vector<std::unique_ptr<Scheduler>> inners)
+      : classes_(std::move(classes)), inners_(std::move(inners)) {
+    GNNERATOR_CHECK(classes_.size() == inners_.size() && !classes_.empty());
+    virtual_time_.resize(classes_.size(), 0.0);
+    for (const RequestClass& klass : classes_) {
+      GNNERATOR_CHECK_MSG(klass.weight > 0.0,
+                          "request class '" << klass.name << "' needs a positive weight");
+    }
+  }
+
+  void enqueue(QueuedRequest queued, Cycle now) override {
+    const std::size_t tier = queued.tier;
+    GNNERATOR_CHECK_MSG(tier < inners_.size(), "queued request routed to unknown tier");
+    if (inners_[tier]->depth() == 0) {
+      // Virtual times only compete within a strict-priority level, so the
+      // floor must come from active *equal-priority* peers — a lower
+      // level's small virtual time would let this tier replay its idle
+      // past against the peers it actually contends with.
+      double floor = 0.0;
+      bool any_active = false;
+      for (std::size_t t = 0; t < inners_.size(); ++t) {
+        if (t != tier && classes_[t].priority == classes_[tier].priority &&
+            inners_[t]->depth() > 0) {
+          floor = any_active ? std::min(floor, virtual_time_[t]) : virtual_time_[t];
+          any_active = true;
+        }
+      }
+      if (any_active) {
+        virtual_time_[tier] = std::max(virtual_time_[tier], floor);
+      }
+    }
+    inners_[tier]->enqueue(std::move(queued), now);
+  }
+
+  std::optional<DispatchBatch> pop(Cycle now) override {
+    for (const std::size_t tier : eligible_order(now)) {
+      std::optional<DispatchBatch> batch = inners_[tier]->pop(now);
+      if (batch.has_value()) {
+        charge(tier, *batch);
+        return batch;
+      }
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] Cycle next_ready(Cycle now) const override {
+    Cycle earliest = kNoDeadline;
+    for (const std::unique_ptr<Scheduler>& inner : inners_) {
+      earliest = std::min(earliest, inner->next_ready(now));
+    }
+    return earliest;
+  }
+
+  [[nodiscard]] std::size_t depth() const override {
+    std::size_t total = 0;
+    for (const std::unique_ptr<Scheduler>& inner : inners_) {
+      total += inner->depth();
+    }
+    return total;
+  }
+
+  [[nodiscard]] bool has_ready(Cycle now) const override {
+    for (const std::unique_ptr<Scheduler>& inner : inners_) {
+      if (inner->has_ready(now)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::vector<const QueuedRequest*> ready(Cycle now) const override {
+    std::vector<const QueuedRequest*> view;
+    for (const std::size_t tier : eligible_order(now)) {
+      for (const QueuedRequest* queued : inners_[tier]->ready(now)) {
+        view.push_back(queued);
+      }
+    }
+    return view;
+  }
+
+  std::optional<QueuedRequest> try_take(std::uint64_t id) override {
+    for (std::size_t tier = 0; tier < inners_.size(); ++tier) {
+      std::optional<QueuedRequest> taken = inners_[tier]->try_take(id);
+      if (taken.has_value()) {
+        virtual_time_[tier] +=
+            static_cast<double>(std::max<std::uint64_t>(taken->cost_estimate, 1)) /
+            classes_[tier].weight;
+        return taken;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  /// Tiers with work eligible at `now`, ordered (priority desc, virtual
+  /// time asc, index asc). The order is total and deterministic.
+  [[nodiscard]] std::vector<std::size_t> eligible_order(Cycle now) const {
+    std::vector<std::size_t> order;
+    for (std::size_t tier = 0; tier < inners_.size(); ++tier) {
+      if (inners_[tier]->has_ready(now)) {
+        order.push_back(tier);
+      }
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (classes_[a].priority != classes_[b].priority) {
+        return classes_[a].priority > classes_[b].priority;
+      }
+      if (virtual_time_[a] != virtual_time_[b]) {
+        return virtual_time_[a] < virtual_time_[b];
+      }
+      return a < b;
+    });
+    return order;
+  }
+
+  void charge(std::size_t tier, const DispatchBatch& batch) {
+    std::uint64_t cost = 0;
+    for (const QueuedRequest& queued : batch.requests) {
+      cost += std::max<std::uint64_t>(queued.cost_estimate, 1);
+    }
+    virtual_time_[tier] += static_cast<double>(cost) / classes_[tier].weight;
+  }
+
+  std::vector<RequestClass> classes_;
+  std::vector<std::unique_ptr<Scheduler>> inners_;
+  std::vector<double> virtual_time_;
+};
+
+std::unique_ptr<Scheduler> make_bare_scheduler(SchedulingPolicy policy,
+                                               Scheduler::Limits limits) {
   switch (policy) {
     case SchedulingPolicy::kFifo:
       return std::make_unique<FifoScheduler>();
@@ -195,9 +396,26 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulingPolicy policy, Scheduler::Li
       return std::make_unique<SjfScheduler>();
     case SchedulingPolicy::kDynamicBatch:
       return std::make_unique<DynamicBatchScheduler>(limits);
+    case SchedulingPolicy::kAffinity:
+      return std::make_unique<AffinityScheduler>();
   }
   GNNERATOR_CHECK_MSG(false, "unknown scheduling policy");
   return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulingPolicy policy, Scheduler::Limits limits,
+                                          std::vector<RequestClass> classes) {
+  if (classes.size() <= 1) {
+    return make_bare_scheduler(policy, limits);
+  }
+  std::vector<std::unique_ptr<Scheduler>> inners;
+  inners.reserve(classes.size());
+  for (std::size_t tier = 0; tier < classes.size(); ++tier) {
+    inners.push_back(make_bare_scheduler(policy, limits));
+  }
+  return std::make_unique<TieredScheduler>(std::move(classes), std::move(inners));
 }
 
 std::string request_class_key(std::string_view dataset_key,

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/datasets.hpp"
+#include "serve/fleet.hpp"
 #include "serve/request.hpp"
 
 namespace gnnerator::serve {
@@ -25,10 +26,18 @@ namespace gnnerator::serve {
 ///                      coalesce into one device batch; a class's batch
 ///                      dispatches when its window expires or it reaches
 ///                      max_batch, whichever is first.
-enum class SchedulingPolicy { kFifo, kSjf, kDynamicBatch };
+///   * kAffinity      — HEFT-style affinity-aware placement: the server
+///                      scans queued requests in arrival order and places
+///                      each on the device with the earliest estimated
+///                      finish time (cost model evaluated under each device
+///                      class's config); a request whose best device is
+///                      busy waits for it instead of occupying a slower
+///                      idle one.
+enum class SchedulingPolicy { kFifo, kSjf, kDynamicBatch, kAffinity };
 
 [[nodiscard]] std::string_view policy_name(SchedulingPolicy policy);
-/// Parses "fifo" / "sjf" / "batch" (case-insensitive); nullopt otherwise.
+/// Parses "fifo" / "sjf" / "batch" / "affinity" (case-insensitive);
+/// nullopt otherwise.
 [[nodiscard]] std::optional<SchedulingPolicy> parse_policy(std::string_view name);
 
 /// A request staged in the scheduler, with the admission-time annotations
@@ -36,8 +45,12 @@ enum class SchedulingPolicy { kFifo, kSjf, kDynamicBatch };
 struct QueuedRequest {
   Request request;
   std::string class_key;
-  /// SJF's job-size oracle value (estimated service cycles).
+  /// SJF's job-size oracle value (estimated service cycles, evaluated under
+  /// the fleet's canonical device class).
   std::uint64_t cost_estimate = 0;
+  /// Index of the request class (SLO tier) the admission controller
+  /// resolved; routes the request inside a TieredScheduler.
+  std::size_t tier = 0;
 };
 
 /// What one device executes at once: 1 request (FIFO/SJF) or a coalesced
@@ -75,10 +88,32 @@ class Scheduler {
 
   /// Requests currently queued (not yet dispatched).
   [[nodiscard]] virtual std::size_t depth() const = 0;
+
+  /// Whether a pop()/ready() at `now` would yield work. Default:
+  /// next_ready(now) <= now; schedulers whose queued work is always
+  /// dispatchable but never self-wake (affinity) override with depth() > 0.
+  [[nodiscard]] virtual bool has_ready(Cycle now) const;
+
+  /// Affinity (HEFT) support: the dispatchable requests at `now` in policy
+  /// order, without removing them — the server pairs each with its
+  /// earliest-finish device and takes the ones it can place. Pointers are
+  /// valid until the next mutating call. Default: empty (policy does not
+  /// support server-side placement).
+  [[nodiscard]] virtual std::vector<const QueuedRequest*> ready(Cycle now) const;
+
+  /// Removes and returns the queued request with `id` (previously seen via
+  /// ready()); nullopt when this scheduler does not hold it.
+  virtual std::optional<QueuedRequest> try_take(std::uint64_t id);
 };
 
+/// Creates the scheduler for a policy. When more than one request class
+/// (SLO tier) is configured, the policy's queue is instantiated per tier
+/// behind a deterministic priority + weighted-fair front end
+/// (serve/fleet.hpp, RequestClass); with zero or one class the bare policy
+/// queue is returned unchanged.
 [[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(SchedulingPolicy policy,
-                                                        Scheduler::Limits limits);
+                                                        Scheduler::Limits limits,
+                                                        std::vector<RequestClass> classes = {});
 
 /// The plan-compatibility class of a request: two requests with the same
 /// key run the same plan on the same graph with the same seed, so they

@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 #include <tuple>
 #include <utility>
@@ -12,10 +13,41 @@ namespace gnnerator::serve {
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       plan_cache_(std::make_shared<core::PlanCache>(options_.plan_cache_capacity)) {
-  GNNERATOR_CHECK_MSG(options_.num_devices > 0, "server needs at least one device");
   GNNERATOR_CHECK_MSG(options_.clock_ghz > 0.0, "server needs a positive device clock");
-  devices_.reserve(options_.num_devices);
-  for (std::size_t d = 0; d < options_.num_devices; ++d) {
+
+  request_classes_ = options_.classes;
+  if (request_classes_.empty()) {
+    request_classes_.push_back(RequestClass{});
+  }
+  for (std::size_t i = 0; i < request_classes_.size(); ++i) {
+    const RequestClass& klass = request_classes_[i];
+    GNNERATOR_CHECK_MSG(!klass.name.empty(), "request class " << i << " needs a name");
+    GNNERATOR_CHECK_MSG(klass.weight > 0.0,
+                        "request class '" << klass.name << "' needs a positive weight");
+    for (std::size_t j = 0; j < i; ++j) {
+      GNNERATOR_CHECK_MSG(request_classes_[j].name != klass.name,
+                          "duplicate request class '" << klass.name << "'");
+    }
+  }
+
+  device_classes_ = options_.fleet;
+  std::size_t total_devices = options_.num_devices;
+  if (!device_classes_.empty()) {
+    total_devices = 0;
+    for (const DeviceClass& klass : device_classes_) {
+      GNNERATOR_CHECK_MSG(!klass.name.empty(), "device class needs a name");
+      GNNERATOR_CHECK_MSG(klass.count > 0,
+                          "device class '" << klass.name << "' has count 0");
+      GNNERATOR_CHECK_MSG(klass.effective_clock_ghz() > 0.0,
+                          "device class '" << klass.name << "' needs a positive clock");
+      klass.config.validate();
+      total_devices += klass.count;
+    }
+  }
+  GNNERATOR_CHECK_MSG(total_devices > 0, "server needs at least one device");
+
+  devices_.reserve(total_devices);
+  const auto add_device = [&](std::size_t klass) {
     core::EngineOptions engine_options;
     // Device workers are simulated serially inside the deterministic event
     // loop; threads would only perturb nothing and cost context switches.
@@ -23,7 +55,19 @@ Server::Server(ServerOptions options)
     engine_options.shared_plan_cache = plan_cache_;
     Device device;
     device.engine = std::make_unique<core::Engine>(engine_options);
+    device.klass = klass;
     devices_.push_back(std::move(device));
+  };
+  if (device_classes_.empty()) {
+    for (std::size_t d = 0; d < total_devices; ++d) {
+      add_device(kNoClass);
+    }
+  } else {
+    for (std::size_t ci = 0; ci < device_classes_.size(); ++ci) {
+      for (std::size_t d = 0; d < device_classes_[ci].count; ++d) {
+        add_device(ci);
+      }
+    }
   }
 }
 
@@ -49,27 +93,118 @@ const Server::RegisteredDataset& Server::registered(const std::string& name) con
   return it->second;
 }
 
+const DeviceClass* Server::device_class(std::size_t device) const {
+  GNNERATOR_CHECK(device < devices_.size());
+  const std::size_t klass = devices_[device].klass;
+  return klass == kNoClass ? nullptr : &device_classes_[klass];
+}
+
+core::SimulationRequest Server::sim_for_device(const core::SimulationRequest& sim,
+                                               const Device& device) const {
+  core::SimulationRequest swapped = sim;
+  if (device.klass != kNoClass) {
+    swapped.config = device_classes_[device.klass].config;
+  }
+  return swapped;
+}
+
 std::string Server::class_key(const core::SimulationRequest& sim) const {
-  return request_class_key(registered(sim.dataset).fingerprint, sim);
+  const RegisteredDataset& dataset = registered(sim.dataset);
+  if (device_classes_.empty()) {
+    return request_class_key(dataset.fingerprint, sim);
+  }
+  // Heterogeneous fleet: the canonical (first) class's config stands in for
+  // the request's, so two requests are plan-compatible iff they match in
+  // every config-independent dimension — the partition is the same whatever
+  // fixed config is substituted.
+  core::SimulationRequest canonical = sim;
+  canonical.config = device_classes_.front().config;
+  return request_class_key(dataset.fingerprint, canonical);
 }
 
 std::uint64_t Server::cost_estimate(const core::SimulationRequest& sim) {
   const RegisteredDataset& dataset = registered(sim.dataset);
-  return cost_model_.estimate(*dataset.dataset, sim,
-                              request_class_key(dataset.fingerprint, sim));
+  if (device_classes_.empty()) {
+    return cost_model_.estimate(*dataset.dataset, sim,
+                                request_class_key(dataset.fingerprint, sim));
+  }
+  core::SimulationRequest canonical = sim;
+  canonical.config = device_classes_.front().config;
+  return cost_model_.estimate(*dataset.dataset, canonical,
+                              request_class_key(dataset.fingerprint, canonical));
+}
+
+Cycle Server::to_server_cycles(const Device& device, std::uint64_t device_cycles) const {
+  if (device.klass == kNoClass) {
+    return device_cycles;
+  }
+  const double ratio = options_.clock_ghz / device_classes_[device.klass].effective_clock_ghz();
+  if (ratio == 1.0) {
+    return device_cycles;
+  }
+  return static_cast<Cycle>(std::llround(static_cast<double>(device_cycles) * ratio));
+}
+
+std::uint64_t Server::device_cost_estimate(const core::SimulationRequest& sim,
+                                           std::size_t device_index) {
+  GNNERATOR_CHECK(device_index < devices_.size());
+  Device& device = devices_[device_index];
+  const RegisteredDataset& dataset = registered(sim.dataset);
+  const core::SimulationRequest swapped = sim_for_device(sim, device);
+  const std::string key = request_class_key(dataset.fingerprint, swapped);
+  const std::uint64_t device_cycles = cost_model_.estimate(*dataset.dataset, swapped, key);
+  return to_server_cycles(device, device_cycles) + options_.per_request_overhead;
+}
+
+std::uint64_t Server::queued_cost_estimate(const QueuedRequest& queued,
+                                           std::size_t device_index) {
+  const Device& device = devices_[device_index];
+  // Legacy devices all estimate under the request's own config, so they
+  // share one memo slot ("L").
+  std::string memo_key =
+      device.klass == kNoClass ? std::string("L") : std::to_string(device.klass);
+  memo_key += '|';
+  memo_key += queued.class_key;
+  const auto it = device_estimates_.find(memo_key);
+  if (it != device_estimates_.end()) {
+    return it->second;
+  }
+  const std::uint64_t estimate = device_cost_estimate(queued.request.sim, device_index);
+  device_estimates_.emplace(std::move(memo_key), estimate);
+  return estimate;
+}
+
+const std::string& Server::exec_key(const QueuedRequest& queued, const Device& device) {
+  if (device.klass == kNoClass) {
+    return queued.class_key;
+  }
+  std::string memo_key = std::to_string(device.klass);
+  memo_key += '|';
+  memo_key += queued.class_key;
+  auto it = exec_keys_.find(memo_key);
+  if (it == exec_keys_.end()) {
+    const core::SimulationRequest swapped = sim_for_device(queued.request.sim, device);
+    const RegisteredDataset& dataset = registered(swapped.dataset);
+    it = exec_keys_
+             .emplace(std::move(memo_key), request_class_key(dataset.fingerprint, swapped))
+             .first;
+  }
+  return it->second;
 }
 
 void Server::ensure_class_results(Device& device, const DispatchBatch& batch) {
   std::vector<const QueuedRequest*> missing;
+  std::vector<const std::string*> missing_keys;
   for (const QueuedRequest& q : batch.requests) {
-    if (class_results_.contains(q.class_key)) {
+    const std::string& key = exec_key(q, device);
+    if (class_results_.contains(key)) {
       continue;
     }
-    const bool queued = std::any_of(missing.begin(), missing.end(), [&](const QueuedRequest* m) {
-      return m->class_key == q.class_key;
-    });
+    const bool queued = std::any_of(missing_keys.begin(), missing_keys.end(),
+                                    [&](const std::string* k) { return *k == key; });
     if (!queued) {
       missing.push_back(&q);
+      missing_keys.push_back(&key);
     }
   }
   if (missing.empty()) {
@@ -80,7 +215,7 @@ void Server::ensure_class_results(Device& device, const DispatchBatch& batch) {
   std::vector<core::SimulationRequest> sims;
   sims.reserve(missing.size());
   for (const QueuedRequest* q : missing) {
-    sims.push_back(q->request.sim);
+    sims.push_back(sim_for_device(q->request.sim, device));
   }
   std::vector<core::ExecutionResult> results = device.engine->run_batch(sims);
   for (std::size_t i = 0; i < missing.size(); ++i) {
@@ -91,33 +226,36 @@ void Server::ensure_class_results(Device& device, const DispatchBatch& batch) {
       // [V x out_dim] tensor per class forever.
       results[i].output.reset();
     }
-    class_results_.emplace(missing[i]->class_key, std::make_shared<const core::ExecutionResult>(
-                                                      std::move(results[i])));
+    class_results_.emplace(*missing_keys[i], std::make_shared<const core::ExecutionResult>(
+                                                 std::move(results[i])));
   }
 }
 
-Cycle Server::batch_service_cycles(const DispatchBatch& batch) const {
+Cycle Server::batch_service_cycles(Device& device, const DispatchBatch& batch) {
   // One accelerator execution per distinct class (coalesced requests share
-  // it), plus the per-request dispatch/response overhead.
-  Cycle service = 0;
+  // it), plus the per-request dispatch/response overhead. Device cycles are
+  // converted onto the server timeline through the class clock.
+  std::uint64_t device_cycles = 0;
   std::vector<const std::string*> seen;
   for (const QueuedRequest& q : batch.requests) {
+    const std::string& key = exec_key(q, device);
     const bool counted = std::any_of(seen.begin(), seen.end(),
-                                     [&](const std::string* k) { return *k == q.class_key; });
+                                     [&](const std::string* k) { return *k == key; });
     if (counted) {
       continue;
     }
-    seen.push_back(&q.class_key);
-    const auto it = class_results_.find(q.class_key);
+    seen.push_back(&key);
+    const auto it = class_results_.find(key);
     GNNERATOR_CHECK_MSG(it != class_results_.end(), "class result missing at dispatch");
-    service += it->second->cycles;
+    device_cycles += it->second->cycles;
   }
-  service += options_.per_request_overhead * static_cast<Cycle>(batch.requests.size());
-  return service;
+  return to_server_cycles(device, device_cycles) +
+         options_.per_request_overhead * static_cast<Cycle>(batch.requests.size());
 }
 
 ServeReport Server::serve(WorkloadSource& workload) {
-  const std::unique_ptr<Scheduler> scheduler = make_scheduler(options_.policy, options_.limits);
+  const std::unique_ptr<Scheduler> scheduler =
+      make_scheduler(options_.policy, options_.limits, request_classes_);
 
   struct PendingArrival {
     Cycle at = 0;
@@ -140,9 +278,6 @@ ServeReport Server::serve(WorkloadSource& workload) {
   std::size_t max_depth = 0;
   Cycle now = 0;
 
-  const auto applied_slo = [&](const Request& request) {
-    return request.slo_ms > 0.0 ? request.slo_ms : options_.default_slo_ms;
-  };
   const auto feed_back = [&](const Outcome& outcome) {
     for (Request& request : workload.on_outcome(outcome)) {
       const Cycle at = std::max(request.arrival, now);
@@ -152,19 +287,35 @@ ServeReport Server::serve(WorkloadSource& workload) {
   const auto admit = [&](Request request) {
     GNNERATOR_CHECK_MSG(!request.sim.dataset.empty(), "serve request needs a dataset id");
     GNNERATOR_CHECK_MSG(!request.sim.model.layers.empty(), "serve request needs a model");
-    const RegisteredDataset& dataset = registered(request.sim.dataset);
+
+    std::size_t tier = 0;
+    if (!request.klass.empty()) {
+      tier = request_classes_.size();
+      for (std::size_t t = 0; t < request_classes_.size(); ++t) {
+        if (request_classes_[t].name == request.klass) {
+          tier = t;
+          break;
+        }
+      }
+      GNNERATOR_CHECK_MSG(tier < request_classes_.size(),
+                          "request names unknown class '" << request.klass << "'");
+    }
+    const RequestClass& klass = request_classes_[tier];
 
     request.id = static_cast<std::uint64_t>(records.size());
     QueuedRequest queued;
-    queued.class_key = request_class_key(dataset.fingerprint, request.sim);
-    queued.cost_estimate =
-        cost_model_.estimate(*dataset.dataset, request.sim, queued.class_key);
+    queued.tier = tier;
+    queued.class_key = class_key(request.sim);
+    queued.cost_estimate = cost_estimate(request.sim);
 
     Outcome record;
     record.id = request.id;
     record.arrival = request.arrival;
     record.class_key = queued.class_key;
-    record.applied_slo_ms = applied_slo(request);
+    record.klass = klass.name;
+    record.applied_slo_ms = request.slo_ms > 0.0   ? request.slo_ms
+                            : klass.slo_ms > 0.0   ? klass.slo_ms
+                                                   : options_.default_slo_ms;
     records.push_back(record);
 
     if (options_.queue_capacity > 0 && scheduler->depth() >= options_.queue_capacity) {
@@ -177,6 +328,105 @@ ServeReport Server::serve(WorkloadSource& workload) {
     }
     queued.request = std::move(request);
     scheduler->enqueue(std::move(queued), now);
+  };
+
+  /// SLO admission control + device occupation for one popped batch on one
+  /// device. A request whose batch would complete past its deadline is shed
+  /// *before* occupying the device; shedding shrinks the batch (and
+  /// possibly its class set), which can rescue the rest — iterate to the
+  /// fixpoint. Returns true when the device was occupied (the batch was
+  /// not fully shed).
+  const auto dispatch_batch_to = [&](Device& device, std::uint32_t di, DispatchBatch batch) {
+    while (!batch.requests.empty()) {
+      ensure_class_results(device, batch);
+      const Cycle service = batch_service_cycles(device, batch);
+      const std::size_t before = batch.requests.size();
+      std::erase_if(batch.requests, [&](const QueuedRequest& queued) {
+        const double slo_ms = records[queued.request.id].applied_slo_ms;
+        if (slo_ms <= 0.0) {
+          return false;
+        }
+        const Cycle deadline =
+            queued.request.arrival + ms_to_cycles(slo_ms, options_.clock_ghz);
+        if (now + service <= deadline) {
+          return false;
+        }
+        Outcome& record = records[queued.request.id];
+        record.shed = true;
+        record.dispatch = now;
+        record.completion = now;
+        feed_back(record);
+        return true;
+      });
+      if (batch.requests.size() == before) {
+        break;
+      }
+    }
+    if (batch.requests.empty()) {
+      return false;
+    }
+
+    const Cycle service = batch_service_cycles(device, batch);
+    for (const QueuedRequest& queued : batch.requests) {
+      Outcome outcome = records[queued.request.id];
+      outcome.dispatch = now;
+      outcome.device = di;
+      outcome.batch_size = static_cast<std::uint32_t>(batch.requests.size());
+      outcome.service_cycles = service;
+      if (options_.collect_results) {
+        outcome.result = class_results_.at(exec_key(queued, device));
+      }
+      device.inflight.push_back(std::move(outcome));
+    }
+    device.busy_until = now + service;
+    device.stats.busy_cycles += service;
+    device.stats.batches += 1;
+    device.stats.requests += static_cast<std::uint64_t>(batch.requests.size());
+    return true;
+  };
+
+  /// Affinity-aware (HEFT) dispatch: scan dispatchable requests in policy
+  /// order and place each on the device with the earliest estimated finish
+  /// time (cost model under each device class's config). A request whose
+  /// best device is busy is *held* — its preferred device finishing is a
+  /// completion event, so the hold always resolves without extra wake-ups.
+  /// Each placement changes busy states, so rescan until a full pass
+  /// places nothing.
+  const auto dispatch_affinity = [&] {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (const QueuedRequest* q : scheduler->ready(now)) {
+        std::size_t best = devices_.size();
+        Cycle best_eft = kNoDeadline;
+        bool best_busy = true;
+        for (std::size_t di = 0; di < devices_.size(); ++di) {
+          const Device& device = devices_[di];
+          const bool busy = !device.inflight.empty();
+          const Cycle start = busy ? device.busy_until : now;
+          const Cycle eft = start + queued_cost_estimate(*q, di);
+          // Total order: earliest finish, then idle before busy, then the
+          // lower device index (the scan order).
+          if (best == devices_.size() || eft < best_eft ||
+              (eft == best_eft && !busy && best_busy)) {
+            best = di;
+            best_eft = eft;
+            best_busy = busy;
+          }
+        }
+        if (best_busy) {
+          continue;  // held for a busy device
+        }
+        std::optional<QueuedRequest> taken = scheduler->try_take(q->request.id);
+        GNNERATOR_CHECK_MSG(taken.has_value(), "affinity scheduler lost a ready request");
+        DispatchBatch batch;
+        batch.requests.push_back(std::move(*taken));
+        (void)dispatch_batch_to(devices_[best], static_cast<std::uint32_t>(best),
+                                std::move(batch));
+        progress = true;
+        break;  // the ready view is invalidated; rescan
+      }
+    }
   };
 
   while (true) {
@@ -225,66 +475,22 @@ ServeReport Server::serve(WorkloadSource& workload) {
       admit(std::move(request));
     }
 
-    // ---- Dispatch to idle devices (device-index order). ------------------
-    for (std::uint32_t di = 0; di < devices_.size(); ++di) {
-      Device& device = devices_[di];
-      while (device.inflight.empty()) {
-        std::optional<DispatchBatch> popped = scheduler->pop(now);
-        if (!popped) {
-          break;
-        }
-        DispatchBatch batch = std::move(*popped);
-
-        // SLO admission control: a request whose batch would complete past
-        // its deadline is shed *before* occupying the device. Shedding
-        // shrinks the batch (and possibly its class set), which can rescue
-        // the rest — iterate to the fixpoint.
-        while (!batch.requests.empty()) {
-          ensure_class_results(device, batch);
-          const Cycle service = batch_service_cycles(batch);
-          const std::size_t before = batch.requests.size();
-          std::erase_if(batch.requests, [&](const QueuedRequest& queued) {
-            const double slo_ms = applied_slo(queued.request);
-            if (slo_ms <= 0.0) {
-              return false;
-            }
-            const Cycle deadline =
-                queued.request.arrival + ms_to_cycles(slo_ms, options_.clock_ghz);
-            if (now + service <= deadline) {
-              return false;
-            }
-            Outcome& record = records[queued.request.id];
-            record.shed = true;
-            record.dispatch = now;
-            record.completion = now;
-            feed_back(record);
-            return true;
-          });
-          if (batch.requests.size() == before) {
+    // ---- Dispatch (device-index order; affinity places jointly). ---------
+    if (options_.policy == SchedulingPolicy::kAffinity) {
+      dispatch_affinity();
+    } else {
+      for (std::uint32_t di = 0; di < devices_.size(); ++di) {
+        Device& device = devices_[di];
+        while (device.inflight.empty()) {
+          std::optional<DispatchBatch> popped = scheduler->pop(now);
+          if (!popped) {
             break;
           }
-        }
-        if (batch.requests.empty()) {
-          continue;  // fully shed: try the next batch for this device
-        }
-
-        const Cycle service = batch_service_cycles(batch);
-        for (const QueuedRequest& queued : batch.requests) {
-          Outcome outcome = records[queued.request.id];
-          outcome.dispatch = now;
-          outcome.device = di;
-          outcome.batch_size = static_cast<std::uint32_t>(batch.requests.size());
-          outcome.service_cycles = service;
-          if (options_.collect_results) {
-            outcome.result = class_results_.at(queued.class_key);
+          if (dispatch_batch_to(device, di, std::move(*popped))) {
+            break;  // device occupied; move to the next device
           }
-          device.inflight.push_back(std::move(outcome));
+          // fully shed: try the next batch for this device
         }
-        device.busy_until = now + service;
-        device.stats.busy_cycles += service;
-        device.stats.batches += 1;
-        device.stats.requests += static_cast<std::uint64_t>(batch.requests.size());
-        break;  // device occupied; move to the next device
       }
     }
 
@@ -305,6 +511,7 @@ ServeReport Server::serve(WorkloadSource& workload) {
   report.outcomes = std::move(records);
   report.devices.reserve(devices_.size());
   for (Device& device : devices_) {
+    device.stats.klass = device.klass == kNoClass ? "" : device_classes_[device.klass].name;
     report.devices.push_back(device.stats);
     device.stats = DeviceStats{};  // reset for the next serve() run
     device.busy_until = 0;

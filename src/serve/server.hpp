@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "serve/fleet.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
@@ -17,23 +18,42 @@
 namespace gnnerator::serve {
 
 struct ServerOptions {
-  /// Size of the simulated device fleet.
+  /// Size of the simulated device fleet when `fleet` is empty (legacy
+  /// homogeneous mode: every worker executes requests under the request's
+  /// own config).
   std::size_t num_devices = 2;
+  /// Heterogeneous fleet spec: each entry contributes `count` workers of
+  /// its device class (serve/fleet.hpp; parse_fleet_spec for the
+  /// "2xbaseline,1xnextgen" grammar). When non-empty it replaces
+  /// num_devices, every worker compiles/executes under its class config
+  /// (the request's config field is ignored), and per-class clocks convert
+  /// device cycles onto the server timeline. The first entry is the
+  /// *canonical* class: plan-compatibility keys and the SJF/WFQ cost
+  /// oracle are evaluated under it.
+  std::vector<DeviceClass> fleet;
+  /// Request classes (SLO tiers). Empty = one "default" class. Requests
+  /// name their class via Request::klass (empty = the first class);
+  /// dispatch across classes is strict-priority then weighted-fair
+  /// (serve/fleet.hpp).
+  std::vector<RequestClass> classes;
   SchedulingPolicy policy = SchedulingPolicy::kFifo;
   /// Dynamic-batching window and size cap (kDynamicBatch only).
   Scheduler::Limits limits;
   /// Admission bound on queued (not yet dispatched) requests; an arrival
   /// finding the queue full is shed on the spot. 0 = unbounded.
   std::size_t queue_capacity = 0;
-  /// SLO applied to requests that do not carry their own; <= 0 = none.
-  /// A request whose earliest possible completion already misses its SLO
-  /// is shed at dispatch instead of wasting device time.
+  /// SLO applied to requests that carry none (directly or via their
+  /// request class); <= 0 = none. A request whose earliest possible
+  /// completion already misses its SLO is shed at dispatch instead of
+  /// wasting device time.
   double default_slo_ms = 0.0;
-  /// Device clock: maps simulated cycles to reported milliseconds and SLO
-  /// deadlines to cycles.
+  /// Server clock: the virtual timeline's cycle rate. Maps simulated
+  /// cycles to reported milliseconds and SLO deadlines to cycles; device
+  /// cycles of a class with a different clock are rescaled onto this
+  /// timeline at dispatch.
   double clock_ghz = 1.0;
   /// Per-request dispatch/response overhead a device pays for every
-  /// request in a batch (RPC + host round trip), in device cycles.
+  /// request in a batch (RPC + host round trip), in server cycles.
   Cycle per_request_overhead = 10'000;
   /// Capacity of the fleet-wide shared plan cache.
   std::size_t plan_cache_capacity = 64;
@@ -48,7 +68,11 @@ struct ServerOptions {
 /// The Server owns a fleet of device workers — each a core::Engine sharing
 /// one fleet-wide PlanCache, so a model deployed across N devices compiles
 /// once — an admission-controlled request queue, and a pluggable scheduling
-/// policy (FIFO / SJF / dynamic batching, serve/scheduler.hpp).
+/// policy (FIFO / SJF / dynamic batching / affinity, serve/scheduler.hpp).
+/// The fleet may be heterogeneous (ServerOptions::fleet): workers of
+/// different device classes execute the same request under different
+/// accelerator configs, and the affinity policy places each request on the
+/// device with the earliest estimated finish time.
 ///
 /// serve() runs a deterministic discrete-event simulation in virtual device
 /// time: the workload source emits timed arrivals, the policy picks what an
@@ -60,10 +84,11 @@ struct ServerOptions {
 /// admission id, so two runs over the same (workload, seed, options) are
 /// bit-identical — policies can be compared on p99s without noise.
 ///
-/// The per-class execution result is memoized (identical requests provably
-/// compute identical results), so driving tens of thousands of requests
-/// through the fleet costs one accelerator simulation per distinct class —
-/// this is what PR 2's time-skipping kernel and PR 1/3's plan cache bought.
+/// The per-(plan class, device class) execution result is memoized
+/// (identical requests provably compute identical results on the same
+/// device class), so driving tens of thousands of requests through the
+/// fleet costs one accelerator simulation per distinct class pair — this
+/// is what PR 2's time-skipping kernel and PR 1/3's plan cache bought.
 class Server {
  public:
   explicit Server(ServerOptions options = {});
@@ -80,13 +105,21 @@ class Server {
 
   [[nodiscard]] core::PlanCacheStats cache_stats() const { return plan_cache_->stats(); }
   /// The plan-compatibility class a request would be admitted under
-  /// (clients/tests correlate outcomes back to their mix entries). The
-  /// request's dataset must be registered.
+  /// (clients/tests correlate outcomes back to their mix entries). On a
+  /// heterogeneous fleet the canonical (first) device class's config is
+  /// substituted. The request's dataset must be registered.
   [[nodiscard]] std::string class_key(const core::SimulationRequest& sim) const;
   /// The SJF job-size oracle's estimate for a request (cycles), as the
-  /// admission controller would compute it.
+  /// admission controller would compute it (canonical device class).
   [[nodiscard]] std::uint64_t cost_estimate(const core::SimulationRequest& sim);
+  /// The affinity oracle: estimated service cycles of a request on one
+  /// device, on the server timeline, including the per-request overhead.
+  [[nodiscard]] std::uint64_t device_cost_estimate(const core::SimulationRequest& sim,
+                                                   std::size_t device);
   [[nodiscard]] std::size_t num_devices() const { return devices_.size(); }
+  /// The device class of one worker; the empty legacy class (no config
+  /// override) when ServerOptions::fleet was empty.
+  [[nodiscard]] const DeviceClass* device_class(std::size_t device) const;
   [[nodiscard]] const ServerOptions& options() const { return options_; }
   [[nodiscard]] bool has_dataset(std::string_view name) const;
 
@@ -98,6 +131,8 @@ class Server {
 
   struct Device {
     std::unique_ptr<core::Engine> engine;
+    /// Index into classes (expanded fleet); kNoClass on a legacy fleet.
+    std::size_t klass = 0;
     Cycle busy_until = 0;
     /// Outcomes of the batch in flight (empty when idle); completion is
     /// stamped when the batch finishes.
@@ -105,20 +140,49 @@ class Server {
     DeviceStats stats;
   };
 
+  static constexpr std::size_t kNoClass = ~static_cast<std::size_t>(0);
+
   [[nodiscard]] const RegisteredDataset& registered(const std::string& name) const;
-  /// The memoized canonical execution of one class; runs the missing
-  /// classes of `batch` through `device`'s engine (one run_batch call).
+  /// The execution-memo key of one queued request on one device: the plan
+  /// class with the device class's config substituted (equal to class_key
+  /// on a legacy fleet). Memoized.
+  [[nodiscard]] const std::string& exec_key(const QueuedRequest& queued,
+                                            const Device& device);
+  /// The memoized canonical execution of one (plan class, device class);
+  /// runs the missing classes of `batch` through `device`'s engine (one
+  /// run_batch call).
   void ensure_class_results(Device& device, const DispatchBatch& batch);
-  [[nodiscard]] Cycle batch_service_cycles(const DispatchBatch& batch) const;
+  /// Device occupancy of a batch on `device`, on the server timeline.
+  [[nodiscard]] Cycle batch_service_cycles(Device& device, const DispatchBatch& batch);
+  /// Converts device cycles of `device`'s class onto the server timeline
+  /// (identity on a legacy fleet and whenever the clocks match).
+  [[nodiscard]] Cycle to_server_cycles(const Device& device, std::uint64_t device_cycles) const;
+  [[nodiscard]] core::SimulationRequest sim_for_device(const core::SimulationRequest& sim,
+                                                       const Device& device) const;
 
   ServerOptions options_;
+  /// Expanded fleet: one entry per DeviceClass (count folded out by
+  /// devices_ referencing it). Empty on a legacy fleet.
+  std::vector<DeviceClass> device_classes_;
+  /// Request classes (at least one; synthesized "default" when unset).
+  std::vector<RequestClass> request_classes_;
   std::shared_ptr<core::PlanCache> plan_cache_;
   std::vector<Device> devices_;
   std::map<std::string, RegisteredDataset, std::less<>> datasets_;
   JobCostModel cost_model_;
   /// class key -> canonical execution result (cycles + output), computed
-  /// once per class for the whole fleet.
+  /// once per (plan class, device class) for the whole fleet.
   std::unordered_map<std::string, std::shared_ptr<const core::ExecutionResult>> class_results_;
+  /// (device class index, plan class key) -> execution-memo key.
+  std::unordered_map<std::string, std::string> exec_keys_;
+  /// (device class index, plan class key) -> affinity EFT estimate in
+  /// server cycles (incl. per-request overhead). The affinity dispatcher
+  /// evaluates estimates on every scan; this keeps each evaluation a hash
+  /// lookup instead of a key rebuild + cost-model query.
+  std::unordered_map<std::string, std::uint64_t> device_estimates_;
+
+  [[nodiscard]] std::uint64_t queued_cost_estimate(const QueuedRequest& queued,
+                                                   std::size_t device_index);
 };
 
 }  // namespace gnnerator::serve

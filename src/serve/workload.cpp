@@ -5,6 +5,7 @@
 
 #include "util/check.hpp"
 #include "util/csv.hpp"
+#include "util/parse.hpp"
 
 namespace gnnerator::serve {
 
@@ -26,6 +27,7 @@ Request instantiate(const RequestTemplate& t, Cycle arrival) {
   request.arrival = arrival;
   request.sim = t.sim;
   request.slo_ms = t.slo_ms;
+  request.klass = t.klass;
   return request;
 }
 
@@ -108,47 +110,63 @@ TraceWorkload TraceWorkload::from_rows(const std::vector<std::vector<std::string
                                        double clock_ghz) {
   GNNERATOR_CHECK_MSG(!rows.empty(), "empty workload trace");
   const std::vector<std::string>& header = rows.front();
-  GNNERATOR_CHECK_MSG(header.size() >= 4 && header[0] == "arrival_ms" &&
-                          header[1] == "dataset" && header[2] == "model" &&
-                          header[3] == "slo_ms",
-                      "trace header must be arrival_ms,dataset,model,slo_ms");
+  const auto header_cell = [&](std::size_t i) {
+    return i < header.size() ? util::trim(header[i]) : std::string_view{};
+  };
+  GNNERATOR_CHECK_MSG(header.size() >= 4 && header_cell(0) == "arrival_ms" &&
+                          header_cell(1) == "dataset" && header_cell(2) == "model" &&
+                          header_cell(3) == "slo_ms",
+                      "trace header must be arrival_ms,dataset,model,slo_ms[,class]");
+  const bool has_class = header.size() >= 5 && header_cell(4) == "class";
+  GNNERATOR_CHECK_MSG(header.size() <= (has_class ? 5u : 4u),
+                      "trace header has unknown extra columns");
 
+  // A header-only trace is a valid empty workload (the generator matched
+  // nothing) — replaying it serves zero requests instead of throwing.
   TraceWorkload workload;
   for (std::size_t r = 1; r < rows.size(); ++r) {
     const std::vector<std::string>& row = rows[r];
-    if (row.size() == 1 && row[0].empty()) {
+    if (row.size() == 1 && util::trim(row[0]).empty()) {
       continue;  // blank line
     }
     GNNERATOR_CHECK_MSG(row.size() >= 4, "trace row " << r << " has " << row.size()
-                                                      << " cells, expected 4");
+                                                      << " cells, expected at least 4");
     Request request;
     request.sim = base;
-    double arrival_ms = 0.0;
-    try {
-      arrival_ms = std::stod(row[0]);
-      request.slo_ms = std::stod(row[3]);
-    } catch (const std::exception&) {
-      GNNERATOR_CHECK_MSG(false, "trace row " << r << ": malformed number");
-    }
-    GNNERATOR_CHECK_MSG(arrival_ms >= 0.0,
-                        "trace row " << r << ": negative arrival_ms " << arrival_ms);
+    // Strict numeric parses: whitespace around the number is fine, trailing
+    // garbage ("1.5x") is a malformed row, never a silent truncation.
+    const std::optional<double> arrival_ms = util::parse_double(row[0]);
+    const std::optional<double> slo_ms = util::parse_double(row[3]);
+    GNNERATOR_CHECK_MSG(arrival_ms.has_value(),
+                        "trace row " << r << ": malformed arrival_ms '" << row[0] << "'");
+    GNNERATOR_CHECK_MSG(slo_ms.has_value(),
+                        "trace row " << r << ": malformed slo_ms '" << row[3] << "'");
+    request.slo_ms = *slo_ms;
+    GNNERATOR_CHECK_MSG(*arrival_ms >= 0.0,
+                        "trace row " << r << ": negative arrival_ms " << *arrival_ms);
     GNNERATOR_CHECK_MSG(request.slo_ms >= 0.0,
                         "trace row " << r << ": negative slo_ms " << request.slo_ms);
-    request.arrival = ms_to_cycles(arrival_ms, clock_ghz);
-    const std::optional<graph::DatasetSpec> spec = graph::find_dataset(row[1]);
+    request.arrival = ms_to_cycles(*arrival_ms, clock_ghz);
+    const std::string dataset_name(util::trim(row[1]));
+    const std::optional<graph::DatasetSpec> spec = graph::find_dataset(dataset_name);
     GNNERATOR_CHECK_MSG(spec.has_value(), "trace row " << r << ": unknown dataset '"
-                                                       << row[1] << "'");
+                                                       << dataset_name << "'");
     request.sim.dataset = spec->name;
+    const std::string_view model_name = util::trim(row[2]);
     std::optional<gnn::LayerKind> kind;
     for (const gnn::LayerKind k :
          {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean, gnn::LayerKind::kSagePool}) {
-      if (row[2] == gnn::layer_kind_name(k)) {
+      if (model_name == gnn::layer_kind_name(k)) {
         kind = k;
       }
     }
-    GNNERATOR_CHECK_MSG(kind.has_value(), "trace row " << r << ": unknown model '" << row[2]
+    GNNERATOR_CHECK_MSG(kind.has_value(), "trace row " << r << ": unknown model '"
+                                                       << model_name
                                                        << "' (gcn, gsage, gsage-max)");
     request.sim.model = core::table3_model(*kind, *spec);
+    if (has_class && row.size() >= 5) {
+      request.klass = std::string(util::trim(row[4]));
+    }
     workload.arrivals_.push_back(std::move(request));
   }
   return workload;

@@ -15,6 +15,8 @@ struct RequestTemplate {
   core::SimulationRequest sim;
   double slo_ms = 0.0;
   double weight = 1.0;
+  /// Request class (SLO tier) name; empty = the server's first class.
+  std::string klass;
 };
 
 /// A source of timed arrivals for Server::serve. The server pulls the
@@ -85,12 +87,15 @@ class ClosedLoopWorkload final : public WorkloadSource {
 
 /// Replays a recorded trace. CSV columns (header required):
 ///
-///   arrival_ms,dataset,model,slo_ms
+///   arrival_ms,dataset,model,slo_ms[,class]
 ///
 /// `model` is a Table III network family over the named dataset: "gcn",
-/// "gsage" or "gsage-max" (gnn::layer_kind_name spellings). Rows may be
-/// unsorted; blank lines are skipped. Unknown datasets/models throw
-/// CheckError naming the row.
+/// "gsage" or "gsage-max" (gnn::layer_kind_name spellings); the optional
+/// `class` column names the request class (SLO tier). Rows may be
+/// unsorted; cells may carry surrounding whitespace; numeric fields are
+/// parsed strictly (trailing garbage is an error, not silently dropped);
+/// blank lines are skipped; a header-only trace is an empty workload.
+/// Unknown datasets/models throw CheckError naming the row.
 class TraceWorkload final : public WorkloadSource {
  public:
   /// Parses CSV text (util::parse_csv). `base` supplies everything the

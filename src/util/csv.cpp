@@ -49,7 +49,14 @@ std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
         end_cell();
         break;
       case '\r':
-        break;  // CRLF: the '\n' ends the row
+        // CRLF ends the row (consuming the '\n'); a lone CR (classic-Mac
+        // line endings) ends the row too instead of silently vanishing
+        // from the middle of a cell.
+        if (i + 1 < text.size() && text[i + 1] == '\n') {
+          ++i;
+        }
+        end_row();
+        break;
       case '\n':
         end_row();
         break;

@@ -9,9 +9,11 @@
 namespace gnnerator::util {
 
 /// Parses RFC-4180 CSV text into rows of cells: quoted cells may contain
-/// commas, doubled quotes and embedded newlines; CRLF and LF line endings
-/// both work; a trailing newline does not produce an empty row. The inverse
-/// of CsvWriter (round-trips its output). Used by the serving subsystem's
+/// commas, doubled quotes and embedded newlines; CRLF, LF and lone-CR line
+/// endings all work (an unquoted CR never vanishes from the middle of a
+/// cell — it ends the row); a trailing newline does not produce an empty
+/// row; a trailing comma produces an empty final cell. The inverse of
+/// CsvWriter (round-trips its output). Used by the serving subsystem's
 /// workload-trace replay. Throws CheckError on an unterminated quoted cell.
 [[nodiscard]] std::vector<std::vector<std::string>> parse_csv(std::string_view text);
 

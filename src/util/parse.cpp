@@ -1,0 +1,94 @@
+#include "util/parse.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace gnnerator::util {
+
+namespace {
+
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && is_space(text.front())) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && is_space(text.back())) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<std::uint64_t> parse_uint(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::vector<CountedName> parse_count_list(std::string_view text) {
+  std::vector<CountedName> entries;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string_view::npos) {
+      comma = text.size();
+    }
+    const std::string_view element = trim(text.substr(start, comma - start));
+    start = comma + 1;
+    if (element.empty()) {
+      continue;
+    }
+    CountedName entry;
+    // `<count>x<name>`: the count must be all digits. A name like "2x-bw"
+    // (a digit-x prefix followed by '-') is a bare name, not a count of
+    // "-bw" — names never start with '-'.
+    const std::size_t x = element.find('x');
+    std::optional<std::uint64_t> count;
+    if (x != std::string_view::npos && x > 0) {
+      count = parse_uint(element.substr(0, x));
+    }
+    const std::string_view counted_name =
+        count.has_value() ? trim(element.substr(x + 1)) : std::string_view{};
+    if (count.has_value() && !counted_name.starts_with('-')) {
+      GNNERATOR_CHECK_MSG(*count > 0, "count list element '" << element << "' has count 0");
+      entry.count = static_cast<std::size_t>(*count);
+      entry.name = std::string(counted_name);
+    } else {
+      entry.name = std::string(element);
+    }
+    GNNERATOR_CHECK_MSG(!entry.name.empty(),
+                        "count list element '" << element << "' is missing a name");
+    entries.push_back(std::move(entry));
+  }
+  GNNERATOR_CHECK_MSG(!entries.empty(), "empty count list '" << text << "'");
+  return entries;
+}
+
+}  // namespace gnnerator::util

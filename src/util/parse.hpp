@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gnnerator::util {
+
+/// Strips ASCII whitespace (space, tab, CR, LF, FF, VT) from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Strict full-string double parse: leading/trailing whitespace is allowed,
+/// anything else after the number (or an empty field) yields nullopt — unlike
+/// std::stod, "1.5x" is rejected instead of silently truncated.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
+
+/// As parse_double, for non-negative integers.
+[[nodiscard]] std::optional<std::uint64_t> parse_uint(std::string_view text);
+
+/// One `<count>x<name>` element of a counted-name list (fleet specs).
+struct CountedName {
+  std::size_t count = 1;
+  std::string name;
+};
+
+/// Parses a counted-name list like "2xbaseline,1xnextgen" (a serving fleet
+/// spec). Elements are comma-separated; each is `<count>x<name>` or a bare
+/// `<name>` (count 1); whitespace around elements is ignored. Throws
+/// CheckError on an empty list, a zero count, or a malformed element.
+[[nodiscard]] std::vector<CountedName> parse_count_list(std::string_view text);
+
+}  // namespace gnnerator::util

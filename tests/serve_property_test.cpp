@@ -1,0 +1,489 @@
+// Property-based + differential test harness for the serving subsystem.
+//
+// Instead of anecdotal example tests, a seeded generator sweeps random
+// workloads x policies x fleet specs and asserts *invariants* on every run:
+//
+//   * causality        — completion >= dispatch >= arrival; completion -
+//                        dispatch equals the batch's service cycles;
+//   * shed integrity   — shed requests never occupy a device, never carry a
+//                        result, and are never counted as completed;
+//   * accounting       — completed + shed == admitted; per-request-class
+//                        counts sum to the totals;
+//   * work conservation— no device idles while a compatible request is
+//                        queued (FIFO/SJF: strict; dynamic batching: past
+//                        the batching window; affinity: the fleet is never
+//                        fully idle while work waits — affinity may
+//                        legitimately hold a request for a busy preferred
+//                        device);
+//   * determinism      — two seeded replays produce byte-identical reports.
+//
+// A differential test pins the heterogeneous machinery to the homogeneous
+// baseline: a fleet whose device classes are all identical to the default
+// config must reproduce the homogeneous Server's completion records
+// *bitwise*, for every policy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/fleet.hpp"
+#include "serve/metrics.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+#include "util/prng.hpp"
+
+namespace gnnerator::serve {
+namespace {
+
+core::SimulationRequest timing_sim(const std::string& dataset, gnn::LayerKind kind) {
+  core::SimulationRequest sim;
+  sim.dataset = dataset;
+  sim.model = core::table3_model(kind, *graph::find_dataset(dataset));
+  sim.mode = core::SimMode::kTiming;
+  return sim;
+}
+
+/// One randomly drawn serving scenario.
+struct Scenario {
+  ServerOptions options;
+  double rate_rps = 0.0;
+  std::size_t num_requests = 0;
+  std::uint64_t workload_seed = 0;
+  std::string description;
+};
+
+Scenario draw_scenario(std::uint64_t seed) {
+  util::Prng prng(seed);
+  Scenario s;
+
+  const std::size_t fleet_pick = prng.uniform_u64(3);
+  if (fleet_pick == 0) {
+    s.options.num_devices = 1 + prng.uniform_u64(3);  // legacy homogeneous
+  } else if (fleet_pick == 1) {
+    s.options.fleet = parse_fleet_spec("1xbaseline,1xnextgen");
+  } else {
+    s.options.fleet = parse_fleet_spec("2xbaseline,1x2x-bw");
+  }
+
+  const SchedulingPolicy policies[] = {SchedulingPolicy::kFifo, SchedulingPolicy::kSjf,
+                                       SchedulingPolicy::kDynamicBatch,
+                                       SchedulingPolicy::kAffinity};
+  s.options.policy = policies[prng.uniform_u64(4)];
+
+  if (prng.uniform_u64(2) == 1) {
+    s.options.classes = parse_class_spec("interactive:3:4:1,bulk:0:1:0");
+  }
+
+  s.options.limits.batch_window = ms_to_cycles(0.05 + 0.2 * prng.uniform(), 1.0);
+  s.options.limits.max_batch = 4 + prng.uniform_u64(12);
+  if (prng.uniform_u64(3) == 0) {
+    s.options.queue_capacity = 4 + prng.uniform_u64(12);
+  }
+  if (prng.uniform_u64(3) == 0) {
+    s.options.default_slo_ms = 0.5 + 2.0 * prng.uniform();
+  }
+
+  const double rates[] = {2000.0, 8000.0, 20000.0};
+  s.rate_rps = rates[prng.uniform_u64(3)];
+  s.num_requests = 60 + prng.uniform_u64(60);
+  s.workload_seed = 1000 + seed;
+
+  std::ostringstream os;
+  os << "seed=" << seed << " fleet=" << fleet_pick << " policy="
+     << policy_name(s.options.policy) << " tiers=" << s.options.classes.size()
+     << " rate=" << s.rate_rps << " n=" << s.num_requests
+     << " qcap=" << s.options.queue_capacity << " slo=" << s.options.default_slo_ms;
+  s.description = os.str();
+  return s;
+}
+
+std::vector<RequestTemplate> scenario_mix(const Scenario& s) {
+  std::vector<RequestTemplate> mix;
+  for (const gnn::LayerKind kind : {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean}) {
+    RequestTemplate t;
+    t.sim = timing_sim("cora", kind);
+    if (!s.options.classes.empty()) {
+      t.klass = s.options.classes[mix.size() % s.options.classes.size()].name;
+    }
+    mix.push_back(std::move(t));
+  }
+  return mix;
+}
+
+ServeReport run_scenario(const Scenario& s) {
+  Server server(s.options);
+  server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+  PoissonWorkload workload(scenario_mix(s), s.rate_rps, s.num_requests,
+                           s.options.clock_ghz, s.workload_seed);
+  return server.serve(workload);
+}
+
+/// Sorted, disjoint busy intervals of one device.
+using Intervals = std::vector<std::pair<Cycle, Cycle>>;
+
+std::vector<Intervals> device_busy_intervals(const ServeReport& report) {
+  std::vector<Intervals> busy(report.devices.size());
+  for (const Outcome& outcome : report.outcomes) {
+    if (outcome.shed || outcome.completion == outcome.dispatch) {
+      continue;
+    }
+    busy[outcome.device].emplace_back(outcome.dispatch, outcome.completion);
+  }
+  for (Intervals& intervals : busy) {
+    std::sort(intervals.begin(), intervals.end());
+    // Coalesce (batched requests share their interval exactly).
+    Intervals merged;
+    for (const auto& iv : intervals) {
+      if (!merged.empty() && iv.first <= merged.back().second) {
+        merged.back().second = std::max(merged.back().second, iv.second);
+      } else {
+        merged.push_back(iv);
+      }
+    }
+    intervals = std::move(merged);
+  }
+  return busy;
+}
+
+/// True when [from, to) is fully covered by `intervals`.
+bool covered(const Intervals& intervals, Cycle from, Cycle to) {
+  if (from >= to) {
+    return true;
+  }
+  Cycle cursor = from;
+  for (const auto& [start, end] : intervals) {
+    if (start > cursor) {
+      return false;
+    }
+    if (end > cursor) {
+      cursor = end;
+      if (cursor >= to) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Union coverage across all devices (for the affinity "fleet never fully
+/// idle while work waits" rule).
+bool covered_by_any(const std::vector<Intervals>& busy, Cycle from, Cycle to) {
+  if (from >= to) {
+    return true;
+  }
+  Intervals merged;
+  for (const Intervals& intervals : busy) {
+    merged.insert(merged.end(), intervals.begin(), intervals.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  Intervals coalesced;
+  for (const auto& iv : merged) {
+    if (!coalesced.empty() && iv.first <= coalesced.back().second) {
+      coalesced.back().second = std::max(coalesced.back().second, iv.second);
+    } else {
+      coalesced.push_back(iv);
+    }
+  }
+  return covered(coalesced, from, to);
+}
+
+void check_invariants(const Scenario& s, const ServeReport& report) {
+  SCOPED_TRACE(s.description);
+  ASSERT_EQ(report.outcomes.size(), s.num_requests);
+
+  // ---- Causality + shed integrity ---------------------------------------
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  for (const Outcome& outcome : report.outcomes) {
+    if (outcome.shed) {
+      ++shed;
+      EXPECT_EQ(outcome.result, nullptr) << "shed request " << outcome.id << " has a result";
+      EXPECT_EQ(outcome.service_cycles, 0u)
+          << "shed request " << outcome.id << " occupied a device";
+      EXPECT_EQ(outcome.completion, outcome.dispatch);
+      EXPECT_GE(outcome.completion, outcome.arrival);
+      continue;
+    }
+    ++completed;
+    EXPECT_GE(outcome.dispatch, outcome.arrival) << "request " << outcome.id;
+    EXPECT_GE(outcome.completion, outcome.arrival) << "request " << outcome.id;
+    EXPECT_EQ(outcome.completion, outcome.dispatch + outcome.service_cycles)
+        << "request " << outcome.id << ": completion != dispatch + service";
+    EXPECT_LT(outcome.device, report.devices.size());
+    EXPECT_GE(outcome.batch_size, 1u);
+    EXPECT_FALSE(outcome.class_key.empty());
+    EXPECT_FALSE(outcome.klass.empty());
+  }
+
+  // ---- Accounting --------------------------------------------------------
+  EXPECT_EQ(report.metrics.completed, completed);
+  EXPECT_EQ(report.metrics.shed, shed);
+  EXPECT_EQ(completed + shed, report.outcomes.size());
+  std::size_t class_completed = 0;
+  std::size_t class_shed = 0;
+  std::map<std::string, std::size_t> seen_names;
+  for (const ClassMetricsSummary& c : report.metrics.classes) {
+    class_completed += c.completed;
+    class_shed += c.shed;
+    ++seen_names[c.name];
+  }
+  EXPECT_EQ(class_completed, completed) << "per-class completed do not sum to the total";
+  EXPECT_EQ(class_shed, shed) << "per-class shed do not sum to the total";
+  for (const auto& [name, count] : seen_names) {
+    EXPECT_EQ(count, 1u) << "duplicate class '" << name << "' in the breakdown";
+  }
+
+  // ---- Work conservation -------------------------------------------------
+  const std::vector<Intervals> busy = device_busy_intervals(report);
+  for (const Outcome& outcome : report.outcomes) {
+    if (outcome.shed || outcome.dispatch == outcome.arrival) {
+      continue;
+    }
+    switch (s.options.policy) {
+      case SchedulingPolicy::kFifo:
+      case SchedulingPolicy::kSjf:
+        // Strict: while this request waited, every device was busy.
+        for (std::size_t d = 0; d < busy.size(); ++d) {
+          EXPECT_TRUE(covered(busy[d], outcome.arrival, outcome.dispatch))
+              << "device " << d << " idled while request " << outcome.id << " waited ["
+              << outcome.arrival << ", " << outcome.dispatch << ")";
+        }
+        break;
+      case SchedulingPolicy::kDynamicBatch: {
+        // A request may wait out its batching window; past it, no device
+        // may idle.
+        const Cycle ripe_at = outcome.arrival + s.options.limits.batch_window;
+        for (std::size_t d = 0; d < busy.size(); ++d) {
+          EXPECT_TRUE(covered(busy[d], ripe_at, outcome.dispatch))
+              << "device " << d << " idled while request " << outcome.id
+              << " waited past its batching window";
+        }
+        break;
+      }
+      case SchedulingPolicy::kAffinity:
+        // Affinity may hold a request for a busy preferred device, but the
+        // fleet can never be *fully* idle while work waits.
+        EXPECT_TRUE(covered_by_any(busy, outcome.arrival, outcome.dispatch))
+            << "whole fleet idled while request " << outcome.id << " waited";
+        break;
+    }
+  }
+}
+
+std::string report_fingerprint(const ServeReport& report) {
+  std::ostringstream os;
+  os << report.format() << '\n' << report.end_cycle;
+  for (const Outcome& o : report.outcomes) {
+    os << '\n'
+       << o.id << ',' << o.arrival << ',' << o.dispatch << ',' << o.completion << ','
+       << o.device << ',' << o.batch_size << ',' << o.shed << ',' << o.service_cycles << ','
+       << o.applied_slo_ms << ',' << o.klass << ',' << o.class_key;
+  }
+  for (const ClassMetricsSummary& c : report.metrics.classes) {
+    os << '\n'
+       << c.name << ',' << c.completed << ',' << c.shed << ',' << c.p50_ms << ','
+       << c.p95_ms << ',' << c.p99_ms << ',' << c.slo_attainment;
+  }
+  return os.str();
+}
+
+/// The harness: every seeded scenario upholds every invariant, and two
+/// replays of the same scenario produce byte-identical reports.
+TEST(ServeProperty, RandomScenariosUpholdInvariants) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Scenario s = draw_scenario(seed);
+    SCOPED_TRACE(s.description);
+    const ServeReport report = run_scenario(s);
+    check_invariants(s, report);
+    const ServeReport replay = run_scenario(s);
+    EXPECT_EQ(report_fingerprint(report), report_fingerprint(replay))
+        << "two seeded replays diverged";
+  }
+}
+
+/// Differential: a heterogeneous fleet whose device classes are all
+/// identical to the default (Table IV) config must reproduce the
+/// homogeneous Server's completion records bitwise, for every policy.
+TEST(ServeProperty, IdenticalClassFleetMatchesHomogeneousBitwise) {
+  for (const SchedulingPolicy policy :
+       {SchedulingPolicy::kFifo, SchedulingPolicy::kSjf, SchedulingPolicy::kDynamicBatch,
+        SchedulingPolicy::kAffinity}) {
+    SCOPED_TRACE(std::string(policy_name(policy)));
+
+    const auto run = [&](bool heterogeneous) {
+      ServerOptions options;
+      options.policy = policy;
+      options.limits.batch_window = ms_to_cycles(0.1, options.clock_ghz);
+      options.default_slo_ms = 1.5;
+      if (heterogeneous) {
+        // Two classes, both the default config: the class-aware machinery
+        // (key substitution, clock conversion, per-class memoization) must
+        // degrade to an exact no-op.
+        DeviceClass a = *find_device_class("baseline");
+        a.name = "a";
+        a.count = 2;
+        DeviceClass b = *find_device_class("baseline");
+        b.name = "b";
+        b.count = 1;
+        options.fleet = {a, b};
+      } else {
+        options.num_devices = 3;
+      }
+      Server server(options);
+      server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+      std::vector<RequestTemplate> mix;
+      for (const gnn::LayerKind kind :
+           {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean, gnn::LayerKind::kSagePool}) {
+        RequestTemplate t;
+        t.sim = timing_sim("cora", kind);
+        mix.push_back(std::move(t));
+      }
+      PoissonWorkload workload(mix, /*rate_rps=*/15000.0, /*num_requests=*/200,
+                               options.clock_ghz, /*seed=*/77);
+      return server.serve(workload);
+    };
+
+    const ServeReport homogeneous = run(false);
+    const ServeReport heterogeneous = run(true);
+    ASSERT_EQ(homogeneous.outcomes.size(), heterogeneous.outcomes.size());
+    EXPECT_EQ(homogeneous.end_cycle, heterogeneous.end_cycle);
+    for (std::size_t i = 0; i < homogeneous.outcomes.size(); ++i) {
+      const Outcome& x = homogeneous.outcomes[i];
+      const Outcome& y = heterogeneous.outcomes[i];
+      SCOPED_TRACE("request " + std::to_string(i));
+      EXPECT_EQ(x.id, y.id);
+      EXPECT_EQ(x.arrival, y.arrival);
+      EXPECT_EQ(x.dispatch, y.dispatch);
+      EXPECT_EQ(x.completion, y.completion);
+      EXPECT_EQ(x.device, y.device);
+      EXPECT_EQ(x.batch_size, y.batch_size);
+      EXPECT_EQ(x.shed, y.shed);
+      EXPECT_EQ(x.service_cycles, y.service_cycles);
+      EXPECT_EQ(x.class_key, y.class_key);
+      EXPECT_EQ(x.klass, y.klass);
+      EXPECT_EQ(x.applied_slo_ms, y.applied_slo_ms);
+    }
+    EXPECT_EQ(homogeneous.metrics.completed, heterogeneous.metrics.completed);
+    EXPECT_EQ(homogeneous.metrics.shed, heterogeneous.metrics.shed);
+    EXPECT_EQ(homogeneous.metrics.p50_ms, heterogeneous.metrics.p50_ms);
+    EXPECT_EQ(homogeneous.metrics.p95_ms, heterogeneous.metrics.p95_ms);
+    EXPECT_EQ(homogeneous.metrics.p99_ms, heterogeneous.metrics.p99_ms);
+  }
+}
+
+/// Per-class percentiles from a tiered serve equal a brute-force sort of
+/// that class's raw latency vector (exact regime).
+TEST(ServeProperty, PerClassPercentilesMatchBruteForce) {
+  ServerOptions options;
+  options.num_devices = 2;
+  options.policy = SchedulingPolicy::kFifo;
+  options.classes = parse_class_spec("interactive:0:4:1,bulk:0:1:0");
+  Server server(options);
+  server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+
+  std::vector<RequestTemplate> mix;
+  for (const gnn::LayerKind kind : {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean}) {
+    for (const char* klass : {"interactive", "bulk"}) {
+      RequestTemplate t;
+      t.sim = timing_sim("cora", kind);
+      t.klass = klass;
+      mix.push_back(std::move(t));
+    }
+  }
+  PoissonWorkload workload(mix, /*rate_rps=*/9000.0, /*num_requests=*/180,
+                           options.clock_ghz, /*seed=*/321);
+  const ServeReport report = server.serve(workload);
+  ASSERT_EQ(report.metrics.completed, 180u);
+  ASSERT_EQ(report.metrics.classes.size(), 2u);
+
+  std::map<std::string, std::vector<double>> latencies;
+  for (const Outcome& outcome : report.outcomes) {
+    latencies[outcome.klass].push_back(outcome.latency_ms(options.clock_ghz));
+  }
+  const auto brute = [](std::vector<double> values, double q) {
+    std::sort(values.begin(), values.end());
+    const double rank = q * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    return values[lo] + (rank - static_cast<double>(lo)) * (values[hi] - values[lo]);
+  };
+  for (const ClassMetricsSummary& c : report.metrics.classes) {
+    SCOPED_TRACE(c.name);
+    ASSERT_TRUE(latencies.contains(c.name));
+    const std::vector<double>& raw = latencies.at(c.name);
+    EXPECT_EQ(c.completed, raw.size());
+    EXPECT_DOUBLE_EQ(c.p50_ms, brute(raw, 0.50));
+    EXPECT_DOUBLE_EQ(c.p95_ms, brute(raw, 0.95));
+    EXPECT_DOUBLE_EQ(c.p99_ms, brute(raw, 0.99));
+  }
+}
+
+/// Per-class quantile edge regimes on the Metrics aggregator directly: a
+/// class with fewer samples than the interpolation needs (exact path) and
+/// a class pushed past the reservoir bound (deterministic estimate).
+TEST(ServeProperty, PerClassQuantileEdgeRegimes) {
+  const auto outcome_with = [](std::uint64_t id, const char* klass, Cycle latency_cycles) {
+    Outcome o;
+    o.id = id;
+    o.klass = klass;
+    o.arrival = 0;
+    o.dispatch = 0;
+    o.completion = latency_cycles;
+    return o;
+  };
+
+  constexpr std::size_t kBound = 64;
+  Metrics metrics(/*clock_ghz=*/1.0, /*quantile_bound=*/kBound);
+  Metrics twin(/*clock_ghz=*/1.0, /*quantile_bound=*/kBound);
+
+  // Class "tiny": 3 samples — the exact path with < k samples.
+  std::vector<double> tiny_ms;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const Cycle cycles = (i + 1) * 2000;
+    metrics.add(outcome_with(i, "tiny", cycles));
+    twin.add(outcome_with(i, "tiny", cycles));
+    tiny_ms.push_back(cycles_to_ms(cycles, 1.0));
+  }
+  // Class "big": 10x the reservoir bound — the estimator degrades to the
+  // deterministic reservoir.
+  std::vector<double> big_ms;
+  util::Prng prng(9);
+  for (std::uint64_t i = 0; i < 10 * kBound; ++i) {
+    const Cycle cycles = 1000 + static_cast<Cycle>(prng.uniform() * 1e6);
+    metrics.add(outcome_with(100 + i, "big", cycles));
+    twin.add(outcome_with(100 + i, "big", cycles));
+    big_ms.push_back(cycles_to_ms(cycles, 1.0));
+  }
+
+  const MetricsSummary summary = metrics.summary(/*end_cycle=*/2'000'000);
+  const MetricsSummary twin_summary = twin.summary(/*end_cycle=*/2'000'000);
+  ASSERT_EQ(summary.classes.size(), 2u);
+  const ClassMetricsSummary& big = summary.classes[0];
+  const ClassMetricsSummary& tiny = summary.classes[1];
+  ASSERT_EQ(big.name, "big");
+  ASSERT_EQ(tiny.name, "tiny");
+
+  // Exact path: interpolated order statistics of the 3 raw samples.
+  std::sort(tiny_ms.begin(), tiny_ms.end());
+  EXPECT_DOUBLE_EQ(tiny.p50_ms, tiny_ms[1]);
+  EXPECT_DOUBLE_EQ(tiny.p95_ms, tiny_ms[1] + 0.9 * (tiny_ms[2] - tiny_ms[1]));
+  EXPECT_DOUBLE_EQ(tiny.p99_ms, tiny_ms[1] + 0.98 * (tiny_ms[2] - tiny_ms[1]));
+
+  // Reservoir regime: deterministic (identical across instances) and a
+  // sane estimate of the true quantiles.
+  EXPECT_DOUBLE_EQ(big.p50_ms, twin_summary.classes[0].p50_ms);
+  EXPECT_DOUBLE_EQ(big.p95_ms, twin_summary.classes[0].p95_ms);
+  EXPECT_DOUBLE_EQ(big.p99_ms, twin_summary.classes[0].p99_ms);
+  std::sort(big_ms.begin(), big_ms.end());
+  const double true_p50 = big_ms[big_ms.size() / 2];
+  const double spread = big_ms.back() - big_ms.front();
+  EXPECT_NEAR(big.p50_ms, true_p50, 0.25 * spread);
+  EXPECT_GT(big.p95_ms, big.p50_ms);
+  EXPECT_GE(big.p99_ms, big.p95_ms);
+}
+
+}  // namespace
+}  // namespace gnnerator::serve

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "serve/fleet.hpp"
 #include "serve/metrics.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/server.hpp"
@@ -375,6 +376,274 @@ TEST(Serve, TraceReplayRespectsArrivalsAndSlo) {
                util::CheckError);
   EXPECT_THROW((void)TraceWorkload::from_csv("wrong,header\n", base, 1.0),
                util::CheckError);
+}
+
+/// Trace-reader robustness: CRLF endings, whitespace around cells, the
+/// optional class column, header-only traces, and *strict* numeric parsing
+/// (trailing garbage is an error, not a silent truncation).
+TEST(Serve, TraceReaderHandlesFuzzedEdgeCases) {
+  core::SimulationRequest base;
+
+  // CRLF + whitespace around every field + class column.
+  const std::string csv =
+      "arrival_ms,dataset,model,slo_ms,class\r\n"
+      " 1.5 ,  cora , gcn , 10 , interactive \r\n"
+      "0.5,citeseer,gsage,0,bulk\r\n";
+  TraceWorkload trace = TraceWorkload::from_csv(csv, base, /*clock_ghz=*/1.0);
+  ASSERT_EQ(trace.size(), 2u);
+  const std::vector<Request> arrivals = trace.initial_arrivals();
+  EXPECT_EQ(arrivals[0].arrival, ms_to_cycles(1.5, 1.0));
+  EXPECT_EQ(arrivals[0].sim.dataset, "cora");
+  EXPECT_EQ(arrivals[0].slo_ms, 10.0);
+  EXPECT_EQ(arrivals[0].klass, "interactive");
+  EXPECT_EQ(arrivals[1].klass, "bulk");
+
+  // Header-only file: a valid empty workload, not an error.
+  TraceWorkload empty = TraceWorkload::from_csv("arrival_ms,dataset,model,slo_ms\n", base, 1.0);
+  EXPECT_EQ(empty.size(), 0u);
+  ServerOptions options;
+  options.num_devices = 1;
+  Server server(options);
+  const ServeReport report = server.serve(empty);
+  EXPECT_EQ(report.outcomes.size(), 0u);
+  EXPECT_EQ(report.metrics.completed, 0u);
+
+  // Strict numbers: std::stod would have accepted "1.5x" as 1.5.
+  EXPECT_THROW((void)TraceWorkload::from_csv(
+                   "arrival_ms,dataset,model,slo_ms\n1.5x,cora,gcn,0\n", base, 1.0),
+               util::CheckError);
+  EXPECT_THROW((void)TraceWorkload::from_csv(
+                   "arrival_ms,dataset,model,slo_ms\n1.0,cora,gcn,5ms\n", base, 1.0),
+               util::CheckError);
+  // Unknown extra columns are rejected instead of silently ignored.
+  EXPECT_THROW((void)TraceWorkload::from_csv(
+                   "arrival_ms,dataset,model,slo_ms,frobnicate\n", base, 1.0),
+               util::CheckError);
+}
+
+/// Fleet specs resolve to the paper's configs; request-class specs parse
+/// the name[:slo[:weight[:priority]]] grammar.
+TEST(Serve, FleetAndClassSpecParsing) {
+  const std::vector<DeviceClass> fleet = parse_fleet_spec("2xbaseline,1xnextgen");
+  ASSERT_EQ(fleet.size(), 2u);
+  EXPECT_EQ(fleet[0].count, 2u);
+  EXPECT_EQ(fleet[0].name, "baseline");
+  EXPECT_EQ(fleet[0].config.dense.array.rows, 64u);
+  EXPECT_EQ(fleet[1].count, 1u);
+  EXPECT_EQ(fleet[1].config.dense.array.rows, 128u);  // 2x-dense folded in
+  EXPECT_EQ(fleet[1].config.dram.bytes_per_cycle, 512.0);
+  const std::vector<DeviceClass> bw = parse_fleet_spec("1x2x-bw");
+  ASSERT_EQ(bw.size(), 1u);
+  EXPECT_EQ(bw[0].config.dram.bytes_per_cycle, 512.0);
+  EXPECT_EQ(bw[0].config.dense.array.rows, 64u);
+  EXPECT_THROW((void)parse_fleet_spec("1xwarp-drive"), util::CheckError);
+
+  const std::vector<RequestClass> classes = parse_class_spec("interactive:10:4:1,bulk");
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].name, "interactive");
+  EXPECT_EQ(classes[0].slo_ms, 10.0);
+  EXPECT_EQ(classes[0].weight, 4.0);
+  EXPECT_EQ(classes[0].priority, 1u);
+  EXPECT_EQ(classes[1].name, "bulk");
+  EXPECT_EQ(classes[1].slo_ms, 0.0);
+  EXPECT_EQ(classes[1].weight, 1.0);
+  EXPECT_EQ(classes[1].priority, 0u);
+  EXPECT_THROW((void)parse_class_spec("a:1,a:2"), util::CheckError);       // duplicate
+  EXPECT_THROW((void)parse_class_spec("a:1:-2"), util::CheckError);        // bad weight
+  EXPECT_THROW((void)parse_class_spec("a:1:1:huge"), util::CheckError);    // bad priority
+}
+
+/// A higher-priority tier with ready work always dispatches before a lower
+/// one, whatever the arrival interleaving.
+TEST(Serve, PriorityTierDispatchesFirst) {
+  ServerOptions options;
+  options.num_devices = 1;
+  options.policy = SchedulingPolicy::kFifo;
+  options.classes = parse_class_spec("bulk:0:1:0,urgent:0:1:5");
+  Server server(options);
+  server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+  const core::SimulationRequest sim = timing_sim("cora", gnn::LayerKind::kGcn);
+
+  std::vector<Request> burst;
+  for (int i = 0; i < 6; ++i) {
+    Request r = at_cycle(0, sim);
+    r.klass = (i % 2 == 0) ? "bulk" : "urgent";
+    burst.push_back(std::move(r));
+  }
+  FixedWorkload workload(burst);
+  const ServeReport report = server.serve(workload);
+  ASSERT_EQ(report.metrics.completed, 6u);
+
+  std::vector<std::pair<Cycle, std::string>> order;  // (dispatch, klass)
+  for (const Outcome& outcome : report.outcomes) {
+    order.emplace_back(outcome.dispatch, outcome.klass);
+  }
+  std::sort(order.begin(), order.end());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(order[i].second, "urgent") << "dispatch position " << i;
+  }
+  for (std::size_t i = 3; i < 6; ++i) {
+    EXPECT_EQ(order[i].second, "bulk") << "dispatch position " << i;
+  }
+}
+
+/// Equal-priority tiers share the device by weight: with weights 3:1 and
+/// equal-cost jobs, the heavy tier gets 3 of every 4 dispatches.
+TEST(Serve, WeightedFairSharesFollowWeights) {
+  ServerOptions options;
+  options.num_devices = 1;
+  options.policy = SchedulingPolicy::kFifo;
+  options.classes = parse_class_spec("heavy:0:3:0,light:0:1:0");
+  Server server(options);
+  server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+  const core::SimulationRequest sim = timing_sim("cora", gnn::LayerKind::kGcn);
+
+  std::vector<Request> burst;
+  for (int i = 0; i < 16; ++i) {
+    Request r = at_cycle(0, sim);
+    r.klass = i < 8 ? "heavy" : "light";
+    burst.push_back(std::move(r));
+  }
+  FixedWorkload workload(burst);
+  const ServeReport report = server.serve(workload);
+  ASSERT_EQ(report.metrics.completed, 16u);
+
+  std::vector<std::pair<Cycle, std::string>> order;
+  for (const Outcome& outcome : report.outcomes) {
+    order.emplace_back(outcome.dispatch, outcome.klass);
+  }
+  std::sort(order.begin(), order.end());
+  // While both tiers have backlog (the first 8 dispatches; jobs are
+  // equal-cost), the 3:1 weighted-fair share gives heavy 6 of 8.
+  std::size_t heavy_early = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    heavy_early += order[i].second == "heavy" ? 1 : 0;
+  }
+  EXPECT_EQ(heavy_early, 6u);
+}
+
+/// A tier waking from idle is clamped to its *equal-priority* peers'
+/// virtual time: a starved lower-priority tier (active since the start
+/// with virtual time ~0) must not pull the waking tier's floor down and
+/// let it replay its idle past against the band it actually competes in.
+TEST(Serve, WfqIdleWakeClampIgnoresOtherPriorityLevels) {
+  ServerOptions options;
+  options.num_devices = 1;
+  options.policy = SchedulingPolicy::kFifo;
+  options.classes = parse_class_spec("heavy:0:1:5,light:0:1:5,background:0:1:0");
+  Server server(options);
+  server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+  const core::SimulationRequest sim = timing_sim("cora", gnn::LayerKind::kGcn);
+
+  // Learn the per-request service time from a probe run.
+  Cycle service = 0;
+  {
+    Request probe = at_cycle(0, sim);
+    probe.klass = "heavy";
+    FixedWorkload workload({probe});
+    service = server.serve(workload).outcomes[0].service_cycles;
+  }
+
+  // 8 heavy (priority 5) jobs backlog from cycle 0, plus one background
+  // (priority 0) job that stays starved — active the whole run with
+  // virtual time 0. Midway (4 heavy dispatched, so heavy has accrued
+  // virtual time) four light (priority 5) jobs wake their idle tier: a
+  // floor taken across priority levels would see background's 0 and let
+  // light drain all four before any remaining heavy; the correct
+  // equal-priority floor clamps light to heavy's virtual time, so they
+  // alternate.
+  std::vector<Request> burst;
+  for (int i = 0; i < 8; ++i) {
+    Request r = at_cycle(0, sim);
+    r.klass = "heavy";
+    burst.push_back(std::move(r));
+  }
+  Request bg = at_cycle(0, sim);
+  bg.klass = "background";
+  burst.push_back(std::move(bg));
+  const Cycle mid = 3 * service + service / 2;
+  for (int i = 0; i < 4; ++i) {
+    Request r = at_cycle(mid, sim);
+    r.klass = "light";
+    burst.push_back(std::move(r));
+  }
+  FixedWorkload workload(burst);
+  const ServeReport report = server.serve(workload);
+  ASSERT_EQ(report.metrics.completed, 13u);
+
+  std::vector<std::pair<Cycle, std::string>> order;
+  for (const Outcome& outcome : report.outcomes) {
+    order.emplace_back(outcome.dispatch, outcome.klass);
+  }
+  std::sort(order.begin(), order.end());
+  std::size_t light_in_first_four_after_wake = 0;
+  std::size_t seen = 0;
+  for (const auto& [dispatch, klass] : order) {
+    if (dispatch < mid || seen >= 4) {
+      continue;
+    }
+    ++seen;
+    light_in_first_four_after_wake += klass == "light" ? 1 : 0;
+  }
+  ASSERT_EQ(seen, 4u);
+  EXPECT_EQ(light_in_first_four_after_wake, 2u)
+      << "light tier replayed its idle past against the heavy backlog";
+  // The background job dispatches last (strict priority).
+  EXPECT_EQ(order.back().second, "background");
+}
+
+/// On a heterogeneous fleet, affinity routes the bulk of the traffic to
+/// the faster device class, and each device class compiles its own plan
+/// exactly once through the shared cache.
+TEST(Serve, AffinityPrefersFasterDeviceClassAndCachesPerClass) {
+  ServerOptions options;
+  options.fleet = parse_fleet_spec("1xbaseline,1xnextgen");
+  options.policy = SchedulingPolicy::kAffinity;
+  Server server(options);
+  server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+
+  std::vector<RequestTemplate> mix(1);
+  mix[0].sim = timing_sim("cora", gnn::LayerKind::kGcn);
+  PoissonWorkload workload(mix, /*rate_rps=*/6000.0, /*num_requests=*/120,
+                           options.clock_ghz, /*seed=*/11);
+  const ServeReport report = server.serve(workload);
+  ASSERT_EQ(report.metrics.completed, 120u);
+  ASSERT_EQ(report.devices.size(), 2u);
+  EXPECT_EQ(report.devices[0].klass, "baseline");
+  EXPECT_EQ(report.devices[1].klass, "nextgen");
+  EXPECT_GT(report.devices[1].requests, report.devices[0].requests)
+      << "affinity should route most traffic to the faster class";
+  // One compile per (plan class x device class); devices of the same class
+  // share through the fleet-wide cache.
+  EXPECT_EQ(report.plan_cache.misses, 2u);
+}
+
+/// Per-class device clocks rescale service time onto the server timeline:
+/// the same accelerator cycles at a 2 GHz class clock occupy the device
+/// for half the server cycles.
+TEST(Serve, MixedClockRescalesServiceOntoServerTimeline) {
+  const auto serve_one = [&](double class_clock_ghz) {
+    ServerOptions options;
+    DeviceClass klass = *find_device_class("baseline");
+    klass.clock_ghz = class_clock_ghz;
+    options.fleet = {klass};
+    options.policy = SchedulingPolicy::kFifo;
+    Server server(options);
+    server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+    FixedWorkload workload({at_cycle(0, timing_sim("cora", gnn::LayerKind::kGcn))});
+    return server.serve(workload);
+  };
+
+  const ServeReport base = serve_one(1.0);
+  const ServeReport fast = serve_one(2.0);
+  ASSERT_EQ(base.outcomes.size(), 1u);
+  ASSERT_EQ(fast.outcomes.size(), 1u);
+  const Cycle overhead = ServerOptions{}.per_request_overhead;
+  const auto device_cycles = static_cast<double>(base.outcomes[0].service_cycles - overhead);
+  const Cycle expected =
+      static_cast<Cycle>(std::llround(device_cycles * 0.5)) + overhead;
+  EXPECT_EQ(fast.outcomes[0].service_cycles, expected);
+  EXPECT_LT(fast.outcomes[0].completion, base.outcomes[0].completion);
 }
 
 /// Closed-loop clients re-issue after completion; the total request budget

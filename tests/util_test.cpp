@@ -10,6 +10,7 @@
 #include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
+#include "util/parse.hpp"
 #include "util/prng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -369,6 +370,102 @@ TEST(Log, LevelParsingRoundTrip) {
   EXPECT_EQ(parse_log_level("WARN"), LogLevel::kWarn);
   EXPECT_EQ(log_level_name(LogLevel::kError), "error");
   EXPECT_EQ(parse_log_level("nonsense"), LogLevel::kInfo);
+}
+
+// --------------------------------------------------------- parse helpers --
+TEST(Parse, TrimStripsAsciiWhitespace) {
+  EXPECT_EQ(trim("  a b \t"), "a b");
+  EXPECT_EQ(trim("\r\nx\r\n"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("plain"), "plain");
+}
+
+TEST(Parse, StrictDoubleRejectsTrailingGarbage) {
+  EXPECT_EQ(parse_double("1.5"), 1.5);
+  EXPECT_EQ(parse_double(" 1.5 "), 1.5);   // whitespace around the number is fine
+  EXPECT_EQ(parse_double("\t-2.25\r"), -2.25);
+  EXPECT_EQ(parse_double("1e3"), 1000.0);
+  EXPECT_EQ(parse_double("1.5x"), std::nullopt);  // stod would return 1.5
+  EXPECT_EQ(parse_double("x1.5"), std::nullopt);
+  EXPECT_EQ(parse_double("1.5 2.5"), std::nullopt);
+  EXPECT_EQ(parse_double(""), std::nullopt);
+  EXPECT_EQ(parse_double("   "), std::nullopt);
+}
+
+TEST(Parse, StrictUintRejectsSignsAndFractions) {
+  EXPECT_EQ(parse_uint("42"), 42u);
+  EXPECT_EQ(parse_uint(" 7 "), 7u);
+  EXPECT_EQ(parse_uint("4.2"), std::nullopt);
+  EXPECT_EQ(parse_uint("-1"), std::nullopt);
+  EXPECT_EQ(parse_uint("12a"), std::nullopt);
+  EXPECT_EQ(parse_uint(""), std::nullopt);
+}
+
+TEST(Parse, CountListFleetSpecGrammar) {
+  const auto fleet = parse_count_list("2xbaseline,1xnextgen");
+  ASSERT_EQ(fleet.size(), 2u);
+  EXPECT_EQ(fleet[0].count, 2u);
+  EXPECT_EQ(fleet[0].name, "baseline");
+  EXPECT_EQ(fleet[1].count, 1u);
+  EXPECT_EQ(fleet[1].name, "nextgen");
+
+  // Bare names count 1; whitespace around elements is ignored; a name that
+  // merely contains an 'x' is not a count prefix.
+  const auto bare = parse_count_list(" baseline , 3x2x-bw ");
+  ASSERT_EQ(bare.size(), 2u);
+  EXPECT_EQ(bare[0].count, 1u);
+  EXPECT_EQ(bare[0].name, "baseline");
+  EXPECT_EQ(bare[1].count, 3u);
+  EXPECT_EQ(bare[1].name, "2x-bw");
+  const auto xish = parse_count_list("2x-bw");
+  ASSERT_EQ(xish.size(), 1u);
+  EXPECT_EQ(xish[0].count, 1u);
+  EXPECT_EQ(xish[0].name, "2x-bw");
+
+  EXPECT_THROW((void)parse_count_list(""), CheckError);
+  EXPECT_THROW((void)parse_count_list(" , "), CheckError);
+  EXPECT_THROW((void)parse_count_list("0xbaseline"), CheckError);
+  EXPECT_THROW((void)parse_count_list("2x"), CheckError);
+}
+
+// ------------------------------------------------- csv fuzz regressions --
+TEST(Csv, CrOnlyLineEndingsEndRows) {
+  // Classic-Mac CR endings: previously the '\r' was silently dropped and
+  // "a\rb" collapsed into one cell "ab".
+  const auto rows = parse_csv("a,b\rc,d\r");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(Csv, CrlfDoesNotProduceEmptyRows) {
+  const auto rows = parse_csv("h1,h2\r\n1,2\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(Csv, EmptyTrailingFieldIsAnEmptyCell) {
+  const auto rows = parse_csv("a,b,\n,x,\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", ""}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", "x", ""}));
+  // ... also on the final row without a trailing newline.
+  const auto tail = parse_csv("a,b,");
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0], (std::vector<std::string>{"a", "b", ""}));
+}
+
+TEST(Csv, HeaderOnlyFileParsesToOneRow) {
+  const auto rows = parse_csv("arrival_ms,dataset,model,slo_ms\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].size(), 4u);
+}
+
+TEST(Csv, QuotedCellsPreserveCarriageReturns) {
+  const auto rows = parse_csv("\"a\rb\",c");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a\rb", "c"}));
 }
 
 }  // namespace
