@@ -9,9 +9,10 @@
 //
 //   ./gnn_service [--devices N | --fleet SPEC] [--policy fifo|sjf|batch|affinity]
 //                 [--classes SPEC] [--arrival-rate RPS] [--requests N]
-//                 [--trace FILE.csv] [--slo-ms MS]
+//                 [--trace FILE.csv] [--stream] [--slo-ms MS]
 //                 [--datasets cora,citeseer,pubmed] [--window-ms MS]
-//                 [--max-batch N] [--queue-cap N] [--seed S] [--verbose]
+//                 [--max-batch N] [--queue-cap N] [--sim-threads N]
+//                 [--seed S] [--verbose]
 //
 // --fleet takes "2xbaseline,1xnextgen" (classes: baseline, 2x-graph-mem,
 // 2x-dense, 2x-bw, nextgen). --classes takes comma-separated
@@ -20,6 +21,11 @@
 // classes round-robin. Trace CSV columns:
 // arrival_ms,dataset,model,slo_ms[,class] (model: gcn, gsage, gsage-max).
 // Example row: 12.5,cora,gcn,10,interactive
+//
+// --sim-threads sets the simulation worker pool (0 = one per hardware
+// thread; the report is identical at every setting). --stream replays
+// --trace incrementally with bounded memory — rows must then be sorted by
+// arrival_ms.
 #include <algorithm>
 #include <iostream>
 #include <sstream>
@@ -41,9 +47,9 @@ namespace {
 constexpr std::string_view kUsage =
     "[--devices N | --fleet 2xbaseline,1xnextgen] [--policy fifo|sjf|batch|affinity]\n"
     "  [--classes name[:slo_ms[:weight[:priority]]],...] [--arrival-rate RPS]\n"
-    "  [--requests N] [--trace FILE.csv] [--slo-ms MS]\n"
+    "  [--requests N] [--trace FILE.csv] [--stream] [--slo-ms MS]\n"
     "  [--datasets cora,citeseer,pubmed] [--window-ms MS] [--max-batch N]\n"
-    "  [--queue-cap N] [--seed S] [--verbose]";
+    "  [--queue-cap N] [--sim-threads N] [--seed S] [--verbose]";
 
 std::vector<std::string> split_list(const std::string& csv) {
   std::vector<std::string> out;
@@ -84,6 +90,8 @@ int run(const util::Args& args) {
       static_cast<std::size_t>(std::max<std::int64_t>(1, args.get_int("max-batch", 16)));
   options.queue_capacity =
       static_cast<std::size_t>(std::max<std::int64_t>(0, args.get_int("queue-cap", 0)));
+  options.sim_threads =
+      static_cast<std::size_t>(std::max<std::int64_t>(0, args.get_int("sim-threads", 1)));
 
   serve::Server server(options);
   const std::vector<std::string> datasets =
@@ -123,12 +131,21 @@ int run(const util::Args& args) {
   serve::ServeReport report;
   if (args.has("trace")) {
     core::SimulationRequest base;  // trace rows carry dataset/model/slo/class
-    serve::TraceWorkload workload =
-        serve::TraceWorkload::from_file(args.get("trace"), base, options.clock_ghz);
-    std::cout << "replaying trace '" << args.get("trace") << "': " << workload.size()
-              << " requests on " << fleet_line() << ", policy "
-              << serve::policy_name(options.policy) << "\n\n";
-    report = server.serve(workload);
+    if (args.get_bool("stream", false)) {
+      serve::StreamingTraceWorkload workload(args.get("trace"), base, options.clock_ghz);
+      std::cout << "streaming trace '" << args.get("trace") << "' on " << fleet_line()
+                << ", policy " << serve::policy_name(options.policy) << "\n\n";
+      report = server.serve(workload);
+      std::cout << "streamed " << workload.rows_streamed() << " rows, reader peak "
+                << workload.peak_buffer_bytes() << " bytes\n";
+    } else {
+      serve::TraceWorkload workload =
+          serve::TraceWorkload::from_file(args.get("trace"), base, options.clock_ghz);
+      std::cout << "replaying trace '" << args.get("trace") << "': " << workload.size()
+                << " requests on " << fleet_line() << ", policy "
+                << serve::policy_name(options.policy) << "\n\n";
+      report = server.serve(workload);
+    }
   } else {
     const double rate = args.get_double("arrival-rate", 2000.0);
     const auto requests =

@@ -9,6 +9,10 @@
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
 
+namespace gnnerator::util {
+class ThreadPool;
+}  // namespace gnnerator::util
+
 namespace gnnerator::core {
 
 /// Result of one simulated inference.
@@ -41,7 +45,7 @@ enum class TimingKernel { kEventDriven, kReference };
 /// Controller. Instantiates the hardware models from the plan's
 /// AcceleratorConfig, loads both engine programs, and runs the cycle-level
 /// simulation to completion.
-class ThreadPool;
+using ThreadPool = util::ThreadPool;
 
 class Accelerator {
  public:

@@ -1,9 +1,11 @@
 #include "serve/metrics.hpp"
 
+#include <functional>
 #include <iomanip>
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gnnerator::serve {
 
@@ -40,6 +42,40 @@ void Metrics::add(const Outcome& outcome) {
     queue_stats_.add(outcome.queue_ms(clock_ghz_));
     batch_stats_.add(static_cast<double>(outcome.batch_size));
   }
+}
+
+void Metrics::add_all(const std::vector<Outcome>& outcomes, util::ThreadPool* pool) {
+  if (pool == nullptr || pool->parallelism() == 1) {
+    for (const Outcome& outcome : outcomes) {
+      add(outcome);
+    }
+    return;
+  }
+  // The three aggregation streams touch disjoint state, so they may run
+  // concurrently; each walks `outcomes` front to back, which pins the
+  // reservoir ingestion order to the record order.
+  const std::vector<std::function<void()>> tasks{
+      [&] {
+        for (const Outcome& o : outcomes) {
+          total_.add(o.shed ? 0.0 : o.latency_ms(clock_ghz_), o.shed, o.applied_slo_ms);
+        }
+      },
+      [&] {
+        for (const Outcome& o : outcomes) {
+          auto [it, inserted] = classes_.try_emplace(o.klass, quantile_bound_);
+          it->second.add(o.shed ? 0.0 : o.latency_ms(clock_ghz_), o.shed, o.applied_slo_ms);
+        }
+      },
+      [&] {
+        for (const Outcome& o : outcomes) {
+          if (!o.shed) {
+            queue_stats_.add(o.queue_ms(clock_ghz_));
+            batch_stats_.add(static_cast<double>(o.batch_size));
+          }
+        }
+      },
+  };
+  pool->run_all(tasks);
 }
 
 namespace {
@@ -116,6 +152,8 @@ std::string ServeReport::format() const {
      << ", SLO attainment " << std::setprecision(4) << metrics.slo_attainment << "\n";
   os << "queue depth: mean " << std::setprecision(2) << mean_queue_depth << ", max "
      << max_queue_depth << "\n";
+  os << "events: " << events << " scheduling points (" << cycles_skipped()
+     << " cycles skipped)\n";
   if (metrics.classes.size() > 1) {
     for (const ClassMetricsSummary& c : metrics.classes) {
       os << "class " << c.name << ": " << c.completed << " completed, " << c.shed

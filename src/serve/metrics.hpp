@@ -9,6 +9,10 @@
 #include "serve/request.hpp"
 #include "util/stats.hpp"
 
+namespace gnnerator::util {
+class ThreadPool;
+}  // namespace gnnerator::util
+
 namespace gnnerator::serve {
 
 /// Per-request-class (SLO tier) slice of the serving statistics, in
@@ -62,6 +66,14 @@ class Metrics {
 
   void add(const Outcome& outcome);
 
+  /// Feeds every outcome, optionally fanning the independent aggregation
+  /// streams (total bucket, per-class buckets, queue/batch stats) out
+  /// across `pool`. Each stream still ingests outcomes in record order —
+  /// the order every latency value enters a StreamingQuantiles reservoir
+  /// is fixed by the records, never by the thread schedule — so the
+  /// summary is bitwise identical to calling add() in a loop.
+  void add_all(const std::vector<Outcome>& outcomes, util::ThreadPool* pool);
+
   [[nodiscard]] MetricsSummary summary(Cycle end_cycle) const;
 
  private:
@@ -113,8 +125,16 @@ struct ServeReport {
   core::PlanCacheStats plan_cache;
   double mean_queue_depth = 0.0;
   std::size_t max_queue_depth = 0;
+  /// Discrete-event loop iterations (scheduling points simulated). The gap
+  /// to end_cycle is what event skipping saved: a cycle-stepped loop would
+  /// have ticked end_cycle times.
+  std::uint64_t events = 0;
 
   [[nodiscard]] double duration_ms() const { return cycles_to_ms(end_cycle, clock_ghz); }
+  /// Virtual cycles the event loop jumped over instead of ticking.
+  [[nodiscard]] std::uint64_t cycles_skipped() const {
+    return end_cycle > events ? end_cycle - events : 0;
+  }
   [[nodiscard]] double device_utilization(std::size_t device) const;
   [[nodiscard]] double fleet_utilization() const;
 

@@ -456,11 +456,28 @@ std::uint64_t JobCostModel::estimate(const graph::Dataset& dataset,
   if (const auto it = memo_.find(class_key); it != memo_.end()) {
     return it->second;
   }
-  core::Compiler compiler(dataset.graph, sim.config, sim.dataflow);
-  const double cycles = compiler.estimate_cycles(sim.model);
-  const auto estimate = static_cast<std::uint64_t>(std::llround(std::max(cycles, 1.0)));
+  const std::uint64_t estimate = compute(dataset, sim);
+  ++pipeline_runs_;
   memo_.emplace(class_key, estimate);
   return estimate;
+}
+
+std::optional<std::uint64_t> JobCostModel::lookup(const std::string& class_key) const {
+  const auto it = memo_.find(class_key);
+  return it != memo_.end() ? std::optional<std::uint64_t>(it->second) : std::nullopt;
+}
+
+void JobCostModel::prime(const std::string& class_key, std::uint64_t estimate) {
+  if (memo_.emplace(class_key, estimate).second) {
+    ++pipeline_runs_;
+  }
+}
+
+std::uint64_t JobCostModel::compute(const graph::Dataset& dataset,
+                                    const core::SimulationRequest& sim) {
+  core::Compiler compiler(dataset.graph, sim.config, sim.dataflow);
+  const double cycles = compiler.estimate_cycles(sim.model);
+  return static_cast<std::uint64_t>(std::llround(std::max(cycles, 1.0)));
 }
 
 }  // namespace gnnerator::serve

@@ -51,6 +51,11 @@ struct QueuedRequest {
   /// Index of the request class (SLO tier) the admission controller
   /// resolved; routes the request inside a TieredScheduler.
   std::size_t tier = 0;
+  /// Dense id the server interned `class_key` under (Server::serve's
+  /// pipeline path; the reference loop leaves it 0). Lets per-(plan class,
+  /// device class) memo lookups be array indexing instead of string
+  /// hashing. Never consulted by scheduler policies.
+  std::uint32_t class_id = 0;
 };
 
 /// What one device executes at once: 1 request (FIFO/SJF) or a coalesced
@@ -61,6 +66,18 @@ struct DispatchBatch {
 
 /// A scheduling policy's queue. Implementations are single-threaded (the
 /// server's event loop owns them) and fully deterministic.
+///
+/// Synchronization contract with the parallel serving pipeline
+/// (Server::serve): the scheduler is only ever touched from the event
+/// loop's sequential sections — enqueue/pop/try_take happen between
+/// conservative barriers, never inside a worker slice. `next_ready()` is
+/// the policy's *declared synchronization point*: it names the earliest
+/// future cycle at which the policy could produce work unprompted (a
+/// batching-window expiry), and the event loop treats that cycle as a
+/// cross-device event it must not simulate past. A policy whose
+/// next_ready() under-reports would let the loop skip a scheduling point
+/// and diverge from the reference run; the differential matrix in
+/// tests/serve_property_test.cpp pins this.
 class Scheduler {
  public:
   struct Limits {
@@ -124,15 +141,39 @@ class Scheduler {
 
 /// SJF's job-size oracle: analytic service-cycle estimates from the
 /// compiler's autotune cost model (Table I ShardCostBreakdown traffic +
-/// SCALE-Sim tile sums), memoized per class key. Deterministic and
-/// microsecond-cheap per distinct class.
+/// SCALE-Sim tile sums), memoized per class key. Keys are per (plan class,
+/// device class): the canonical class key for SJF/WFQ, the
+/// config-substituted key for each device class under the affinity policy —
+/// so every analytic pipeline run happens once per pair, however many
+/// dispatch decisions consult it (first step toward the ROADMAP
+/// core::CostOracle). Deterministic and microsecond-cheap per distinct
+/// class.
 class JobCostModel {
  public:
   std::uint64_t estimate(const graph::Dataset& dataset, const core::SimulationRequest& sim,
                          const std::string& class_key);
 
+  /// Memo probe without computing (the serving pipeline's sequential merge
+  /// phase uses it to find which classes a worker slice must price).
+  [[nodiscard]] std::optional<std::uint64_t> lookup(const std::string& class_key) const;
+
+  /// Inserts a cost computed via compute() outside the model (a parallel
+  /// worker slice); counts as one pipeline run.
+  void prime(const std::string& class_key, std::uint64_t estimate);
+
+  /// The pure analytic estimate — no memo touch, safe to call from
+  /// concurrent worker slices.
+  [[nodiscard]] static std::uint64_t compute(const graph::Dataset& dataset,
+                                             const core::SimulationRequest& sim);
+
+  /// How many times the analytic compiler pipeline actually ran (memo
+  /// misses). Regression tests assert this stays at one per distinct
+  /// (plan class, device class) pair regardless of trace length.
+  [[nodiscard]] std::size_t pipeline_runs() const { return pipeline_runs_; }
+
  private:
   std::unordered_map<std::string, std::uint64_t> memo_;
+  std::size_t pipeline_runs_ = 0;
 };
 
 }  // namespace gnnerator::serve

@@ -253,7 +253,7 @@ Cycle Server::batch_service_cycles(Device& device, const DispatchBatch& batch) {
          options_.per_request_overhead * static_cast<Cycle>(batch.requests.size());
 }
 
-ServeReport Server::serve(WorkloadSource& workload) {
+ServeReport Server::run_reference(WorkloadSource& workload) {
   const std::unique_ptr<Scheduler> scheduler =
       make_scheduler(options_.policy, options_.limits, request_classes_);
 
@@ -277,6 +277,7 @@ ServeReport Server::serve(WorkloadSource& workload) {
   util::RunningStats depth_stats;
   std::size_t max_depth = 0;
   Cycle now = 0;
+  std::uint64_t events = 0;
 
   const auto feed_back = [&](const Outcome& outcome) {
     for (Request& request : workload.on_outcome(outcome)) {
@@ -452,6 +453,7 @@ ServeReport Server::serve(WorkloadSource& workload) {
     }
     GNNERATOR_CHECK_MSG(next >= now, "serve event loop time went backwards");
     now = next;
+    ++events;
 
     // ---- Completions (device-index order). ------------------------------
     for (Device& device : devices_) {
@@ -499,14 +501,19 @@ ServeReport Server::serve(WorkloadSource& workload) {
   }
   GNNERATOR_CHECK_MSG(scheduler->depth() == 0, "serve loop ended with queued work");
 
-  // ---- Report -------------------------------------------------------------
+  return assemble_report(std::move(records), now, depth_stats, max_depth, events, nullptr);
+}
+
+ServeReport Server::assemble_report(std::vector<Outcome>&& records, Cycle now,
+                                    const util::RunningStats& depth_stats,
+                                    std::size_t max_depth, std::uint64_t events,
+                                    util::ThreadPool* pool) {
   ServeReport report;
   report.end_cycle = now;
   report.clock_ghz = options_.clock_ghz;
+  report.events = events;
   Metrics metrics(options_.clock_ghz);
-  for (const Outcome& outcome : records) {
-    metrics.add(outcome);
-  }
+  metrics.add_all(records, pool);
   report.metrics = metrics.summary(now);
   report.outcomes = std::move(records);
   report.devices.reserve(devices_.size());

@@ -14,6 +14,8 @@
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/workload.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gnnerator::serve {
 
@@ -57,6 +59,14 @@ struct ServerOptions {
   Cycle per_request_overhead = 10'000;
   /// Capacity of the fleet-wide shared plan cache.
   std::size_t plan_cache_capacity = 64;
+  /// Worker threads of the serving pipeline (Server::serve): pure
+  /// per-request work — plan-class keys, cost-oracle pricing, metrics
+  /// reduction — fans out across a util::ThreadPool between scheduling
+  /// points, with a conservative barrier before any queue/RNG/engine state
+  /// is touched, so reports are bitwise identical for every value
+  /// (differentially tested against run_reference). 1 = fully serial,
+  /// 0 = hardware concurrency.
+  std::size_t sim_threads = 1;
   /// Retain each request's ExecutionResult in its Outcome (tests /
   /// functional clients). Off by default: a long load run would hold every
   /// output tensor alive.
@@ -101,7 +111,25 @@ class Server {
   /// Runs the serving simulation until the workload is drained and every
   /// device is idle. May be called repeatedly; the plan cache and result
   /// memo stay warm across calls (ids and virtual time restart at 0).
+  ///
+  /// This is the production pipeline (src/serve/server_pipeline.cpp):
+  /// arrivals stream in sorted chunks (bounded memory for a
+  /// StreamingWorkloadSource), per-request annotation and metrics
+  /// reduction fan out across ServerOptions::sim_threads workers between
+  /// scheduling points, and completion records are stamped in place. The
+  /// report is bitwise identical to run_reference() — the differential
+  /// matrix in tests/serve_property_test.cpp enforces it. Note: comparing
+  /// the two paths needs fresh Server instances (or identical prior
+  /// history), since the plan cache and memos staying warm across calls is
+  /// part of the report.
   ServeReport serve(WorkloadSource& workload);
+
+  /// The naive single-threaded event loop the pipeline is differentially
+  /// tested against: one priority queue of materialized arrivals, no
+  /// annotation pipeline, no chunking — small, obviously-correct code kept
+  /// as the trusted baseline (the serving counterpart of PR 2's
+  /// SimKernel::run_reference).
+  ServeReport run_reference(WorkloadSource& workload);
 
   [[nodiscard]] core::PlanCacheStats cache_stats() const { return plan_cache_->stats(); }
   /// The plan-compatibility class a request would be admitted under
@@ -122,6 +150,10 @@ class Server {
   [[nodiscard]] const DeviceClass* device_class(std::size_t device) const;
   [[nodiscard]] const ServerOptions& options() const { return options_; }
   [[nodiscard]] bool has_dataset(std::string_view name) const;
+  /// How many times the cost oracle actually ran the analytic compiler
+  /// pipeline (one per distinct (plan class, device class) pair; the
+  /// memoization regression asserts this stays flat in trace length).
+  [[nodiscard]] std::size_t cost_oracle_runs() const { return cost_model_.pipeline_runs(); }
 
  private:
   struct RegisteredDataset {
@@ -135,8 +167,12 @@ class Server {
     std::size_t klass = 0;
     Cycle busy_until = 0;
     /// Outcomes of the batch in flight (empty when idle); completion is
-    /// stamped when the batch finishes.
+    /// stamped when the batch finishes. Used by run_reference only.
     std::vector<Outcome> inflight;
+    /// The pipeline loop's in-flight representation: record ids only —
+    /// dispatch fields are stamped into the record vector in place, so a
+    /// completion never copies Outcome strings around.
+    std::vector<std::uint64_t> inflight_ids;
     DeviceStats stats;
   };
 
@@ -183,6 +219,38 @@ class Server {
 
   [[nodiscard]] std::uint64_t queued_cost_estimate(const QueuedRequest& queued,
                                                    std::size_t device_index);
+
+  // ---- Serving-pipeline state (server_pipeline.cpp). -----------------------
+  /// The optimized event loop behind serve(); nested so it can reach the
+  /// memo tables without widening the public surface.
+  struct Pipeline;
+
+  /// One plan class in the dense registry.
+  struct PlanClass {
+    std::string key;  ///< canonical class key (class_key())
+    std::uint64_t cost_estimate = 0;  ///< canonical cost-oracle value
+  };
+
+  /// Dense plan-class registry: key -> id and id -> key + canonical cost.
+  /// The id-indexed side tables below turn the pipeline's hot memo lookups
+  /// (execution results, affinity EFT estimates) into array indexing; the
+  /// string-keyed maps above stay the source of truth shared with
+  /// run_reference, so either loop warms the other.
+  std::unordered_map<std::string, std::uint32_t> class_ids_;
+  std::vector<PlanClass> plan_classes_;
+  /// [exec slot][class id]; exec slot = device class index (a single
+  /// shared slot on a legacy fleet). Entries are null / kNoDeadline until
+  /// first touched.
+  std::vector<std::vector<std::shared_ptr<const core::ExecutionResult>>> results_by_id_;
+  std::vector<std::vector<std::uint64_t>> estimates_by_id_;
+  /// Lazily built worker pool (sim_threads != 1), reused across serve runs.
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  /// Report assembly shared by both loops — one code path, so the two
+  /// cannot drift in how metrics/devices/cache stats are folded in.
+  ServeReport assemble_report(std::vector<Outcome>&& records, Cycle now,
+                              const util::RunningStats& depth_stats, std::size_t max_depth,
+                              std::uint64_t events, util::ThreadPool* pool);
 };
 
 }  // namespace gnnerator::serve

@@ -1,0 +1,617 @@
+/// The optimized event loop behind Server::serve.
+///
+/// Structure: arrivals come in sorted chunks (a StreamingWorkloadSource is
+/// pulled incrementally, so trace memory stays bounded; a plain source is
+/// materialized once and walked through a stable-sorted index). Each chunk
+/// passes through four annotation phases before any of it is admitted:
+///
+///   A. pure per-request work — validation, tier resolution, plan-class key
+///      construction — fanned out across the worker pool (nothing shared is
+///      written);
+///   B. sequential merge — class keys interned into the dense registry,
+///      classes missing a canonical cost collected;
+///   C. pure pricing — JobCostModel::compute per missing class, fanned out;
+///   D. sequential publish — costs primed into the cost model and registry.
+///
+/// The event loop itself is sequential: scheduler mutations, engine
+/// simulations and closed-loop RNG draws happen in exactly the reference
+/// order, between the conservative barriers the phases above respect. That
+/// is what makes the report bitwise identical to Server::run_reference for
+/// every sim_threads value — tests/serve_property_test.cpp holds the two
+/// loops against each other across policies, fleets and thread counts.
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <optional>
+#include <queue>
+#include <tuple>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gnnerator::serve {
+
+namespace {
+
+/// Below this many per-request items a fan-out costs more than it saves.
+constexpr std::size_t kParallelGrain = 256;
+/// Arrivals annotated per intake refill.
+constexpr std::size_t kIntakeChunk = 4096;
+/// estimates_by_id_ sentinel ("not yet priced on this device class").
+constexpr std::uint64_t kNoEstimate = ~static_cast<std::uint64_t>(0);
+
+}  // namespace
+
+struct Server::Pipeline {
+  Server& server;
+  WorkloadSource& workload;
+  /// Non-null when the workload supports incremental sorted pulls.
+  StreamingWorkloadSource* stream = nullptr;
+  util::ThreadPool* pool = nullptr;
+  std::unique_ptr<Scheduler> scheduler;
+
+  /// One arrival with the expensive admit-time work precomputed.
+  struct Annotated {
+    Request request;
+    std::string key;            ///< canonical plan-class key (phase A)
+    std::uint32_t class_id = 0; ///< dense id (phase B)
+    std::size_t tier = 0;       ///< request class index (phase A)
+    std::uint64_t cost = 0;     ///< canonical cost-oracle value (phase D)
+  };
+
+  // ---- Intake: the workload's arrivals in sorted order, one annotated
+  // chunk at a time. ---------------------------------------------------
+  std::vector<Request> materialized;  ///< plain sources: every arrival
+  std::vector<std::uint32_t> order;   ///< .. stable-sorted by arrival cycle
+  std::size_t order_pos = 0;
+  std::vector<Request> pulled;        ///< streaming refill scratch
+  std::vector<Annotated> buffer;      ///< current annotated chunk
+  std::size_t buffer_pos = 0;
+  bool drained = false;
+
+  // ---- Feedback arrivals (closed-loop reissues). Only these need a heap:
+  // the main stream is already sorted, and the reference's emission seqs
+  // put every initial arrival ahead of every feedback push, so at equal
+  // cycles the stream head wins. ----------------------------------------
+  struct Feedback {
+    Cycle at = 0;
+    std::uint64_t seq = 0;  ///< push order: total tie-break at equal cycles
+    Request request;
+  };
+  struct FeedbackLater {
+    bool operator()(const Feedback& a, const Feedback& b) const {
+      return std::tie(a.at, a.seq) > std::tie(b.at, b.seq);
+    }
+  };
+  std::priority_queue<Feedback, std::vector<Feedback>, FeedbackLater> feedback;
+  std::uint64_t feedback_seq = 0;
+
+  // ---- Event-loop state. ------------------------------------------------
+  std::vector<Outcome> records;
+  util::RunningStats depth_stats;
+  std::size_t max_depth = 0;
+  Cycle now = 0;
+  std::uint64_t events = 0;
+
+  Pipeline(Server& s, WorkloadSource& w, util::ThreadPool* p)
+      : server(s), workload(w), stream(dynamic_cast<StreamingWorkloadSource*>(&w)), pool(p) {
+    scheduler =
+        make_scheduler(server.options_.policy, server.options_.limits, server.request_classes_);
+    if (stream == nullptr) {
+      materialized = workload.initial_arrivals();
+      order.resize(materialized.size());
+      std::iota(order.begin(), order.end(), 0u);
+      // Stable by arrival == the reference's (cycle, emission seq) order.
+      std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return materialized[a].arrival < materialized[b].arrival;
+      });
+    }
+    // Size the id-indexed memo views to the fleet and the (possibly warm)
+    // class registry.
+    const std::size_t slots =
+        server.device_classes_.empty() ? 1 : server.device_classes_.size();
+    server.results_by_id_.resize(slots);
+    server.estimates_by_id_.resize(slots);
+    for (auto& slot : server.results_by_id_) {
+      slot.resize(server.plan_classes_.size());
+    }
+    for (auto& slot : server.estimates_by_id_) {
+      slot.resize(server.plan_classes_.size(), kNoEstimate);
+    }
+  }
+
+  [[nodiscard]] std::size_t exec_slot(const Device& device) const {
+    return device.klass == kNoClass ? 0 : device.klass;
+  }
+
+  /// Phase-A body: everything derivable from the request alone. Reads only
+  /// immutable server state — safe from concurrent worker slices.
+  void annotate_fields(Annotated& a) const {
+    const Request& r = a.request;
+    GNNERATOR_CHECK_MSG(!r.sim.dataset.empty(), "serve request needs a dataset id");
+    GNNERATOR_CHECK_MSG(!r.sim.model.layers.empty(), "serve request needs a model");
+    a.tier = 0;
+    if (!r.klass.empty()) {
+      a.tier = server.request_classes_.size();
+      for (std::size_t t = 0; t < server.request_classes_.size(); ++t) {
+        if (server.request_classes_[t].name == r.klass) {
+          a.tier = t;
+          break;
+        }
+      }
+      GNNERATOR_CHECK_MSG(a.tier < server.request_classes_.size(),
+                          "request names unknown class '" << r.klass << "'");
+    }
+    const RegisteredDataset& dataset = server.registered(r.sim.dataset);
+    if (server.device_classes_.empty()) {
+      a.key = request_class_key(dataset.fingerprint, r.sim);
+    } else {
+      core::SimulationRequest canonical = r.sim;
+      canonical.config = server.device_classes_.front().config;
+      a.key = request_class_key(dataset.fingerprint, canonical);
+    }
+  }
+
+  /// Phase-B body: dense-id interning (sequential; grows the registry and
+  /// every id-indexed memo view in lockstep).
+  void intern(Annotated& a) {
+    const auto [it, inserted] = server.class_ids_.try_emplace(
+        a.key, static_cast<std::uint32_t>(server.plan_classes_.size()));
+    if (inserted) {
+      server.plan_classes_.push_back(PlanClass{a.key, 0});
+      for (auto& slot : server.results_by_id_) {
+        slot.emplace_back();
+      }
+      for (auto& slot : server.estimates_by_id_) {
+        slot.push_back(kNoEstimate);
+      }
+    }
+    a.class_id = it->second;
+  }
+
+  /// The canonical cost estimate, JobCostModel::compute is clamped to >= 1,
+  /// so 0 doubles as "not yet priced" in the registry.
+  [[nodiscard]] std::uint64_t compute_cost(const Request& r) const {
+    const RegisteredDataset& dataset = server.registered(r.sim.dataset);
+    if (server.device_classes_.empty()) {
+      return JobCostModel::compute(*dataset.dataset, r.sim);
+    }
+    core::SimulationRequest canonical = r.sim;
+    canonical.config = server.device_classes_.front().config;
+    return JobCostModel::compute(*dataset.dataset, canonical);
+  }
+
+  /// Annotates one chunk through phases A-D (see the file comment).
+  void annotate_chunk() {
+    // Phase A: pure per-request work, fanned out across the pool.
+    if (pool != nullptr && buffer.size() >= 2 * kParallelGrain) {
+      const std::size_t tasks_wanted =
+          std::min(pool->parallelism(), (buffer.size() + kParallelGrain - 1) / kParallelGrain);
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(tasks_wanted);
+      const std::size_t per = (buffer.size() + tasks_wanted - 1) / tasks_wanted;
+      for (std::size_t begin = 0; begin < buffer.size(); begin += per) {
+        const std::size_t end = std::min(begin + per, buffer.size());
+        tasks.emplace_back([this, begin, end] {
+          for (std::size_t i = begin; i < end; ++i) {
+            annotate_fields(buffer[i]);
+          }
+        });
+      }
+      pool->run_all(tasks);
+    } else {
+      for (Annotated& a : buffer) {
+        annotate_fields(a);
+      }
+    }
+
+    // Phase B: intern sequentially; collect the distinct classes that still
+    // need a canonical cost (probing the model memo first — a prior
+    // run_reference may have priced them already).
+    std::vector<std::uint32_t> missing_cids;
+    std::vector<std::size_t> missing_reps;
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      Annotated& a = buffer[i];
+      intern(a);
+      PlanClass& pc = server.plan_classes_[a.class_id];
+      if (pc.cost_estimate == 0 &&
+          std::find(missing_cids.begin(), missing_cids.end(), a.class_id) ==
+              missing_cids.end()) {
+        if (const auto known = server.cost_model_.lookup(pc.key)) {
+          pc.cost_estimate = *known;
+        } else {
+          missing_cids.push_back(a.class_id);
+          missing_reps.push_back(i);
+        }
+      }
+    }
+
+    // Phase C: price the missing classes — pure analytic computation, one
+    // task per class.
+    std::vector<std::uint64_t> costs(missing_cids.size(), 0);
+    if (pool != nullptr && missing_cids.size() > 1) {
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(missing_cids.size());
+      for (std::size_t i = 0; i < missing_cids.size(); ++i) {
+        tasks.emplace_back(
+            [this, &costs, i, rep = missing_reps[i]] { costs[i] = compute_cost(buffer[rep].request); });
+      }
+      pool->run_all(tasks);
+    } else {
+      for (std::size_t i = 0; i < missing_cids.size(); ++i) {
+        costs[i] = compute_cost(buffer[missing_reps[i]].request);
+      }
+    }
+
+    // Phase D: publish — one prime per class, so cost_oracle_runs() counts
+    // exactly what the reference loop would have computed lazily.
+    for (std::size_t i = 0; i < missing_cids.size(); ++i) {
+      PlanClass& pc = server.plan_classes_[missing_cids[i]];
+      server.cost_model_.prime(pc.key, costs[i]);
+      pc.cost_estimate = costs[i];
+    }
+    for (Annotated& a : buffer) {
+      a.cost = server.plan_classes_[a.class_id].cost_estimate;
+    }
+  }
+
+  /// Refills the annotated buffer with the next sorted chunk; false once
+  /// the workload's up-front arrivals are exhausted.
+  bool refill() {
+    buffer.clear();
+    buffer_pos = 0;
+    if (stream != nullptr) {
+      pulled.clear();
+      if (stream->pull(kIntakeChunk, pulled) == 0) {
+        return false;
+      }
+      buffer.reserve(pulled.size());
+      for (Request& r : pulled) {
+        buffer.push_back(Annotated{std::move(r)});
+      }
+    } else {
+      if (order_pos == order.size()) {
+        return false;
+      }
+      const std::size_t n = std::min(kIntakeChunk, order.size() - order_pos);
+      buffer.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        buffer.push_back(Annotated{std::move(materialized[order[order_pos + i]])});
+      }
+      order_pos += n;
+    }
+    annotate_chunk();
+    return true;
+  }
+
+  /// Arrival cycle of the next up-front arrival (kNoDeadline once drained).
+  Cycle head() {
+    while (buffer_pos == buffer.size()) {
+      if (drained || !refill()) {
+        drained = true;
+        return kNoDeadline;
+      }
+    }
+    return buffer[buffer_pos].request.arrival;
+  }
+
+  void feed_back(const Outcome& outcome) {
+    for (Request& request : workload.on_outcome(outcome)) {
+      const Cycle at = std::max(request.arrival, now);
+      feedback.push(Feedback{at, feedback_seq++, std::move(request)});
+    }
+  }
+
+  /// The serial annotation path for feedback arrivals (one at a time, so
+  /// the chunk machinery would be overhead). Leaves the cost model in the
+  /// exact state the reference admit would.
+  void annotate_serial(Annotated& a) {
+    annotate_fields(a);
+    intern(a);
+    PlanClass& pc = server.plan_classes_[a.class_id];
+    if (pc.cost_estimate == 0) {
+      if (const auto known = server.cost_model_.lookup(pc.key)) {
+        pc.cost_estimate = *known;
+      } else {
+        const std::uint64_t cost = compute_cost(a.request);
+        server.cost_model_.prime(pc.key, cost);
+        pc.cost_estimate = cost;
+      }
+    }
+    a.cost = pc.cost_estimate;
+  }
+
+  void admit(Annotated&& a) {
+    const RequestClass& klass = server.request_classes_[a.tier];
+    a.request.id = static_cast<std::uint64_t>(records.size());
+    Outcome record;
+    record.id = a.request.id;
+    record.arrival = a.request.arrival;
+    record.class_key = server.plan_classes_[a.class_id].key;
+    record.klass = klass.name;
+    record.applied_slo_ms = a.request.slo_ms > 0.0   ? a.request.slo_ms
+                            : klass.slo_ms > 0.0     ? klass.slo_ms
+                                                     : server.options_.default_slo_ms;
+    records.push_back(std::move(record));
+
+    if (server.options_.queue_capacity > 0 &&
+        scheduler->depth() >= server.options_.queue_capacity) {
+      Outcome& shed = records.back();
+      shed.shed = true;
+      shed.dispatch = now;
+      shed.completion = now;
+      feed_back(shed);
+      return;
+    }
+    scheduler->enqueue(
+        QueuedRequest{std::move(a.request), std::move(a.key), a.cost, a.tier, a.class_id},
+        now);
+  }
+
+  /// ensure_class_results with the string hashing replaced by dense-id
+  /// indexing; falls through to (and warms) the string-keyed memo shared
+  /// with the reference loop, so either loop reuses the other's engine
+  /// runs. Engine batches run in the reference's exact order.
+  void ensure_class_results_fast(Device& device, const DispatchBatch& batch) {
+    auto& slot = server.results_by_id_[exec_slot(device)];
+    std::vector<std::uint32_t> missing_cids;
+    std::vector<const QueuedRequest*> missing_reps;
+    for (const QueuedRequest& q : batch.requests) {
+      if (slot[q.class_id] != nullptr) {
+        continue;
+      }
+      const std::string& key = server.exec_key(q, device);
+      if (const auto it = server.class_results_.find(key); it != server.class_results_.end()) {
+        slot[q.class_id] = it->second;
+        continue;
+      }
+      if (std::find(missing_cids.begin(), missing_cids.end(), q.class_id) ==
+          missing_cids.end()) {
+        missing_cids.push_back(q.class_id);
+        missing_reps.push_back(&q);
+      }
+    }
+    if (missing_cids.empty()) {
+      return;
+    }
+    std::vector<core::SimulationRequest> sims;
+    sims.reserve(missing_reps.size());
+    for (const QueuedRequest* q : missing_reps) {
+      sims.push_back(server.sim_for_device(q->request.sim, device));
+    }
+    std::vector<core::ExecutionResult> results = device.engine->run_batch(sims);
+    for (std::size_t i = 0; i < missing_cids.size(); ++i) {
+      if (!server.options_.collect_results) {
+        results[i].output.reset();
+      }
+      auto shared = std::make_shared<const core::ExecutionResult>(std::move(results[i]));
+      server.class_results_.emplace(server.exec_key(*missing_reps[i], device), shared);
+      slot[missing_cids[i]] = std::move(shared);
+    }
+  }
+
+  [[nodiscard]] Cycle batch_service_cycles_fast(const Device& device,
+                                                const DispatchBatch& batch) const {
+    const auto& slot = server.results_by_id_[exec_slot(device)];
+    std::uint64_t device_cycles = 0;
+    std::vector<std::uint32_t> seen;
+    seen.reserve(batch.requests.size());
+    for (const QueuedRequest& q : batch.requests) {
+      if (std::find(seen.begin(), seen.end(), q.class_id) != seen.end()) {
+        continue;
+      }
+      seen.push_back(q.class_id);
+      GNNERATOR_CHECK_MSG(slot[q.class_id] != nullptr, "class result missing at dispatch");
+      device_cycles += slot[q.class_id]->cycles;
+    }
+    return server.to_server_cycles(device, device_cycles) +
+           server.options_.per_request_overhead * static_cast<Cycle>(batch.requests.size());
+  }
+
+  /// The affinity EFT estimate, as array indexing; falls through to (and
+  /// warms) the string-keyed memo on first touch.
+  [[nodiscard]] std::uint64_t estimate_fast(const QueuedRequest& q, std::size_t di) {
+    std::uint64_t& e = server.estimates_by_id_[exec_slot(server.devices_[di])][q.class_id];
+    if (e == kNoEstimate) {
+      e = server.queued_cost_estimate(q, di);
+    }
+    return e;
+  }
+
+  /// Reference dispatch_batch_to, with records stamped in place: dispatch
+  /// fields at dispatch, completion at completion — no Outcome ever copies
+  /// through a device's in-flight list.
+  bool dispatch_batch_to(Device& device, std::uint32_t di, DispatchBatch batch) {
+    while (!batch.requests.empty()) {
+      ensure_class_results_fast(device, batch);
+      const Cycle service = batch_service_cycles_fast(device, batch);
+      const std::size_t before = batch.requests.size();
+      std::erase_if(batch.requests, [&](const QueuedRequest& queued) {
+        const double slo_ms = records[queued.request.id].applied_slo_ms;
+        if (slo_ms <= 0.0) {
+          return false;
+        }
+        const Cycle deadline =
+            queued.request.arrival + ms_to_cycles(slo_ms, server.options_.clock_ghz);
+        if (now + service <= deadline) {
+          return false;
+        }
+        Outcome& record = records[queued.request.id];
+        record.shed = true;
+        record.dispatch = now;
+        record.completion = now;
+        feed_back(record);
+        return true;
+      });
+      if (batch.requests.size() == before) {
+        break;
+      }
+    }
+    if (batch.requests.empty()) {
+      return false;
+    }
+
+    const Cycle service = batch_service_cycles_fast(device, batch);
+    const auto& slot = server.results_by_id_[exec_slot(device)];
+    for (const QueuedRequest& queued : batch.requests) {
+      Outcome& record = records[queued.request.id];
+      record.dispatch = now;
+      record.device = di;
+      record.batch_size = static_cast<std::uint32_t>(batch.requests.size());
+      record.service_cycles = service;
+      if (server.options_.collect_results) {
+        record.result = slot[queued.class_id];
+      }
+      device.inflight_ids.push_back(queued.request.id);
+    }
+    device.busy_until = now + service;
+    device.stats.busy_cycles += service;
+    device.stats.batches += 1;
+    device.stats.requests += static_cast<std::uint64_t>(batch.requests.size());
+    return true;
+  }
+
+  /// Reference dispatch_affinity with the EFT estimates as array indexing.
+  void dispatch_affinity() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (const QueuedRequest* q : scheduler->ready(now)) {
+        std::size_t best = server.devices_.size();
+        Cycle best_eft = kNoDeadline;
+        bool best_busy = true;
+        for (std::size_t di = 0; di < server.devices_.size(); ++di) {
+          const Device& device = server.devices_[di];
+          const bool busy = !device.inflight_ids.empty();
+          const Cycle start = busy ? device.busy_until : now;
+          const Cycle eft = start + estimate_fast(*q, di);
+          if (best == server.devices_.size() || eft < best_eft ||
+              (eft == best_eft && !busy && best_busy)) {
+            best = di;
+            best_eft = eft;
+            best_busy = busy;
+          }
+        }
+        if (best_busy) {
+          continue;  // held for a busy device
+        }
+        std::optional<QueuedRequest> taken = scheduler->try_take(q->request.id);
+        GNNERATOR_CHECK_MSG(taken.has_value(), "affinity scheduler lost a ready request");
+        DispatchBatch batch;
+        batch.requests.push_back(std::move(*taken));
+        (void)dispatch_batch_to(server.devices_[best], static_cast<std::uint32_t>(best),
+                                std::move(batch));
+        progress = true;
+        break;  // the ready view is invalidated; rescan
+      }
+    }
+  }
+
+  ServeReport run() {
+    while (true) {
+      // ---- Next event: earliest of (batch completion, stream or feedback
+      // arrival, scheduler window expiry while a device idles). This is the
+      // conservative barrier: nothing past `next` has been simulated, so
+      // everything annotated ahead of it stayed pure. -----------------------
+      Cycle next = kNoDeadline;
+      bool any_idle = false;
+      for (const Device& device : server.devices_) {
+        if (device.inflight_ids.empty()) {
+          any_idle = true;
+        } else {
+          next = std::min(next, device.busy_until);
+        }
+      }
+      next = std::min(next, head());
+      if (!feedback.empty()) {
+        next = std::min(next, feedback.top().at);
+      }
+      if (any_idle) {
+        next = std::min(next, scheduler->next_ready(now));
+      }
+      if (next == kNoDeadline) {
+        break;
+      }
+      GNNERATOR_CHECK_MSG(next >= now, "serve event loop time went backwards");
+      now = next;
+      ++events;
+
+      // ---- Completions (device-index order). ------------------------------
+      for (Device& device : server.devices_) {
+        if (device.inflight_ids.empty() || device.busy_until != now) {
+          continue;
+        }
+        for (const std::uint64_t id : device.inflight_ids) {
+          records[id].completion = now;
+          feed_back(records[id]);
+        }
+        device.inflight_ids.clear();
+      }
+
+      // ---- Arrivals at `now`: the sorted stream head beats feedback at
+      // equal cycles (reference emission seqs order initial arrivals ahead
+      // of every feedback push); feedback ties break by push order. ---------
+      while (true) {
+        if (head() == now) {
+          admit(std::move(buffer[buffer_pos++]));
+          continue;
+        }
+        if (!feedback.empty() && feedback.top().at == now) {
+          // priority_queue::top is const; the element is discarded by pop.
+          Annotated a{std::move(const_cast<Feedback&>(feedback.top()).request)};
+          a.request.arrival = feedback.top().at;
+          feedback.pop();
+          annotate_serial(a);
+          admit(std::move(a));
+          continue;
+        }
+        break;
+      }
+
+      // ---- Dispatch (device-index order; affinity places jointly). --------
+      if (server.options_.policy == SchedulingPolicy::kAffinity) {
+        dispatch_affinity();
+      } else {
+        for (std::uint32_t di = 0; di < server.devices_.size(); ++di) {
+          Device& device = server.devices_[di];
+          while (device.inflight_ids.empty()) {
+            std::optional<DispatchBatch> popped = scheduler->pop(now);
+            if (!popped) {
+              break;
+            }
+            if (dispatch_batch_to(device, di, std::move(*popped))) {
+              break;  // device occupied; move to the next device
+            }
+            // fully shed: try the next batch for this device
+          }
+        }
+      }
+
+      depth_stats.add(static_cast<double>(scheduler->depth()));
+      max_depth = std::max(max_depth, scheduler->depth());
+    }
+    GNNERATOR_CHECK_MSG(scheduler->depth() == 0, "serve loop ended with queued work");
+
+    return server.assemble_report(std::move(records), now, depth_stats, max_depth, events,
+                                  pool);
+  }
+};
+
+ServeReport Server::serve(WorkloadSource& workload) {
+  util::ThreadPool* pool = nullptr;
+  if (options_.sim_threads != 1) {
+    if (!pool_) {
+      pool_ = std::make_unique<util::ThreadPool>(options_.sim_threads);
+    }
+    if (pool_->parallelism() > 1) {
+      pool = pool_.get();
+    }
+  }
+  Pipeline pipeline(*this, workload, pool);
+  return pipeline.run();
+}
+
+}  // namespace gnnerator::serve

@@ -1,6 +1,9 @@
 #include "serve/workload.hpp"
 
 #include <cmath>
+#include <fstream>
+#include <limits>
+#include <optional>
 #include <utility>
 
 #include "util/check.hpp"
@@ -105,11 +108,11 @@ std::vector<Request> ClosedLoopWorkload::on_outcome(const Outcome& outcome) {
   return {next_request(outcome.completion + think)};
 }
 
-TraceWorkload TraceWorkload::from_rows(const std::vector<std::vector<std::string>>& rows,
-                                       const core::SimulationRequest& base,
-                                       double clock_ghz) {
-  GNNERATOR_CHECK_MSG(!rows.empty(), "empty workload trace");
-  const std::vector<std::string>& header = rows.front();
+namespace {
+
+/// Validates the trace header row; returns whether the optional class
+/// column is present.
+bool check_trace_header(const std::vector<std::string>& header) {
   const auto header_cell = [&](std::size_t i) {
     return i < header.size() ? util::trim(header[i]) : std::string_view{};
   };
@@ -120,54 +123,82 @@ TraceWorkload TraceWorkload::from_rows(const std::vector<std::vector<std::string
   const bool has_class = header.size() >= 5 && header_cell(4) == "class";
   GNNERATOR_CHECK_MSG(header.size() <= (has_class ? 5u : 4u),
                       "trace header has unknown extra columns");
+  return has_class;
+}
+
+/// Parses one data row (file row `r`, header = 0) into a Request; nullopt
+/// for a blank line. Shared by the in-memory and streaming replays so the
+/// two paths cannot drift in dialect or strictness.
+std::optional<Request> parse_trace_row(const std::vector<std::string>& row, std::size_t r,
+                                       const core::SimulationRequest& base, double clock_ghz,
+                                       bool has_class) {
+  if (row.size() == 1 && util::trim(row[0]).empty()) {
+    return std::nullopt;  // blank line
+  }
+  GNNERATOR_CHECK_MSG(row.size() >= 4, "trace row " << r << " has " << row.size()
+                                                    << " cells, expected at least 4");
+  Request request;
+  request.sim = base;
+  // Strict numeric parses: whitespace around the number is fine, trailing
+  // garbage ("1.5x") is a malformed row, never a silent truncation.
+  const std::optional<double> arrival_ms = util::parse_double(row[0]);
+  const std::optional<double> slo_ms = util::parse_double(row[3]);
+  GNNERATOR_CHECK_MSG(arrival_ms.has_value(),
+                      "trace row " << r << ": malformed arrival_ms '" << row[0] << "'");
+  GNNERATOR_CHECK_MSG(slo_ms.has_value(),
+                      "trace row " << r << ": malformed slo_ms '" << row[3] << "'");
+  request.slo_ms = *slo_ms;
+  GNNERATOR_CHECK_MSG(*arrival_ms >= 0.0,
+                      "trace row " << r << ": negative arrival_ms " << *arrival_ms);
+  GNNERATOR_CHECK_MSG(request.slo_ms >= 0.0,
+                      "trace row " << r << ": negative slo_ms " << request.slo_ms);
+  request.arrival = ms_to_cycles(*arrival_ms, clock_ghz);
+  const std::string dataset_name(util::trim(row[1]));
+  const std::optional<graph::DatasetSpec> spec = graph::find_dataset(dataset_name);
+  GNNERATOR_CHECK_MSG(spec.has_value(),
+                      "trace row " << r << ": unknown dataset '" << dataset_name << "'");
+  request.sim.dataset = spec->name;
+  const std::string_view model_name = util::trim(row[2]);
+  std::optional<gnn::LayerKind> kind;
+  for (const gnn::LayerKind k :
+       {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean, gnn::LayerKind::kSagePool}) {
+    if (model_name == gnn::layer_kind_name(k)) {
+      kind = k;
+    }
+  }
+  GNNERATOR_CHECK_MSG(kind.has_value(), "trace row " << r << ": unknown model '"
+                                                     << model_name
+                                                     << "' (gcn, gsage, gsage-max)");
+  request.sim.model = core::table3_model(*kind, *spec);
+  if (has_class && row.size() >= 5) {
+    request.klass = std::string(util::trim(row[4]));
+  }
+  return request;
+}
+
+}  // namespace
+
+std::vector<Request> StreamingWorkloadSource::initial_arrivals() {
+  std::vector<Request> all;
+  while (pull(4096, all) > 0) {
+  }
+  return all;
+}
+
+TraceWorkload TraceWorkload::from_rows(const std::vector<std::vector<std::string>>& rows,
+                                       const core::SimulationRequest& base,
+                                       double clock_ghz) {
+  GNNERATOR_CHECK_MSG(!rows.empty(), "empty workload trace");
+  const bool has_class = check_trace_header(rows.front());
 
   // A header-only trace is a valid empty workload (the generator matched
   // nothing) — replaying it serves zero requests instead of throwing.
   TraceWorkload workload;
   for (std::size_t r = 1; r < rows.size(); ++r) {
-    const std::vector<std::string>& row = rows[r];
-    if (row.size() == 1 && util::trim(row[0]).empty()) {
-      continue;  // blank line
+    std::optional<Request> request = parse_trace_row(rows[r], r, base, clock_ghz, has_class);
+    if (request.has_value()) {
+      workload.arrivals_.push_back(std::move(*request));
     }
-    GNNERATOR_CHECK_MSG(row.size() >= 4, "trace row " << r << " has " << row.size()
-                                                      << " cells, expected at least 4");
-    Request request;
-    request.sim = base;
-    // Strict numeric parses: whitespace around the number is fine, trailing
-    // garbage ("1.5x") is a malformed row, never a silent truncation.
-    const std::optional<double> arrival_ms = util::parse_double(row[0]);
-    const std::optional<double> slo_ms = util::parse_double(row[3]);
-    GNNERATOR_CHECK_MSG(arrival_ms.has_value(),
-                        "trace row " << r << ": malformed arrival_ms '" << row[0] << "'");
-    GNNERATOR_CHECK_MSG(slo_ms.has_value(),
-                        "trace row " << r << ": malformed slo_ms '" << row[3] << "'");
-    request.slo_ms = *slo_ms;
-    GNNERATOR_CHECK_MSG(*arrival_ms >= 0.0,
-                        "trace row " << r << ": negative arrival_ms " << *arrival_ms);
-    GNNERATOR_CHECK_MSG(request.slo_ms >= 0.0,
-                        "trace row " << r << ": negative slo_ms " << request.slo_ms);
-    request.arrival = ms_to_cycles(*arrival_ms, clock_ghz);
-    const std::string dataset_name(util::trim(row[1]));
-    const std::optional<graph::DatasetSpec> spec = graph::find_dataset(dataset_name);
-    GNNERATOR_CHECK_MSG(spec.has_value(), "trace row " << r << ": unknown dataset '"
-                                                       << dataset_name << "'");
-    request.sim.dataset = spec->name;
-    const std::string_view model_name = util::trim(row[2]);
-    std::optional<gnn::LayerKind> kind;
-    for (const gnn::LayerKind k :
-         {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean, gnn::LayerKind::kSagePool}) {
-      if (model_name == gnn::layer_kind_name(k)) {
-        kind = k;
-      }
-    }
-    GNNERATOR_CHECK_MSG(kind.has_value(), "trace row " << r << ": unknown model '"
-                                                       << model_name
-                                                       << "' (gcn, gsage, gsage-max)");
-    request.sim.model = core::table3_model(*kind, *spec);
-    if (has_class && row.size() >= 5) {
-      request.klass = std::string(util::trim(row[4]));
-    }
-    workload.arrivals_.push_back(std::move(request));
   }
   return workload;
 }
@@ -181,9 +212,91 @@ TraceWorkload TraceWorkload::from_csv(const std::string& csv_text,
 TraceWorkload TraceWorkload::from_file(const std::string& path,
                                        const core::SimulationRequest& base,
                                        double clock_ghz) {
-  return from_rows(util::read_csv_file(path), base, clock_ghz);
+  // Row-at-a-time through the streaming reader: the arrivals vector is the
+  // only thing proportional to the trace (read_csv_file would additionally
+  // materialize the raw text and the full cell matrix).
+  util::CsvStreamReader reader(path);
+  std::optional<std::vector<std::string>> header = reader.next_row();
+  GNNERATOR_CHECK_MSG(header.has_value(), "empty workload trace");
+  const bool has_class = check_trace_header(*header);
+  TraceWorkload workload;
+  std::size_t r = 0;
+  while (std::optional<std::vector<std::string>> row = reader.next_row()) {
+    std::optional<Request> request = parse_trace_row(*row, ++r, base, clock_ghz, has_class);
+    if (request.has_value()) {
+      workload.arrivals_.push_back(std::move(*request));
+    }
+  }
+  return workload;
 }
 
 std::vector<Request> TraceWorkload::initial_arrivals() { return arrivals_; }
+
+StreamingTraceWorkload::StreamingTraceWorkload(const std::string& path,
+                                               const core::SimulationRequest& base,
+                                               double clock_ghz, std::size_t chunk_bytes)
+    : reader_(path, chunk_bytes), base_(base), clock_ghz_(clock_ghz) {
+  std::optional<std::vector<std::string>> header = reader_.next_row();
+  GNNERATOR_CHECK_MSG(header.has_value(), "empty workload trace");
+  has_class_ = check_trace_header(*header);
+}
+
+std::size_t StreamingTraceWorkload::pull(std::size_t max, std::vector<Request>& out) {
+  GNNERATOR_CHECK_MSG(max > 0, "streaming pull needs a positive batch size");
+  std::size_t appended = 0;
+  while (appended < max) {
+    std::optional<std::vector<std::string>> row = reader_.next_row();
+    if (!row.has_value()) {
+      break;
+    }
+    ++row_index_;
+    std::optional<Request> request =
+        parse_trace_row(*row, row_index_, base_, clock_ghz_, has_class_);
+    if (!request.has_value()) {
+      continue;  // blank line
+    }
+    // Replays re-parse arrival_ms for the check: the comparison must happen
+    // in the column's own unit, before cycle rounding can mask an
+    // out-of-order pair.
+    const double arrival_ms = cycles_to_ms(request->arrival, clock_ghz_);
+    GNNERATOR_CHECK_MSG(arrival_ms >= last_arrival_ms_,
+                        "trace row " << row_index_
+                                     << ": arrivals must be sorted by arrival_ms for "
+                                        "streaming replay (got "
+                                     << arrival_ms << " after " << last_arrival_ms_ << ")");
+    last_arrival_ms_ = arrival_ms;
+    out.push_back(std::move(*request));
+    ++appended;
+    ++rows_streamed_;
+  }
+  return appended;
+}
+
+std::size_t write_synthetic_trace(const std::string& path, const TraceSpec& spec) {
+  GNNERATOR_CHECK_MSG(!spec.datasets.empty(), "synthetic trace needs at least one dataset");
+  GNNERATOR_CHECK_MSG(!spec.models.empty(), "synthetic trace needs at least one model");
+  GNNERATOR_CHECK_MSG(spec.rate_rps > 0.0, "synthetic trace needs a positive arrival rate");
+  GNNERATOR_CHECK_MSG(spec.clock_ghz > 0.0, "synthetic trace needs a positive clock");
+  std::ofstream out(path, std::ios::trunc);
+  GNNERATOR_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "arrival_ms,dataset,model,slo_ms" << (spec.classes.empty() ? "" : ",class") << "\n";
+
+  util::Prng prng(spec.seed);
+  const double mean_gap_cycles = spec.clock_ghz * 1e9 / spec.rate_rps;
+  Cycle at = 0;
+  for (std::size_t i = 0; i < spec.num_requests; ++i) {
+    at += exponential_cycles(prng, mean_gap_cycles);
+    out << cycles_to_ms(at, spec.clock_ghz) << ','
+        << spec.datasets[prng.uniform_u64(spec.datasets.size())] << ','
+        << spec.models[prng.uniform_u64(spec.models.size())] << ',' << spec.slo_ms;
+    if (!spec.classes.empty()) {
+      out << ',' << spec.classes[prng.uniform_u64(spec.classes.size())];
+    }
+    out << '\n';
+  }
+  GNNERATOR_CHECK_MSG(out.good(), "write failed for " << path);
+  return spec.num_requests;
+}
 
 }  // namespace gnnerator::serve

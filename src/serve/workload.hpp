@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "serve/request.hpp"
+#include "util/csv.hpp"
 #include "util/prng.hpp"
 
 namespace gnnerator::serve {
@@ -36,6 +37,26 @@ class WorkloadSource {
   /// Arrivals triggered by a request finishing (or being shed). Closed-loop
   /// clients re-issue here after think time.
   virtual std::vector<Request> on_outcome(const Outcome& outcome);
+};
+
+/// A workload whose arrivals can be pulled incrementally in non-decreasing
+/// arrival order — the bounded-memory contract million-request traces need.
+/// Server::serve consumes these chunk-by-chunk (at most one chunk of
+/// not-yet-admitted arrivals is in memory at a time); consumers of the base
+/// contract (Server::run_reference) still work because initial_arrivals()
+/// bridges by draining the stream.
+class StreamingWorkloadSource : public WorkloadSource {
+ public:
+  /// Appends up to `max` further arrivals to `out`, in non-decreasing
+  /// arrival order (a stream that goes backwards in time throws
+  /// CheckError); returns the number appended — 0 once the stream is
+  /// drained. `max` must be positive.
+  virtual std::size_t pull(std::size_t max, std::vector<Request>& out) = 0;
+
+  /// Drains the whole stream into one vector. Defeats the bounded-memory
+  /// point, but keeps every streaming source usable wherever a
+  /// WorkloadSource is expected (the reference event loop, tests).
+  std::vector<Request> initial_arrivals() final;
 };
 
 /// Open-loop Poisson arrivals: `num_requests` requests with exponential
@@ -116,5 +137,57 @@ class TraceWorkload final : public WorkloadSource {
 
   std::vector<Request> arrivals_;
 };
+
+/// Streams a trace file row-by-row (util::CsvStreamReader): same CSV
+/// schema and strict parsing as TraceWorkload, but rows must already be
+/// sorted by arrival_ms (CheckError names the offending row otherwise) and
+/// memory stays bounded by one reader chunk plus one pulled batch — a
+/// million-request trace replays without ever materializing. The stream is
+/// single-use: one serve run consumes it.
+class StreamingTraceWorkload final : public StreamingWorkloadSource {
+ public:
+  StreamingTraceWorkload(const std::string& path, const core::SimulationRequest& base,
+                         double clock_ghz, std::size_t chunk_bytes = 64 * 1024);
+
+  std::size_t pull(std::size_t max, std::vector<Request>& out) override;
+
+  /// Data rows parsed so far (excluding the header and blank lines).
+  [[nodiscard]] std::size_t rows_streamed() const { return rows_streamed_; }
+  /// The reader's buffer high-water mark (util::CsvStreamReader) — what the
+  /// bounded-memory regression asserts on.
+  [[nodiscard]] std::size_t peak_buffer_bytes() const { return reader_.peak_buffer_bytes(); }
+
+ private:
+  util::CsvStreamReader reader_;
+  core::SimulationRequest base_;
+  double clock_ghz_;
+  bool has_class_ = false;
+  std::size_t row_index_ = 0;  ///< file row of the last reader row (header = 0)
+  std::size_t rows_streamed_ = 0;
+  double last_arrival_ms_ = 0.0;
+};
+
+/// Spec of a synthetic serving trace (bench/serve_scale and the streaming
+/// regression tests): `num_requests` rows with Poisson inter-arrival gaps
+/// at `rate_rps`, dataset/model drawn uniformly per row, an optional class
+/// column, one fixed slo_ms. Deterministic in (spec, seed).
+struct TraceSpec {
+  std::size_t num_requests = 100'000;
+  double rate_rps = 20'000.0;
+  double clock_ghz = 1.0;
+  std::uint64_t seed = 1;
+  std::vector<std::string> datasets{"cora", "citeseer"};
+  std::vector<std::string> models{"gcn", "gsage", "gsage-max"};
+  /// Request-class column values (drawn uniformly); empty = no class column.
+  std::vector<std::string> classes;
+  /// slo_ms column value for every row; 0 = none.
+  double slo_ms = 0.0;
+};
+
+/// Writes the trace to `path` row-by-row — generation is bounded-memory
+/// too, so the generator scales to the same sizes the streaming replay
+/// does. Rows come out sorted by arrival_ms (what StreamingTraceWorkload
+/// requires). Returns the number of data rows written.
+std::size_t write_synthetic_trace(const std::string& path, const TraceSpec& spec);
 
 }  // namespace gnnerator::serve

@@ -1,5 +1,6 @@
 #include "util/csv.hpp"
 
+#include <algorithm>
 #include <fstream>
 
 #include "util/check.hpp"
@@ -80,6 +81,114 @@ std::vector<std::vector<std::string>> read_csv_file(const std::string& path) {
   buffer << in.rdbuf();
   GNNERATOR_CHECK_MSG(!in.bad(), "read failed for " << path);
   return parse_csv(buffer.str());
+}
+
+CsvStreamReader::CsvStreamReader(const std::string& path, std::size_t chunk_bytes)
+    : in_(path, std::ios::binary), path_(path) {
+  GNNERATOR_CHECK_MSG(in_.good(), "cannot open " << path << " for reading");
+  chunk_.resize(std::max<std::size_t>(chunk_bytes, 1));
+}
+
+std::size_t CsvStreamReader::buffered_bytes() const {
+  std::size_t row_bytes = cell_.size();
+  for (const std::string& cell : row_) {
+    row_bytes += cell.size();
+  }
+  return chunk_.size() + row_bytes;
+}
+
+void CsvStreamReader::end_cell() {
+  row_.push_back(std::move(cell_));
+  cell_.clear();
+  cell_started_ = false;
+}
+
+bool CsvStreamReader::feed(char c) {
+  if (state_ == State::kCrSeen) {
+    state_ = State::kDefault;
+    if (c == '\n') {
+      return false;  // the LF of a CRLF; its row already ended
+    }
+    // fall through: process c as the first character after the row break
+  } else if (state_ == State::kQuoteSeen) {
+    if (c == '"') {
+      cell_ += '"';  // escaped quote
+      state_ = State::kInQuotes;
+      return false;
+    }
+    state_ = State::kDefault;  // the quote closed the cell; process c below
+  } else if (state_ == State::kInQuotes) {
+    if (c == '"') {
+      state_ = State::kQuoteSeen;
+    } else {
+      cell_ += c;
+    }
+    return false;
+  }
+  switch (c) {
+    case '"':
+      state_ = State::kInQuotes;
+      cell_started_ = true;
+      return false;
+    case ',':
+      cell_started_ = true;  // the comma implies a cell on both sides
+      peak_buffer_bytes_ = std::max(peak_buffer_bytes_, buffered_bytes());
+      end_cell();
+      return false;
+    case '\r':
+      state_ = State::kCrSeen;
+      end_cell();
+      done_row_ = std::move(row_);
+      row_.clear();
+      return true;
+    case '\n':
+      end_cell();
+      done_row_ = std::move(row_);
+      row_.clear();
+      return true;
+    default:
+      cell_ += c;
+      cell_started_ = true;
+      return false;
+  }
+}
+
+bool CsvStreamReader::finish() {
+  GNNERATOR_CHECK_MSG(state_ != State::kInQuotes, "CSV ends inside a quoted cell");
+  if (!cell_started_ && row_.empty()) {
+    return false;  // trailing newline: no final row
+  }
+  end_cell();
+  done_row_ = std::move(row_);
+  row_.clear();
+  return true;
+}
+
+std::optional<std::vector<std::string>> CsvStreamReader::next_row() {
+  for (;;) {
+    while (chunk_pos_ < chunk_len_) {
+      if (feed(chunk_[chunk_pos_++])) {
+        ++rows_;
+        return std::move(done_row_);
+      }
+    }
+    if (eof_flushed_) {
+      return std::nullopt;
+    }
+    in_.read(chunk_.data(), static_cast<std::streamsize>(chunk_.size()));
+    GNNERATOR_CHECK_MSG(!in_.bad(), "read failed for " << path_);
+    chunk_len_ = static_cast<std::size_t>(in_.gcount());
+    chunk_pos_ = 0;
+    peak_buffer_bytes_ = std::max(peak_buffer_bytes_, buffered_bytes());
+    if (chunk_len_ == 0) {
+      eof_flushed_ = true;
+      if (finish()) {
+        ++rows_;
+        return std::move(done_row_);
+      }
+      return std::nullopt;
+    }
+  }
 }
 
 CsvWriter::CsvWriter(std::vector<std::string> header) : columns_(header.size()) {

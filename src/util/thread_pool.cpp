@@ -1,0 +1,121 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace gnnerator::util {
+
+ThreadPool::ThreadPool(std::size_t parallelism) {
+  if (parallelism == 0) {
+    parallelism = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  parallelism = std::min(parallelism, kMaxParallelism);
+  workers_.reserve(parallelism - 1);
+  for (std::size_t i = 0; i + 1 < parallelism; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::drain(Batch& batch) {
+  const auto& tasks = *batch.tasks;
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= tasks.size()) {
+      return;
+    }
+    try {
+      tasks[i]();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!batch.error) {
+        batch.error = std::current_exception();
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (++batch.completed == tasks.size()) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || batch_ != nullptr; });
+      if (stop_) {
+        return;
+      }
+      batch = batch_;
+      ++batch->active_workers;
+    }
+    drain(*batch);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --batch->active_workers;
+      if (batch_ == batch) {
+        batch_ = nullptr;  // every task is claimed; stop further adoption
+      }
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_all(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) {
+    return;
+  }
+  if (workers_.empty() || tasks.size() == 1) {
+    // Same semantics as the parallel path: every task runs even if an
+    // earlier one throws, and the first error surfaces afterwards —
+    // behaviour must not depend on the pool size.
+    std::exception_ptr error;
+    for (const auto& task : tasks) {
+      try {
+        task();
+      } catch (...) {
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+    }
+    if (error) {
+      std::rethrow_exception(error);
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  Batch batch;
+  batch.tasks = &tasks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_ = &batch;
+  }
+  work_cv_.notify_all();
+  drain(batch);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (batch_ == &batch) {
+      batch_ = nullptr;
+    }
+    done_cv_.wait(lock, [&] {
+      return batch.completed == tasks.size() && batch.active_workers == 0;
+    });
+  }
+  if (batch.error) {
+    std::rethrow_exception(batch.error);
+  }
+}
+
+}  // namespace gnnerator::util

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gnnerator::util {
+
+/// Fixed-size worker pool. `parallelism` counts the calling thread: a pool
+/// constructed with parallelism 1 spawns no workers and `run_all` degrades
+/// to a plain serial loop, which is how the single-threaded compatibility
+/// paths avoid any thread machinery.
+///
+/// `run_all` blocks until every task has finished; the calling thread
+/// participates in draining the task list. Tasks of one batch must not call
+/// `run_all` on the same pool (no nesting: the Engine's batch-level tasks
+/// run their functional work serially, and the serving pipeline's worker
+/// slices never re-enter the pool).
+///
+/// Shared by the core Engine (functional executor, batch API) and the
+/// serving pipeline (serve/server.hpp) — one pool implementation, one set
+/// of TSan-verified semantics.
+class ThreadPool {
+ public:
+  /// Hard ceiling on pool size. Requests above it (including negative ints
+  /// cast to size_t) are clamped here rather than trusted to callers:
+  /// spawning tens of thousands of workers is never what anyone meant.
+  static constexpr std::size_t kMaxParallelism = 256;
+
+  /// `parallelism` == 0 picks std::thread::hardware_concurrency(); any
+  /// other value is clamped into [1, kMaxParallelism].
+  explicit ThreadPool(std::size_t parallelism);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism including the caller of run_all.
+  [[nodiscard]] std::size_t parallelism() const { return workers_.size() + 1; }
+
+  /// Runs all tasks, in any order, across the workers and the calling
+  /// thread; returns when the last one finishes. If tasks throw, the first
+  /// exception is rethrown here (after all tasks have been drained).
+  void run_all(const std::vector<std::function<void()>>& tasks);
+
+ private:
+  struct Batch {
+    const std::vector<std::function<void()>>* tasks = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::size_t completed = 0;     // guarded by pool mutex
+    std::size_t active_workers = 0;  // guarded by pool mutex
+    std::exception_ptr error;      // guarded by pool mutex
+  };
+
+  void worker_loop();
+  /// Claims and runs tasks of `batch` until none are left.
+  void drain(Batch& batch);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: a batch arrived / shutdown
+  std::condition_variable done_cv_;  // caller: batch fully executed
+  Batch* batch_ = nullptr;           // guarded by mutex_
+  bool stop_ = false;                // guarded by mutex_
+  std::mutex run_mutex_;             // one run_all at a time
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gnnerator::util

@@ -34,6 +34,7 @@
 #include "serve/server.hpp"
 #include "serve/workload.hpp"
 #include "util/prng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gnnerator::serve {
 namespace {
@@ -371,6 +372,221 @@ TEST(ServeProperty, IdenticalClassFleetMatchesHomogeneousBitwise) {
     EXPECT_EQ(homogeneous.metrics.p50_ms, heterogeneous.metrics.p50_ms);
     EXPECT_EQ(homogeneous.metrics.p95_ms, heterogeneous.metrics.p95_ms);
     EXPECT_EQ(homogeneous.metrics.p99_ms, heterogeneous.metrics.p99_ms);
+  }
+}
+
+/// The differential matrix for the parallel serving pipeline: every policy
+/// x fleet shape x sim_threads count must reproduce the trusted
+/// single-threaded Server::run_reference loop *byte for byte* — completion
+/// records, metrics at reporting precision, plan-cache counters, queue
+/// depth, event counts, everything report_fingerprint folds in. Fresh
+/// servers per run: the plan cache and memos staying warm across calls is
+/// part of the report, so the two paths may only be compared from equal
+/// starting states.
+TEST(ServeDifferential, PipelineMatchesReferenceAcrossPoliciesFleetsAndThreads) {
+  const SchedulingPolicy policies[] = {SchedulingPolicy::kFifo, SchedulingPolicy::kSjf,
+                                       SchedulingPolicy::kDynamicBatch,
+                                       SchedulingPolicy::kAffinity};
+  std::uint64_t seed = 500;
+  for (const SchedulingPolicy policy : policies) {
+    for (const bool mixed_fleet : {false, true}) {
+      ServerOptions options;
+      options.policy = policy;
+      options.limits.batch_window = ms_to_cycles(0.1, options.clock_ghz);
+      options.limits.max_batch = 8;
+      options.default_slo_ms = 1.5;  // exercises dispatch-time shedding
+      options.queue_capacity = 24;   // .. and admission-time shedding
+      if (mixed_fleet) {
+        options.fleet = parse_fleet_spec("2xbaseline,1xnextgen");
+      } else {
+        options.num_devices = 3;
+      }
+      ++seed;
+
+      const auto run = [&](bool reference, std::size_t sim_threads) {
+        ServerOptions o = options;
+        o.sim_threads = sim_threads;
+        Server server(o);
+        server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+        std::vector<RequestTemplate> mix;
+        for (const gnn::LayerKind kind :
+             {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean, gnn::LayerKind::kSagePool}) {
+          RequestTemplate t;
+          t.sim = timing_sim("cora", kind);
+          mix.push_back(std::move(t));
+        }
+        PoissonWorkload workload(mix, /*rate_rps=*/15000.0, /*num_requests=*/150,
+                                 o.clock_ghz, seed);
+        return reference ? server.run_reference(workload) : server.serve(workload);
+      };
+
+      const std::string expected = report_fingerprint(run(/*reference=*/true, 1));
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        SCOPED_TRACE(std::string(policy_name(policy)) +
+                     (mixed_fleet ? " mixed-fleet" : " homogeneous") + " sim_threads=" +
+                     std::to_string(threads));
+        EXPECT_EQ(report_fingerprint(run(/*reference=*/false, threads)), expected)
+            << "pipeline diverged from run_reference";
+      }
+    }
+  }
+}
+
+/// Closed-loop feedback is the hardest ordering case: every completion
+/// re-arms a client through the workload's PRNG, so any reordering of
+/// completion records (or of feedback vs streamed arrivals at equal
+/// cycles) changes the RNG draw sequence and cascades through the rest of
+/// the run. The pipeline must replay it exactly, with SLO tiers on a
+/// heterogeneous fleet for good measure.
+TEST(ServeDifferential, ClosedLoopFeedbackMatchesReference) {
+  ServerOptions options;
+  options.policy = SchedulingPolicy::kSjf;
+  options.fleet = parse_fleet_spec("1xbaseline,1xnextgen");
+  options.classes = parse_class_spec("interactive:3:4:1,bulk:0:1:0");
+  options.default_slo_ms = 2.0;
+
+  const auto run = [&](bool reference, std::size_t sim_threads) {
+    ServerOptions o = options;
+    o.sim_threads = sim_threads;
+    Server server(o);
+    server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+    std::vector<RequestTemplate> mix;
+    for (const gnn::LayerKind kind : {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean}) {
+      RequestTemplate t;
+      t.sim = timing_sim("cora", kind);
+      t.klass = mix.empty() ? "interactive" : "bulk";
+      mix.push_back(std::move(t));
+    }
+    // Workloads are stateful (PRNG advances on every feedback) — a fresh
+    // instance per run, same seed.
+    ClosedLoopWorkload workload(mix, /*num_clients=*/6, /*total_requests=*/120,
+                                /*think_ms=*/0.3, o.clock_ghz, /*seed=*/4242);
+    return reference ? server.run_reference(workload) : server.serve(workload);
+  };
+
+  const std::string expected = report_fingerprint(run(/*reference=*/true, 1));
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    SCOPED_TRACE("sim_threads=" + std::to_string(threads));
+    EXPECT_EQ(report_fingerprint(run(/*reference=*/false, threads)), expected);
+  }
+}
+
+/// The cost oracle memoizes per (plan class, device class): however many
+/// requests stream through, the analytic compiler pipeline runs exactly
+/// once per distinct pair — flat in trace length, across serve() calls,
+/// and identical between the pipeline and the reference loop.
+TEST(ServeCostOracle, PipelineRunsOncePerPlanAndDeviceClass) {
+  const auto make_mix = [] {
+    std::vector<RequestTemplate> mix;
+    for (const gnn::LayerKind kind : {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean}) {
+      RequestTemplate t;
+      t.sim = timing_sim("cora", kind);
+      mix.push_back(std::move(t));
+    }
+    return mix;
+  };
+
+  // Homogeneous SJF: one run per plan class, flat in request count.
+  {
+    ServerOptions options;
+    options.num_devices = 2;
+    options.policy = SchedulingPolicy::kSjf;
+    Server server(options);
+    server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+    PoissonWorkload small(make_mix(), 8000.0, 40, options.clock_ghz, 9);
+    (void)server.serve(small);
+    EXPECT_EQ(server.cost_oracle_runs(), 2u);
+    PoissonWorkload large(make_mix(), 8000.0, 400, options.clock_ghz, 10);
+    (void)server.serve(large);
+    EXPECT_EQ(server.cost_oracle_runs(), 2u)
+        << "a 10x longer trace re-ran the analytic pipeline";
+  }
+
+  // Affinity on a two-class fleet: the canonical key is the first class's
+  // config, so its estimates share the canonical memo entry and only the
+  // second class adds one — 2 plan classes x 2 distinct configs = 4 runs.
+  {
+    ServerOptions options;
+    options.fleet = parse_fleet_spec("1xbaseline,1xnextgen");
+    options.policy = SchedulingPolicy::kAffinity;
+    Server server(options);
+    server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+    PoissonWorkload workload(make_mix(), 8000.0, 120, options.clock_ghz, 11);
+    (void)server.serve(workload);
+    EXPECT_EQ(server.cost_oracle_runs(), 4u);
+    PoissonWorkload again(make_mix(), 8000.0, 240, options.clock_ghz, 12);
+    (void)server.serve(again);
+    EXPECT_EQ(server.cost_oracle_runs(), 4u);
+  }
+
+  // The reference loop prices identically (differential on the counter).
+  {
+    ServerOptions options;
+    options.num_devices = 2;
+    options.policy = SchedulingPolicy::kSjf;
+    Server server(options);
+    server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+    PoissonWorkload workload(make_mix(), 8000.0, 40, options.clock_ghz, 9);
+    (void)server.run_reference(workload);
+    EXPECT_EQ(server.cost_oracle_runs(), 2u);
+  }
+}
+
+/// Metrics::add_all fans the aggregation streams out across a pool, but
+/// each stream walks the records front to back — the order every latency
+/// enters a StreamingQuantiles reservoir is fixed by the completion-record
+/// order, never by the thread schedule. Summaries must be bitwise equal to
+/// the serial loop, including deep in the reservoir regime.
+TEST(ServeMetrics, ReservoirIngestionOrderIsRecordOrderNotThreadSchedule) {
+  constexpr std::size_t kBound = 64;
+  const auto outcome_with = [](std::uint64_t id, const char* klass, Cycle latency) {
+    Outcome o;
+    o.id = id;
+    o.klass = klass;
+    o.completion = latency;
+    o.batch_size = 1 + static_cast<std::uint32_t>(id % 4);
+    o.applied_slo_ms = (id % 3 == 0) ? 0.5 : 0.0;
+    return o;
+  };
+  std::vector<Outcome> outcomes;
+  util::Prng prng(31);
+  const char* classes[] = {"interactive", "bulk", "batchy"};
+  for (std::uint64_t i = 0; i < 20 * kBound; ++i) {
+    outcomes.push_back(
+        outcome_with(i, classes[prng.uniform_u64(3)],
+                     1000 + static_cast<Cycle>(prng.uniform() * 1e6)));
+  }
+
+  Metrics serial(1.0, kBound);
+  for (const Outcome& o : outcomes) {
+    serial.add(o);
+  }
+  const MetricsSummary expected = serial.summary(2'000'000);
+
+  util::ThreadPool pool(4);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    Metrics parallel(1.0, kBound);
+    parallel.add_all(outcomes, &pool);
+    const MetricsSummary got = parallel.summary(2'000'000);
+    EXPECT_EQ(got.completed, expected.completed);
+    EXPECT_EQ(got.shed, expected.shed);
+    EXPECT_EQ(got.p50_ms, expected.p50_ms);
+    EXPECT_EQ(got.p95_ms, expected.p95_ms);
+    EXPECT_EQ(got.p99_ms, expected.p99_ms);
+    EXPECT_EQ(got.mean_ms, expected.mean_ms);
+    EXPECT_EQ(got.mean_queue_ms, expected.mean_queue_ms);
+    EXPECT_EQ(got.mean_batch_size, expected.mean_batch_size);
+    EXPECT_EQ(got.slo_attainment, expected.slo_attainment);
+    ASSERT_EQ(got.classes.size(), expected.classes.size());
+    for (std::size_t c = 0; c < got.classes.size(); ++c) {
+      SCOPED_TRACE(expected.classes[c].name);
+      EXPECT_EQ(got.classes[c].name, expected.classes[c].name);
+      EXPECT_EQ(got.classes[c].completed, expected.classes[c].completed);
+      EXPECT_EQ(got.classes[c].p50_ms, expected.classes[c].p50_ms);
+      EXPECT_EQ(got.classes[c].p95_ms, expected.classes[c].p95_ms);
+      EXPECT_EQ(got.classes[c].p99_ms, expected.classes[c].p99_ms);
+      EXPECT_EQ(got.classes[c].slo_attainment, expected.classes[c].slo_attainment);
+    }
   }
 }
 
