@@ -26,6 +26,15 @@
 // thread; the report is identical at every setting). --stream replays
 // --trace incrementally with bounded memory — rows must then be sorted by
 // arrival_ms.
+//
+// --faults injects a deterministic schedule of device crash/slow/recover/
+// reclass events (crash@500ms:dev2,slow@1s:dev0x0.5,recover@2s:dev2);
+// aborted work is requeued with a retry budget and exponential backoff.
+// --autoscale "min:max:target-p95-ms" grows/shrinks the fleet from queue
+// depth and rolling p95 latency. --mmpp "rate:dwell-ms,..." replaces the
+// Poisson stream with a Markov-modulated (bursty) one. All three are
+// deterministic: the same seed and specs give a bit-identical report at
+// any --sim-threads.
 #include <algorithm>
 #include <iostream>
 #include <sstream>
@@ -49,7 +58,9 @@ constexpr std::string_view kUsage =
     "  [--classes name[:slo_ms[:weight[:priority]]],...] [--arrival-rate RPS]\n"
     "  [--requests N] [--trace FILE.csv] [--stream] [--slo-ms MS]\n"
     "  [--datasets cora,citeseer,pubmed] [--window-ms MS] [--max-batch N]\n"
-    "  [--queue-cap N] [--sim-threads N] [--seed S] [--verbose]";
+    "  [--queue-cap N] [--sim-threads N] [--seed S] [--verbose]\n"
+    "  [--faults crash@500ms:dev2,slow@1s:dev0x0.5,recover@2s:dev2]\n"
+    "  [--autoscale min:max:target-p95-ms] [--mmpp rate:dwell-ms,rate:dwell-ms,...]";
 
 std::vector<std::string> split_list(const std::string& csv) {
   std::vector<std::string> out;
@@ -92,6 +103,12 @@ int run(const util::Args& args) {
       static_cast<std::size_t>(std::max<std::int64_t>(0, args.get_int("queue-cap", 0)));
   options.sim_threads =
       static_cast<std::size_t>(std::max<std::int64_t>(0, args.get_int("sim-threads", 1)));
+  if (args.has("faults")) {
+    options.faults = serve::parse_fault_plan(args.get("faults"), options.clock_ghz);
+  }
+  if (args.has("autoscale")) {
+    options.autoscale = serve::parse_autoscale_spec(args.get("autoscale"));
+  }
 
   serve::Server server(options);
   const std::vector<std::string> datasets =
@@ -146,6 +163,16 @@ int run(const util::Args& args) {
                 << serve::policy_name(options.policy) << "\n\n";
       report = server.serve(workload);
     }
+  } else if (args.has("mmpp")) {
+    const auto requests =
+        static_cast<std::size_t>(std::max<std::int64_t>(0, args.get_int("requests", 2000)));
+    std::vector<serve::MmppState> states = serve::parse_mmpp_spec(args.get("mmpp"));
+    serve::MmppWorkload workload(mix, states, requests, options.clock_ghz, seed);
+    std::cout << "MMPP: " << requests << " requests over " << states.size()
+              << " regime(s) x " << datasets.size() << " dataset(s) x 3 models, "
+              << fleet_line() << ", policy " << serve::policy_name(options.policy)
+              << "\n\n";
+    report = server.serve(workload);
   } else {
     const double rate = args.get_double("arrival-rate", 2000.0);
     const auto requests =

@@ -35,16 +35,18 @@ std::vector<std::string> device_class_names() {
 
 std::vector<DeviceClass> parse_fleet_spec(std::string_view spec) {
   std::vector<DeviceClass> fleet;
-  for (const util::CountedName& entry : util::parse_count_list(spec)) {
+  const std::vector<util::CountedName> entries = util::parse_count_list(spec);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const util::CountedName& entry = entries[i];
     std::optional<DeviceClass> klass = find_device_class(entry.name);
     if (!klass.has_value()) {
       std::string known;
       for (const std::string& name : device_class_names()) {
         known += known.empty() ? name : ", " + name;
       }
-      GNNERATOR_CHECK_MSG(false, "unknown device class '" << entry.name << "' in fleet spec '"
-                                                          << spec << "' (known: " << known
-                                                          << ")");
+      GNNERATOR_CHECK_MSG(false, "fleet spec element " << i << ": unknown device class '"
+                                                       << entry.name << "' in '" << spec
+                                                       << "' (known: " << known << ")");
     }
     klass->count = entry.count;
     fleet.push_back(std::move(*klass));

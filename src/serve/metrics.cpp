@@ -14,31 +14,34 @@ Metrics::Metrics(double clock_ghz, std::size_t quantile_bound)
   GNNERATOR_CHECK_MSG(clock_ghz_ > 0.0, "metrics need a positive clock rate");
 }
 
-void Metrics::Bucket::add(double latency_ms, bool shed_outcome, double applied_slo_ms) {
-  if (shed_outcome) {
-    ++shed;
-    if (applied_slo_ms > 0.0) {
-      ++with_slo;  // a shed request is a missed SLO
+void Metrics::Bucket::add(double latency_ms, const Outcome& outcome) {
+  retries += outcome.retries;
+  requeues += outcome.requeues;
+  if (outcome.shed || outcome.failed) {
+    outcome.failed ? ++failed : ++shed;
+    if (outcome.applied_slo_ms > 0.0) {
+      ++with_slo;  // a lost request is a missed SLO
     }
     return;
   }
   ++completed;
   latency.add(latency_ms);
   latency_stats.add(latency_ms);
-  if (applied_slo_ms > 0.0) {
+  if (outcome.applied_slo_ms > 0.0) {
     ++with_slo;
-    if (latency_ms <= applied_slo_ms) {
+    if (latency_ms <= outcome.applied_slo_ms) {
       ++slo_met;
     }
   }
 }
 
 void Metrics::add(const Outcome& outcome) {
-  const double latency = outcome.shed ? 0.0 : outcome.latency_ms(clock_ghz_);
-  total_.add(latency, outcome.shed, outcome.applied_slo_ms);
+  const bool lost = outcome.shed || outcome.failed;
+  const double latency = lost ? 0.0 : outcome.latency_ms(clock_ghz_);
+  total_.add(latency, outcome);
   auto [it, inserted] = classes_.try_emplace(outcome.klass, quantile_bound_);
-  it->second.add(latency, outcome.shed, outcome.applied_slo_ms);
-  if (!outcome.shed) {
+  it->second.add(latency, outcome);
+  if (!lost) {
     queue_stats_.add(outcome.queue_ms(clock_ghz_));
     batch_stats_.add(static_cast<double>(outcome.batch_size));
   }
@@ -57,18 +60,18 @@ void Metrics::add_all(const std::vector<Outcome>& outcomes, util::ThreadPool* po
   const std::vector<std::function<void()>> tasks{
       [&] {
         for (const Outcome& o : outcomes) {
-          total_.add(o.shed ? 0.0 : o.latency_ms(clock_ghz_), o.shed, o.applied_slo_ms);
+          total_.add(o.shed || o.failed ? 0.0 : o.latency_ms(clock_ghz_), o);
         }
       },
       [&] {
         for (const Outcome& o : outcomes) {
           auto [it, inserted] = classes_.try_emplace(o.klass, quantile_bound_);
-          it->second.add(o.shed ? 0.0 : o.latency_ms(clock_ghz_), o.shed, o.applied_slo_ms);
+          it->second.add(o.shed || o.failed ? 0.0 : o.latency_ms(clock_ghz_), o);
         }
       },
       [&] {
         for (const Outcome& o : outcomes) {
-          if (!o.shed) {
+          if (!o.shed && !o.failed) {
             queue_stats_.add(o.queue_ms(clock_ghz_));
             batch_stats_.add(static_cast<double>(o.batch_size));
           }
@@ -90,6 +93,9 @@ MetricsSummary Metrics::summary(Cycle end_cycle) const {
   MetricsSummary s;
   s.completed = total_.completed;
   s.shed = total_.shed;
+  s.failed = total_.failed;
+  s.retries = total_.retries;
+  s.requeues = total_.requeues;
   if (total_.completed > 0) {
     s.p50_ms = total_.latency.quantile(0.50);
     s.p95_ms = total_.latency.quantile(0.95);
@@ -107,6 +113,7 @@ MetricsSummary Metrics::summary(Cycle end_cycle) const {
     c.name = name;
     c.completed = bucket.completed;
     c.shed = bucket.shed;
+    c.failed = bucket.failed;
     if (bucket.completed > 0) {
       c.p50_ms = bucket.latency.quantile(0.50);
       c.p95_ms = bucket.latency.quantile(0.95);
@@ -117,6 +124,14 @@ MetricsSummary Metrics::summary(Cycle end_cycle) const {
     s.classes.push_back(std::move(c));
   }
   return s;
+}
+
+double ServeReport::device_hours_ms() const {
+  double total = 0.0;
+  for (const DeviceStats& d : devices) {
+    total += cycles_to_ms(d.active_cycles, clock_ghz);
+  }
+  return total;
 }
 
 double ServeReport::device_utilization(std::size_t device) const {
@@ -142,8 +157,8 @@ double ServeReport::fleet_utilization() const {
 std::string ServeReport::format() const {
   std::ostringstream os;
   os << std::fixed << std::setprecision(3);
-  os << "served " << metrics.completed << " requests (" << metrics.shed << " shed) in "
-     << duration_ms() << " ms simulated\n";
+  os << "served " << metrics.completed << " requests (" << metrics.shed << " shed, "
+     << metrics.failed << " failed) in " << duration_ms() << " ms simulated\n";
   os << "latency ms: p50=" << metrics.p50_ms << " p95=" << metrics.p95_ms
      << " p99=" << metrics.p99_ms << " mean=" << metrics.mean_ms
      << " max=" << metrics.max_ms << " (queue mean=" << metrics.mean_queue_ms << ")\n";
@@ -154,12 +169,18 @@ std::string ServeReport::format() const {
      << max_queue_depth << "\n";
   os << "events: " << events << " scheduling points (" << cycles_skipped()
      << " cycles skipped)\n";
+  if (metrics.retries > 0 || metrics.requeues > 0 || scale_ups > 0 || scale_downs > 0) {
+    os << "elasticity: " << metrics.retries << " retries, " << metrics.requeues
+       << " requeues, " << scale_ups << " scale-ups, " << scale_downs
+       << " scale-downs, device-hours " << std::setprecision(3) << device_hours_ms()
+       << " ms\n";
+  }
   if (metrics.classes.size() > 1) {
     for (const ClassMetricsSummary& c : metrics.classes) {
       os << "class " << c.name << ": " << c.completed << " completed, " << c.shed
-         << " shed, p50=" << std::setprecision(3) << c.p50_ms << " p95=" << c.p95_ms
-         << " p99=" << c.p99_ms << " mean=" << c.mean_ms << ", SLO attainment "
-         << std::setprecision(4) << c.slo_attainment << "\n";
+         << " shed, " << c.failed << " failed, p50=" << std::setprecision(3) << c.p50_ms
+         << " p95=" << c.p95_ms << " p99=" << c.p99_ms << " mean=" << c.mean_ms
+         << ", SLO attainment " << std::setprecision(4) << c.slo_attainment << "\n";
     }
   }
   os << "devices:";
@@ -170,6 +191,13 @@ std::string ServeReport::format() const {
     }
     os << " " << std::setprecision(1) << 100.0 * device_utilization(d) << "% ("
        << devices[d].batches << " batches, " << devices[d].requests << " reqs)";
+    if (devices[d].downtime_cycles > 0) {
+      os << " down " << std::setprecision(3) << cycles_to_ms(devices[d].downtime_cycles, clock_ghz)
+         << " ms";
+    }
+    if (devices[d].crashes > 0) {
+      os << " [" << devices[d].crashes << " crashes, " << devices[d].aborted << " aborted]";
+    }
   }
   os << "\nplan cache: " << plan_cache.hits << " hits / " << plan_cache.misses
      << " misses / " << plan_cache.evictions << " evictions / "

@@ -21,6 +21,8 @@ struct ClassMetricsSummary {
   std::string name;
   std::size_t completed = 0;
   std::size_t shed = 0;
+  /// Requests lost to device faults after exhausting their retry budget.
+  std::size_t failed = 0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
@@ -34,6 +36,14 @@ struct ClassMetricsSummary {
 struct MetricsSummary {
   std::size_t completed = 0;
   std::size_t shed = 0;
+  /// Requests lost to device faults after exhausting their retry budget
+  /// (counted separately from shed; completed + shed + failed covers every
+  /// admitted request exactly once).
+  std::size_t failed = 0;
+  /// Fault-induced aborts and requeues summed over all requests (a request
+  /// that eventually completed still contributes its aborts here).
+  std::uint64_t retries = 0;
+  std::uint64_t requeues = 0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
@@ -81,10 +91,13 @@ class Metrics {
   struct Bucket {
     explicit Bucket(std::size_t quantile_bound) : latency(quantile_bound) {}
 
-    void add(double latency_ms, bool shed_outcome, double applied_slo_ms);
+    void add(double latency_ms, const Outcome& outcome);
 
     std::size_t completed = 0;
     std::size_t shed = 0;
+    std::size_t failed = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t requeues = 0;
     std::size_t with_slo = 0;
     std::size_t slo_met = 0;
     util::StreamingQuantiles latency;
@@ -111,6 +124,16 @@ struct DeviceStats {
   Cycle busy_cycles = 0;
   std::uint64_t batches = 0;
   std::uint64_t requests = 0;
+  /// Cycles the device was in service (active health) — the device-hours
+  /// the fleet is charged for. On a static, fault-free fleet this equals
+  /// end_cycle.
+  Cycle active_cycles = 0;
+  /// Cycles spent crashed or scaled out of the fleet.
+  Cycle downtime_cycles = 0;
+  /// Crash fault events that hit this device.
+  std::uint64_t crashes = 0;
+  /// In-flight requests a crash aborted on this device.
+  std::uint64_t aborted = 0;
 };
 
 /// Everything one Server::serve run produced: per-request records (indexed
@@ -129,8 +152,14 @@ struct ServeReport {
   /// to end_cycle is what event skipping saved: a cycle-stepped loop would
   /// have ticked end_cycle times.
   std::uint64_t events = 0;
+  /// Autoscaler fleet mutations over the run (0 without an autoscaler).
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
 
   [[nodiscard]] double duration_ms() const { return cycles_to_ms(end_cycle, clock_ghz); }
+  /// Total in-service device time in ms — the capacity bill an elastic
+  /// fleet is charged (sum of per-device active_cycles).
+  [[nodiscard]] double device_hours_ms() const;
   /// Virtual cycles the event loop jumped over instead of ticking.
   [[nodiscard]] std::uint64_t cycles_skipped() const {
     return end_cycle > events ? end_cycle - events : 0;

@@ -53,6 +53,16 @@ struct Outcome {
   std::uint32_t device = 0;
   std::uint32_t batch_size = 1;
   bool shed = false;
+  /// The request was aborted by device faults and its retry budget (or SLO
+  /// headroom) ran out — a distinct terminal outcome from `shed`, which is
+  /// the admission/dispatch controller declining untouched work.
+  bool failed = false;
+  /// Fault-induced abort count: how many dispatches of this request a
+  /// device crash destroyed.
+  std::uint32_t retries = 0;
+  /// How many times the request re-entered the queue after an abort
+  /// (== retries unless the final abort failed it).
+  std::uint32_t requeues = 0;
   /// The SLO the admission controller applied (request's own, or the
   /// server default); 0 = none.
   double applied_slo_ms = 0.0;

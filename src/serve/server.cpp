@@ -47,28 +47,100 @@ Server::Server(ServerOptions options)
   GNNERATOR_CHECK_MSG(total_devices > 0, "server needs at least one device");
 
   devices_.reserve(total_devices);
-  const auto add_device = [&](std::size_t klass) {
-    core::EngineOptions engine_options;
-    // Device workers are simulated serially inside the deterministic event
-    // loop; threads would only perturb nothing and cost context switches.
-    engine_options.num_threads = 1;
-    engine_options.shared_plan_cache = plan_cache_;
-    Device device;
-    device.engine = std::make_unique<core::Engine>(engine_options);
-    device.klass = klass;
-    devices_.push_back(std::move(device));
-  };
   if (device_classes_.empty()) {
     for (std::size_t d = 0; d < total_devices; ++d) {
-      add_device(kNoClass);
+      append_device(kNoClass, /*ephemeral=*/false, /*now=*/0);
     }
   } else {
     for (std::size_t ci = 0; ci < device_classes_.size(); ++ci) {
       for (std::size_t d = 0; d < device_classes_[ci].count; ++d) {
-        add_device(ci);
+        append_device(ci, /*ephemeral=*/false, /*now=*/0);
       }
     }
   }
+
+  if (options_.autoscale.has_value()) {
+    // Construct once to validate the options up front (each run builds its
+    // own instance).
+    (void)Autoscaler(*options_.autoscale, options_.clock_ghz);
+  }
+}
+
+std::size_t Server::append_device(std::size_t klass, bool ephemeral, Cycle now) {
+  core::EngineOptions engine_options;
+  // Device workers are simulated serially inside the deterministic event
+  // loop; threads would only perturb nothing and cost context switches.
+  engine_options.num_threads = 1;
+  engine_options.shared_plan_cache = plan_cache_;
+  Device device;
+  device.engine = std::make_unique<core::Engine>(engine_options);
+  device.klass = klass;
+  device.baseline_klass = klass;
+  device.ephemeral = ephemeral;
+  device.health_since = now;
+  for (const auto& [name, entry] : datasets_) {
+    device.engine->add_dataset(entry.dataset, entry.fingerprint);
+  }
+  devices_.push_back(std::move(device));
+  return devices_.size() - 1;
+}
+
+std::size_t Server::intern_device_class(std::string_view name) {
+  GNNERATOR_CHECK_MSG(!device_classes_.empty(),
+                      "device classes need a classed fleet (ServerOptions::fleet)");
+  for (std::size_t ci = 0; ci < device_classes_.size(); ++ci) {
+    if (device_classes_[ci].name == name) {
+      return ci;
+    }
+  }
+  std::optional<DeviceClass> klass = find_device_class(name);
+  GNNERATOR_CHECK_MSG(klass.has_value(), "unknown device class '" << name << "'");
+  klass->count = 0;  // registry entry only; no configured workers
+  klass->config.validate();
+  device_classes_.push_back(std::move(*klass));
+  // Keep the pipeline's id-indexed exec-memo views in lockstep with the
+  // registry (a reclass mid-run must not index past the slot vectors).
+  while (results_by_id_.size() < device_classes_.size()) {
+    results_by_id_.emplace_back(plan_classes_.size());
+    estimates_by_id_.emplace_back(plan_classes_.size(), kNoEstimate);
+  }
+  return device_classes_.size() - 1;
+}
+
+std::size_t Server::add_device(std::string_view klass) {
+  if (device_classes_.empty()) {
+    GNNERATOR_CHECK_MSG(klass.empty(),
+                        "legacy fleets have no device classes; add_device() takes no name");
+    return append_device(kNoClass, /*ephemeral=*/false, /*now=*/0);
+  }
+  GNNERATOR_CHECK_MSG(!klass.empty(), "classed fleets add devices by class name");
+  return append_device(intern_device_class(klass), /*ephemeral=*/false, /*now=*/0);
+}
+
+void Server::remove_device(std::size_t device) {
+  GNNERATOR_CHECK_MSG(device < devices_.size(),
+                      "remove_device(" << device << ") on a fleet of " << devices_.size());
+  std::size_t active = 0;
+  for (const Device& d : devices_) {
+    active += d.health == DeviceHealth::kActive ? 1 : 0;
+  }
+  GNNERATOR_CHECK_MSG(devices_[device].health != DeviceHealth::kActive || active > 1,
+                      "cannot remove the last active device");
+  devices_[device].health = DeviceHealth::kRemoved;
+  devices_[device].baseline_health = DeviceHealth::kRemoved;
+}
+
+void Server::reclass_device(std::size_t device, std::string_view klass) {
+  GNNERATOR_CHECK_MSG(device < devices_.size(),
+                      "reclass_device(" << device << ") on a fleet of " << devices_.size());
+  const std::size_t ci = intern_device_class(klass);
+  devices_[device].klass = ci;
+  devices_[device].baseline_klass = ci;
+}
+
+DeviceHealth Server::device_health(std::size_t device) const {
+  GNNERATOR_CHECK(device < devices_.size());
+  return devices_[device].health;
 }
 
 const graph::Dataset& Server::add_dataset(graph::Dataset dataset) {
@@ -249,8 +321,203 @@ Cycle Server::batch_service_cycles(Device& device, const DispatchBatch& batch) {
     GNNERATOR_CHECK_MSG(it != class_results_.end(), "class result missing at dispatch");
     device_cycles += it->second->cycles;
   }
-  return to_server_cycles(device, device_cycles) +
-         options_.per_request_overhead * static_cast<Cycle>(batch.requests.size());
+  return scaled_service(device,
+                        to_server_cycles(device, device_cycles) +
+                            options_.per_request_overhead *
+                                static_cast<Cycle>(batch.requests.size()));
+}
+
+Cycle Server::scaled_service(const Device& device, Cycle cycles) const {
+  if (device.slow_factor == 1.0) {
+    return cycles;
+  }
+  return static_cast<Cycle>(
+      std::llround(static_cast<double>(cycles) / device.slow_factor));
+}
+
+// ---- Elastic serving machinery (see server.hpp). ---------------------------
+
+void Server::flush_device_accounting(Device& device, Cycle now) {
+  const Cycle span = now - device.health_since;
+  if (device.health == DeviceHealth::kActive) {
+    device.stats.active_cycles += span;
+  } else {
+    device.stats.downtime_cycles += span;
+  }
+  device.health_since = now;
+}
+
+void Server::set_device_health(Device& device, DeviceHealth health, Cycle now) {
+  if (device.health == health) {
+    return;
+  }
+  flush_device_accounting(device, now);
+  device.health = health;
+}
+
+Server::ElasticRun Server::make_elastic_run() const {
+  ElasticRun er;
+  er.enabled = !options_.faults.empty() || options_.autoscale.has_value();
+  if (options_.autoscale.has_value()) {
+    er.autoscaler.emplace(*options_.autoscale, options_.clock_ghz);
+  }
+  return er;
+}
+
+Cycle Server::elastic_next_event(const ElasticRun& er) const {
+  if (!er.enabled) {
+    return kNoDeadline;
+  }
+  Cycle next = kNoDeadline;
+  if (er.fault_cursor < options_.faults.events.size()) {
+    next = std::min(next, options_.faults.events[er.fault_cursor].at);
+  }
+  if (!er.requeues.empty()) {
+    next = std::min(next, er.requeues.top().at);
+  }
+  if (er.autoscaler.has_value()) {
+    next = std::min(next, er.autoscaler->next_tick());
+  }
+  return next;
+}
+
+void Server::elastic_on_complete(ElasticRun& er, const Outcome& outcome) const {
+  if (er.autoscaler.has_value()) {
+    er.autoscaler->observe(outcome.latency_ms(options_.clock_ghz));
+  }
+}
+
+void Server::abort_inflight(ElasticRun& er, Device& device, Cycle now,
+                            std::vector<Outcome>& records, const FeedBack& feed_back) {
+  if (!device.inflight_reqs.empty()) {
+    GNNERATOR_CHECK_MSG(device.busy_until >= now, "aborting an already-completed batch");
+    // Refund the unserved remainder: the device was only busy until the
+    // crash, not until the batch's scheduled completion.
+    device.stats.busy_cycles -= device.busy_until - now;
+    device.stats.aborted += static_cast<std::uint64_t>(device.inflight_reqs.size());
+    for (QueuedRequest& q : device.inflight_reqs) {
+      Outcome& record = records[q.request.id];
+      // Strip the dispatch stamps: the record reverts to "admitted, not yet
+      // served" (identical in both loops — the reference loop never stamped
+      // its records before completion).
+      record.dispatch = 0;
+      record.device = 0;
+      record.batch_size = 1;
+      record.service_cycles = 0;
+      record.result.reset();
+      ++record.retries;
+      const Cycle backoff = options_.retry_backoff
+                            << std::min<std::uint32_t>(record.retries - 1, 20);
+      const Cycle ready = now + backoff;
+      bool fail = record.retries > options_.retry_budget;
+      if (!fail && record.applied_slo_ms > 0.0) {
+        const Cycle deadline =
+            record.arrival + ms_to_cycles(record.applied_slo_ms, options_.clock_ghz);
+        fail = ready > deadline;  // the backoff alone already misses the SLO
+      }
+      if (fail) {
+        record.failed = true;
+        record.dispatch = now;
+        record.completion = now;
+        feed_back(record);
+      } else {
+        ++record.requeues;
+        er.requeues.push(ElasticRun::Requeue{ready, er.requeue_seq++, std::move(q)});
+      }
+    }
+  }
+  device.inflight.clear();
+  device.inflight_ids.clear();
+  device.inflight_reqs.clear();
+  device.busy_until = 0;
+}
+
+void Server::apply_fault_event(ElasticRun& er, const FaultEvent& event, Cycle now,
+                               std::vector<Outcome>& records, const FeedBack& feed_back) {
+  GNNERATOR_CHECK_MSG(event.device < devices_.size(),
+                      "fault plan targets dev" << event.device << " but the fleet has "
+                                               << devices_.size() << " devices");
+  Device& device = devices_[event.device];
+  switch (event.kind) {
+    case FaultKind::kCrash:
+      device.stats.crashes += 1;
+      abort_inflight(er, device, now, records, feed_back);
+      set_device_health(device, DeviceHealth::kCrashed, now);
+      break;
+    case FaultKind::kRecover:
+      device.slow_factor = 1.0;
+      // Only crashes heal; a removed (scaled-down) device stays with the
+      // autoscaler.
+      if (device.health == DeviceHealth::kCrashed) {
+        set_device_health(device, DeviceHealth::kActive, now);
+      }
+      break;
+    case FaultKind::kSlow:
+      device.slow_factor = event.factor;
+      break;
+    case FaultKind::kReclass:
+      GNNERATOR_CHECK_MSG(!device_classes_.empty(),
+                          "reclass faults need a classed fleet (ServerOptions::fleet)");
+      // The in-flight batch (if any) completes under its dispatch-time
+      // timing; only subsequent dispatches see the new class.
+      device.klass = intern_device_class(event.klass);
+      break;
+  }
+}
+
+bool Server::scale_up(Cycle now) {
+  for (Device& device : devices_) {
+    if (device.health == DeviceHealth::kRemoved) {
+      set_device_health(device, DeviceHealth::kActive, now);
+      return true;
+    }
+  }
+  const std::size_t klass = device_classes_.empty() ? kNoClass : 0;
+  append_device(klass, /*ephemeral=*/true, now);
+  return true;
+}
+
+bool Server::scale_down(Cycle now) {
+  for (std::size_t di = devices_.size(); di-- > 0;) {
+    Device& device = devices_[di];
+    if (device.health == DeviceHealth::kActive && device.inflight_reqs.empty()) {
+      set_device_health(device, DeviceHealth::kRemoved, now);
+      return true;
+    }
+  }
+  return false;  // every active device is mid-batch; decision lapses
+}
+
+void Server::elastic_process(ElasticRun& er, Cycle now, Scheduler& scheduler,
+                             std::vector<Outcome>& records, const FeedBack& feed_back) {
+  if (!er.enabled) {
+    return;
+  }
+  while (er.fault_cursor < options_.faults.events.size() &&
+         options_.faults.events[er.fault_cursor].at <= now) {
+    apply_fault_event(er, options_.faults.events[er.fault_cursor], now, records, feed_back);
+    ++er.fault_cursor;
+  }
+  while (!er.requeues.empty() && er.requeues.top().at <= now) {
+    // priority_queue::top is const; the element is discarded by pop.
+    QueuedRequest q = std::move(const_cast<ElasticRun::Requeue&>(er.requeues.top()).request);
+    er.requeues.pop();
+    // Requeues bypass the admission queue bound: the request was already
+    // admitted once and owns a record.
+    scheduler.enqueue(std::move(q), now);
+  }
+  if (er.autoscaler.has_value() && er.autoscaler->next_tick() <= now) {
+    std::size_t active = 0;
+    for (const Device& device : devices_) {
+      active += device.health == DeviceHealth::kActive ? 1 : 0;
+    }
+    const Autoscaler::Action action = er.autoscaler->evaluate(now, scheduler.depth(), active);
+    if (action == Autoscaler::Action::kUp && scale_up(now)) {
+      ++er.scale_ups;
+    } else if (action == Autoscaler::Action::kDown && scale_down(now)) {
+      ++er.scale_downs;
+    }
+  }
 }
 
 ServeReport Server::run_reference(WorkloadSource& workload) {
@@ -278,8 +545,9 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
   std::size_t max_depth = 0;
   Cycle now = 0;
   std::uint64_t events = 0;
+  ElasticRun er = make_elastic_run();
 
-  const auto feed_back = [&](const Outcome& outcome) {
+  const FeedBack feed_back = [&](const Outcome& outcome) {
     for (Request& request : workload.on_outcome(outcome)) {
       const Cycle at = std::max(request.arrival, now);
       arrivals.push(PendingArrival{at, seq++, std::move(request)});
@@ -353,7 +621,13 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
           return false;
         }
         Outcome& record = records[queued.request.id];
-        record.shed = true;
+        // A fault-retried request that runs out of SLO is a failure, not a
+        // shed: the system took it on and lost it.
+        if (record.retries > 0) {
+          record.failed = true;
+        } else {
+          record.shed = true;
+        }
         record.dispatch = now;
         record.completion = now;
         feed_back(record);
@@ -379,10 +653,11 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
       }
       device.inflight.push_back(std::move(outcome));
     }
+    device.inflight_reqs = std::move(batch.requests);
     device.busy_until = now + service;
     device.stats.busy_cycles += service;
     device.stats.batches += 1;
-    device.stats.requests += static_cast<std::uint64_t>(batch.requests.size());
+    device.stats.requests += static_cast<std::uint64_t>(device.inflight_reqs.size());
     return true;
   };
 
@@ -403,6 +678,9 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
         bool best_busy = true;
         for (std::size_t di = 0; di < devices_.size(); ++di) {
           const Device& device = devices_[di];
+          if (device.health != DeviceHealth::kActive) {
+            continue;  // crashed / scaled-out devices take no placements
+          }
           const bool busy = !device.inflight.empty();
           const Cycle start = busy ? device.busy_until : now;
           const Cycle eft = start + queued_cost_estimate(*q, di);
@@ -432,14 +710,15 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
 
   while (true) {
     // ---- Next event: earliest of (batch completion, arrival, scheduler
-    // window expiry — only meaningful while a device is idle). -----------
+    // window expiry — only meaningful while an active device is idle,
+    // elastic event — only meaningful while work is pending). -------------
     Cycle next = kNoDeadline;
     bool any_idle = false;
     for (const Device& device : devices_) {
-      if (device.inflight.empty()) {
-        any_idle = true;
-      } else {
+      if (!device.inflight.empty()) {
         next = std::min(next, device.busy_until);
+      } else if (device.health == DeviceHealth::kActive) {
+        any_idle = true;
       }
     }
     if (!arrivals.empty()) {
@@ -448,8 +727,42 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
     if (any_idle) {
       next = std::min(next, scheduler->next_ready(now));
     }
+    // Elastic events (faults, requeue releases, autoscaler ticks) only
+    // matter while there is work for them to act on: gating them on
+    // work_pending is what terminates a run with a longer fault schedule
+    // than workload, while a pending recover/scale-up still wakes the loop
+    // for queued work no current device can take.
+    const bool work_pending =
+        next != kNoDeadline || scheduler->depth() > 0 || !er.requeues.empty();
+    if (work_pending) {
+      next = std::min(next, elastic_next_event(er));
+    }
     if (next == kNoDeadline) {
-      break;
+      if (scheduler->depth() == 0) {
+        break;
+      }
+      // Terminal starvation: queued work, but no active device and nothing
+      // left (no recover event, no autoscaler) to ever revive capacity.
+      // Fail the stranded queue at the scheduler's own release point and
+      // keep looping — failure feedback may reissue closed-loop arrivals.
+      const Cycle ready_at = scheduler->next_ready(now);
+      if (ready_at != kNoDeadline && ready_at > now) {
+        now = ready_at;
+      }
+      ++events;
+      const std::size_t before = scheduler->depth();
+      while (std::optional<DispatchBatch> popped = scheduler->pop(now)) {
+        for (QueuedRequest& q : popped->requests) {
+          Outcome& record = records[q.request.id];
+          record.failed = true;
+          record.dispatch = now;
+          record.completion = now;
+          feed_back(record);
+        }
+      }
+      GNNERATOR_CHECK_MSG(scheduler->depth() < before,
+                          "serve loop stalled with queued work");
+      continue;
     }
     GNNERATOR_CHECK_MSG(next >= now, "serve event loop time went backwards");
     now = next;
@@ -463,10 +776,16 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
       for (Outcome& outcome : device.inflight) {
         outcome.completion = now;
         records[outcome.id] = outcome;
+        elastic_on_complete(er, records[outcome.id]);
         feed_back(records[outcome.id]);
       }
       device.inflight.clear();
+      device.inflight_reqs.clear();
     }
+
+    // ---- Elastic events due at `now` (before arrivals: a crashed or
+    // scaled fleet is what admission and dispatch must see). ---------------
+    elastic_process(er, now, *scheduler, records, feed_back);
 
     // ---- Arrivals at `now` (emission order). -----------------------------
     while (!arrivals.empty() && arrivals.top().at == now) {
@@ -483,6 +802,9 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
     } else {
       for (std::uint32_t di = 0; di < devices_.size(); ++di) {
         Device& device = devices_[di];
+        if (device.health != DeviceHealth::kActive) {
+          continue;
+        }
         while (device.inflight.empty()) {
           std::optional<DispatchBatch> popped = scheduler->pop(now);
           if (!popped) {
@@ -501,28 +823,43 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
   }
   GNNERATOR_CHECK_MSG(scheduler->depth() == 0, "serve loop ended with queued work");
 
-  return assemble_report(std::move(records), now, depth_stats, max_depth, events, nullptr);
+  return assemble_report(std::move(records), now, depth_stats, max_depth, events, er,
+                         nullptr);
 }
 
 ServeReport Server::assemble_report(std::vector<Outcome>&& records, Cycle now,
                                     const util::RunningStats& depth_stats,
                                     std::size_t max_depth, std::uint64_t events,
-                                    util::ThreadPool* pool) {
+                                    const ElasticRun& er, util::ThreadPool* pool) {
   ServeReport report;
   report.end_cycle = now;
   report.clock_ghz = options_.clock_ghz;
   report.events = events;
+  report.scale_ups = er.scale_ups;
+  report.scale_downs = er.scale_downs;
   Metrics metrics(options_.clock_ghz);
   metrics.add_all(records, pool);
   report.metrics = metrics.summary(now);
   report.outcomes = std::move(records);
   report.devices.reserve(devices_.size());
   for (Device& device : devices_) {
+    flush_device_accounting(device, now);
     device.stats.klass = device.klass == kNoClass ? "" : device_classes_[device.klass].name;
     report.devices.push_back(device.stats);
-    device.stats = DeviceStats{};  // reset for the next serve() run
+    // Reset for the next serve() run: stats restart, and the fleet reverts
+    // to its configured baseline (in-run fault/autoscaler mutations are
+    // per-run; public add/remove/reclass_device set the baselines).
+    device.stats = DeviceStats{};
     device.busy_until = 0;
+    device.health = device.baseline_health;
+    device.klass = device.baseline_klass;
+    device.slow_factor = 1.0;
+    device.health_since = 0;
+    device.inflight.clear();
+    device.inflight_ids.clear();
+    device.inflight_reqs.clear();
   }
+  std::erase_if(devices_, [](const Device& device) { return device.ephemeral; });
   report.plan_cache = plan_cache_->stats();
   report.mean_queue_depth = depth_stats.count() > 0 ? depth_stats.mean() : 0.0;
   report.max_queue_depth = max_depth;

@@ -1,14 +1,20 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
+#include <queue>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
 #include "core/engine.hpp"
+#include "serve/autoscale.hpp"
+#include "serve/faults.hpp"
 #include "serve/fleet.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request.hpp"
@@ -18,6 +24,13 @@
 #include "util/thread_pool.hpp"
 
 namespace gnnerator::serve {
+
+/// Runtime availability of one fleet device.
+enum class DeviceHealth {
+  kActive,   ///< in service: dispatchable, accrues device-hours
+  kRemoved,  ///< scaled out of the fleet (autoscaler / remove_device)
+  kCrashed,  ///< dead from a fault; back with a recover event
+};
 
 struct ServerOptions {
   /// Size of the simulated device fleet when `fleet` is empty (legacy
@@ -71,6 +84,20 @@ struct ServerOptions {
   /// functional clients). Off by default: a long load run would hold every
   /// output tensor alive.
   bool collect_results = false;
+  /// Deterministic schedule of device crash/recover/slow/reclass events
+  /// applied on the server clock during every serve run (serve/faults.hpp).
+  /// Fault events are ordinary DES events: both serving loops process them
+  /// at identical points, so any plan keeps serve() == run_reference()
+  /// bitwise.
+  FaultPlan faults;
+  /// Elastic fleet sizing (serve/autoscale.hpp); disabled when unset.
+  std::optional<AutoscalerOptions> autoscale;
+  /// How many fault-induced aborts a request survives before it is failed.
+  std::uint32_t retry_budget = 3;
+  /// Base requeue delay after an abort, in server cycles; doubles per
+  /// retry (exponential backoff). A backoff past the request's SLO
+  /// deadline fails it immediately.
+  Cycle retry_backoff = 100'000;
 };
 
 /// A simulated multi-device GNNerator serving deployment.
@@ -155,6 +182,27 @@ class Server {
   /// memoization regression asserts this stays flat in trace length).
   [[nodiscard]] std::size_t cost_oracle_runs() const { return cost_model_.pipeline_runs(); }
 
+  // ---- Runtime fleet mutation (FGNN-style role/capacity changes). ----------
+  // Callable between serve runs; the next run's schedulers and affinity
+  // placement observe the mutated fleet immediately. In-run mutation goes
+  // through ServerOptions::faults and ::autoscale, which drive the same
+  // machinery at deterministic event points.
+
+  /// Appends a worker (sharing the fleet plan cache, with every registered
+  /// dataset) and returns its index. On a classed fleet `klass` names the
+  /// device class (registry or fleet-spec name); on a legacy fleet it must
+  /// be empty.
+  std::size_t add_device(std::string_view klass = {});
+  /// Takes a device out of service (it keeps its index and engine; a later
+  /// fault plan recover does NOT resurrect it). At least one active device
+  /// must remain.
+  void remove_device(std::size_t device);
+  /// Switches a device to another device class (classed fleets only);
+  /// subsequent batches compile/execute under the new class's config+clock.
+  void reclass_device(std::size_t device, std::string_view klass);
+  /// The current health of one worker.
+  [[nodiscard]] DeviceHealth device_health(std::size_t device) const;
+
  private:
   struct RegisteredDataset {
     std::shared_ptr<const graph::Dataset> dataset;
@@ -173,10 +221,32 @@ class Server {
     /// dispatch fields are stamped into the record vector in place, so a
     /// completion never copies Outcome strings around.
     std::vector<std::uint64_t> inflight_ids;
+    /// The queued requests of the batch in flight, kept by BOTH loops so a
+    /// crash can requeue exactly the aborted work with its annotations
+    /// (moved from the dispatch batch — no copies on the happy path).
+    std::vector<QueuedRequest> inflight_reqs;
     DeviceStats stats;
+    // ---- Elastic state. ----------------------------------------------------
+    DeviceHealth health = DeviceHealth::kActive;
+    /// Health restored at end of run (public remove_device persists;
+    /// in-run fault/autoscaler transitions do not).
+    DeviceHealth baseline_health = DeviceHealth::kActive;
+    /// Class restored at end of run (reclass faults are per-run).
+    std::size_t baseline_klass = 0;
+    /// Gray-failure service-speed multiplier (slow faults): batch service
+    /// cycles divide by it. Reset to 1.0 by recover events and at end of
+    /// run. Deliberately invisible to affinity EFT estimates — the placer
+    /// works from nominal speeds, as a real one would under gray failure.
+    double slow_factor = 1.0;
+    /// Appended by the autoscaler mid-run; erased at end of run.
+    bool ephemeral = false;
+    /// Start of the current health span (device-hours accounting).
+    Cycle health_since = 0;
   };
 
   static constexpr std::size_t kNoClass = ~static_cast<std::size_t>(0);
+  /// estimates_by_id_ sentinel ("not yet priced on this device class").
+  static constexpr std::uint64_t kNoEstimate = ~static_cast<std::uint64_t>(0);
 
   [[nodiscard]] const RegisteredDataset& registered(const std::string& name) const;
   /// The execution-memo key of one queued request on one device: the plan
@@ -220,6 +290,76 @@ class Server {
   [[nodiscard]] std::uint64_t queued_cost_estimate(const QueuedRequest& queued,
                                                    std::size_t device_index);
 
+  // ---- Elastic serving machinery (faults, requeues, autoscaling). ----------
+  // Both event loops drive one ElasticRun through the same Server hooks at
+  // the same event points (completions -> elastic_process -> arrivals ->
+  // dispatch), which is what keeps any fault plan bitwise identical between
+  // serve() and run_reference(). With faults and autoscale unset every hook
+  // is a no-op and the loops behave exactly as before.
+
+  /// Per-run elastic state: the fault-plan cursor, the aborted-work requeue
+  /// heap, the autoscaler, and the scale counters.
+  struct ElasticRun {
+    bool enabled = false;
+    std::size_t fault_cursor = 0;
+    std::optional<Autoscaler> autoscaler;
+    /// One aborted request waiting out its retry backoff.
+    struct Requeue {
+      Cycle at = 0;
+      std::uint64_t seq = 0;  ///< abort order: total tie-break at equal cycles
+      QueuedRequest request;
+    };
+    struct RequeueLater {
+      bool operator()(const Requeue& a, const Requeue& b) const {
+        return std::tie(a.at, a.seq) > std::tie(b.at, b.seq);
+      }
+    };
+    std::priority_queue<Requeue, std::vector<Requeue>, RequeueLater> requeues;
+    std::uint64_t requeue_seq = 0;
+    std::uint64_t scale_ups = 0;
+    std::uint64_t scale_downs = 0;
+  };
+
+  /// Closed-loop reissue sink of the running event loop (each loop passes
+  /// its own; the elastic hooks feed failed outcomes through it exactly
+  /// like the loops feed shed/completed ones).
+  using FeedBack = std::function<void(const Outcome&)>;
+
+  [[nodiscard]] ElasticRun make_elastic_run() const;
+  /// Earliest pending elastic event: next fault, next requeue release, or
+  /// the autoscaler's next tick. The loops only consult it while work is
+  /// pending (a leftover fault schedule must not keep an otherwise-finished
+  /// run alive).
+  [[nodiscard]] Cycle elastic_next_event(const ElasticRun& er) const;
+  /// Fires everything due at `now`: fault events (plan order), requeue
+  /// releases (backoff-expiry order), then one autoscaler evaluation.
+  void elastic_process(ElasticRun& er, Cycle now, Scheduler& scheduler,
+                       std::vector<Outcome>& records, const FeedBack& feed_back);
+  /// Feeds a completed outcome's latency into the autoscaler window.
+  void elastic_on_complete(ElasticRun& er, const Outcome& outcome) const;
+  void apply_fault_event(ElasticRun& er, const FaultEvent& event, Cycle now,
+                         std::vector<Outcome>& records, const FeedBack& feed_back);
+  /// Crash path: refunds the unserved device time, strips the dispatch
+  /// stamps from every in-flight record, and requeues each (backoff, retry
+  /// budget) or fails it (budget/SLO exhausted -> Outcome::failed).
+  void abort_inflight(ElasticRun& er, Device& device, Cycle now,
+                      std::vector<Outcome>& records, const FeedBack& feed_back);
+  /// Scale up: reactivate the lowest-index removed device, else append an
+  /// ephemeral one of the scale class (canonical class 0 / legacy).
+  bool scale_up(Cycle now);
+  /// Scale down: deactivate the highest-index active idle device; false
+  /// (no-op, cooldown still consumed) when every active device is busy.
+  bool scale_down(Cycle now);
+  void set_device_health(Device& device, DeviceHealth health, Cycle now);
+  /// Closes the device's current health span into active/downtime cycles.
+  void flush_device_accounting(Device& device, Cycle now);
+  std::size_t append_device(std::size_t klass, bool ephemeral, Cycle now);
+  /// Device-class index for a name, appending a count-0 registry entry (and
+  /// the matching exec-memo slots) when the fleet has not used it yet.
+  std::size_t intern_device_class(std::string_view name);
+  /// Applies the device's gray-failure slow factor to a service time.
+  [[nodiscard]] Cycle scaled_service(const Device& device, Cycle cycles) const;
+
   // ---- Serving-pipeline state (server_pipeline.cpp). -----------------------
   /// The optimized event loop behind serve(); nested so it can reach the
   /// memo tables without widening the public surface.
@@ -247,10 +387,14 @@ class Server {
   std::unique_ptr<util::ThreadPool> pool_;
 
   /// Report assembly shared by both loops — one code path, so the two
-  /// cannot drift in how metrics/devices/cache stats are folded in.
+  /// cannot drift in how metrics/devices/cache stats are folded in. Also
+  /// the end-of-run fleet reset: health/class/slow-factor restored to
+  /// baselines, ephemeral autoscaler devices erased, so repeated serve
+  /// calls see the configured fleet.
   ServeReport assemble_report(std::vector<Outcome>&& records, Cycle now,
                               const util::RunningStats& depth_stats, std::size_t max_depth,
-                              std::uint64_t events, util::ThreadPool* pool);
+                              std::uint64_t events, const ElasticRun& er,
+                              util::ThreadPool* pool);
 };
 
 }  // namespace gnnerator::serve

@@ -40,8 +40,6 @@ namespace {
 constexpr std::size_t kParallelGrain = 256;
 /// Arrivals annotated per intake refill.
 constexpr std::size_t kIntakeChunk = 4096;
-/// estimates_by_id_ sentinel ("not yet priced on this device class").
-constexpr std::uint64_t kNoEstimate = ~static_cast<std::uint64_t>(0);
 
 }  // namespace
 
@@ -95,9 +93,15 @@ struct Server::Pipeline {
   std::size_t max_depth = 0;
   Cycle now = 0;
   std::uint64_t events = 0;
+  ElasticRun er;
+  /// feed_back as the type the shared elastic hooks take (constructed once;
+  /// the std::function indirection stays off the non-elastic paths).
+  FeedBack feed_back_fn;
 
   Pipeline(Server& s, WorkloadSource& w, util::ThreadPool* p)
       : server(s), workload(w), stream(dynamic_cast<StreamingWorkloadSource*>(&w)), pool(p) {
+    er = server.make_elastic_run();
+    feed_back_fn = [this](const Outcome& outcome) { feed_back(outcome); };
     scheduler =
         make_scheduler(server.options_.policy, server.options_.limits, server.request_classes_);
     if (stream == nullptr) {
@@ -407,8 +411,10 @@ struct Server::Pipeline {
       GNNERATOR_CHECK_MSG(slot[q.class_id] != nullptr, "class result missing at dispatch");
       device_cycles += slot[q.class_id]->cycles;
     }
-    return server.to_server_cycles(device, device_cycles) +
-           server.options_.per_request_overhead * static_cast<Cycle>(batch.requests.size());
+    return server.scaled_service(
+        device, server.to_server_cycles(device, device_cycles) +
+                    server.options_.per_request_overhead *
+                        static_cast<Cycle>(batch.requests.size()));
   }
 
   /// The affinity EFT estimate, as array indexing; falls through to (and
@@ -440,7 +446,13 @@ struct Server::Pipeline {
           return false;
         }
         Outcome& record = records[queued.request.id];
-        record.shed = true;
+        // A fault-retried request that runs out of SLO is a failure, not a
+        // shed: the system took it on and lost it.
+        if (record.retries > 0) {
+          record.failed = true;
+        } else {
+          record.shed = true;
+        }
         record.dispatch = now;
         record.completion = now;
         feed_back(record);
@@ -467,10 +479,11 @@ struct Server::Pipeline {
       }
       device.inflight_ids.push_back(queued.request.id);
     }
+    device.inflight_reqs = std::move(batch.requests);
     device.busy_until = now + service;
     device.stats.busy_cycles += service;
     device.stats.batches += 1;
-    device.stats.requests += static_cast<std::uint64_t>(batch.requests.size());
+    device.stats.requests += static_cast<std::uint64_t>(device.inflight_reqs.size());
     return true;
   }
 
@@ -485,6 +498,9 @@ struct Server::Pipeline {
         bool best_busy = true;
         for (std::size_t di = 0; di < server.devices_.size(); ++di) {
           const Device& device = server.devices_[di];
+          if (device.health != DeviceHealth::kActive) {
+            continue;  // crashed / scaled-out devices take no placements
+          }
           const bool busy = !device.inflight_ids.empty();
           const Cycle start = busy ? device.busy_until : now;
           const Cycle eft = start + estimate_fast(*q, di);
@@ -519,10 +535,10 @@ struct Server::Pipeline {
       Cycle next = kNoDeadline;
       bool any_idle = false;
       for (const Device& device : server.devices_) {
-        if (device.inflight_ids.empty()) {
-          any_idle = true;
-        } else {
+        if (!device.inflight_ids.empty()) {
           next = std::min(next, device.busy_until);
+        } else if (device.health == DeviceHealth::kActive) {
+          any_idle = true;
         }
       }
       next = std::min(next, head());
@@ -532,8 +548,37 @@ struct Server::Pipeline {
       if (any_idle) {
         next = std::min(next, scheduler->next_ready(now));
       }
+      // Elastic events only while work is pending — same gating as the
+      // reference loop (see server.cpp).
+      const bool work_pending =
+          next != kNoDeadline || scheduler->depth() > 0 || !er.requeues.empty();
+      if (work_pending) {
+        next = std::min(next, server.elastic_next_event(er));
+      }
       if (next == kNoDeadline) {
-        break;
+        if (scheduler->depth() == 0) {
+          break;
+        }
+        // Terminal starvation: no active device and nothing left to revive
+        // capacity — fail the stranded queue (mirrors the reference loop).
+        const Cycle ready_at = scheduler->next_ready(now);
+        if (ready_at != kNoDeadline && ready_at > now) {
+          now = ready_at;
+        }
+        ++events;
+        const std::size_t before = scheduler->depth();
+        while (std::optional<DispatchBatch> popped = scheduler->pop(now)) {
+          for (QueuedRequest& q : popped->requests) {
+            Outcome& record = records[q.request.id];
+            record.failed = true;
+            record.dispatch = now;
+            record.completion = now;
+            feed_back(record);
+          }
+        }
+        GNNERATOR_CHECK_MSG(scheduler->depth() < before,
+                            "serve loop stalled with queued work");
+        continue;
       }
       GNNERATOR_CHECK_MSG(next >= now, "serve event loop time went backwards");
       now = next;
@@ -546,10 +591,16 @@ struct Server::Pipeline {
         }
         for (const std::uint64_t id : device.inflight_ids) {
           records[id].completion = now;
+          server.elastic_on_complete(er, records[id]);
           feed_back(records[id]);
         }
         device.inflight_ids.clear();
+        device.inflight_reqs.clear();
       }
+
+      // ---- Elastic events due at `now` (before arrivals: a crashed or
+      // scaled fleet is what admission and dispatch must see). --------------
+      server.elastic_process(er, now, *scheduler, records, feed_back_fn);
 
       // ---- Arrivals at `now`: the sorted stream head beats feedback at
       // equal cycles (reference emission seqs order initial arrivals ahead
@@ -577,6 +628,9 @@ struct Server::Pipeline {
       } else {
         for (std::uint32_t di = 0; di < server.devices_.size(); ++di) {
           Device& device = server.devices_[di];
+          if (device.health != DeviceHealth::kActive) {
+            continue;
+          }
           while (device.inflight_ids.empty()) {
             std::optional<DispatchBatch> popped = scheduler->pop(now);
             if (!popped) {
@@ -596,7 +650,7 @@ struct Server::Pipeline {
     GNNERATOR_CHECK_MSG(scheduler->depth() == 0, "serve loop ended with queued work");
 
     return server.assemble_report(std::move(records), now, depth_stats, max_depth, events,
-                                  pool);
+                                  er, pool);
   }
 };
 

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <limits>
 #include <optional>
+#include <sstream>
 #include <utility>
 
 #include "util/check.hpp"
@@ -68,6 +69,129 @@ std::vector<Request> PoissonWorkload::initial_arrivals() {
   for (std::size_t i = 0; i < num_requests_; ++i) {
     now += exponential_cycles(prng_, mean_gap_cycles);
     arrivals.push_back(instantiate(mix_[prng_.weighted_index(weights)], now));
+  }
+  return arrivals;
+}
+
+MmppWorkload::MmppWorkload(std::vector<RequestTemplate> mix, std::vector<MmppState> states,
+                           std::size_t num_requests, double clock_ghz, std::uint64_t seed)
+    : mix_(std::move(mix)),
+      states_(std::move(states)),
+      num_requests_(num_requests),
+      clock_ghz_(clock_ghz),
+      prng_(seed) {
+  GNNERATOR_CHECK_MSG(!states_.empty(), "MMPP needs at least one state");
+  for (const MmppState& s : states_) {
+    GNNERATOR_CHECK_MSG(s.rate_rps > 0.0, "MMPP state rate must be positive");
+    GNNERATOR_CHECK_MSG(s.mean_dwell_ms > 0.0, "MMPP state dwell must be positive");
+  }
+}
+
+std::vector<Request> MmppWorkload::initial_arrivals() {
+  const std::vector<double> weights = mix_weights(mix_);
+  std::vector<Request> arrivals;
+  arrivals.reserve(num_requests_);
+  std::size_t state = 0;
+  Cycle now = 0;
+  // The chain leaves the current state at `switch_at`. Because exponential
+  // gaps are memoryless, a gap cut short by a state switch is simply
+  // redrawn at the new state's rate from the switch instant — the result
+  // is exactly an MMPP, not an approximation.
+  Cycle switch_at = exponential_cycles(prng_, states_[0].mean_dwell_ms * clock_ghz_ * 1e6);
+  for (std::size_t i = 0; i < num_requests_;) {
+    const double mean_gap_cycles = clock_ghz_ * 1e9 / states_[state].rate_rps;
+    const Cycle candidate = now + exponential_cycles(prng_, mean_gap_cycles);
+    if (states_.size() > 1 && candidate >= switch_at) {
+      now = switch_at;
+      // Uniform jump among the *other* states.
+      state = (state + 1 + prng_.uniform_u64(states_.size() - 1)) % states_.size();
+      switch_at =
+          now + exponential_cycles(prng_, states_[state].mean_dwell_ms * clock_ghz_ * 1e6);
+      continue;
+    }
+    now = candidate;
+    arrivals.push_back(instantiate(mix_[prng_.weighted_index(weights)], now));
+    ++i;
+  }
+  return arrivals;
+}
+
+std::vector<MmppState> parse_mmpp_spec(std::string_view spec) {
+  std::vector<MmppState> states;
+  std::size_t pos = 0;
+  std::size_t index = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::size_t end = comma == std::string_view::npos ? spec.size() : comma;
+    const std::string_view raw = spec.substr(pos, end - pos);
+    const std::string_view tok = util::trim(raw);
+    const auto ctx = [&] {
+      std::ostringstream os;
+      os << "MMPP spec element " << index << " ('" << tok << "') at offset " << pos;
+      return os.str();
+    };
+    GNNERATOR_CHECK_MSG(!tok.empty(), ctx() << ": empty element");
+    const std::size_t colon = tok.find(':');
+    GNNERATOR_CHECK_MSG(colon != std::string_view::npos,
+                        ctx() << ": expected rate:dwell-ms");
+    const std::optional<double> rate = util::parse_double(tok.substr(0, colon));
+    const std::optional<double> dwell = util::parse_double(tok.substr(colon + 1));
+    GNNERATOR_CHECK_MSG(rate.has_value() && *rate > 0.0,
+                        ctx() << ": malformed or non-positive rate");
+    GNNERATOR_CHECK_MSG(dwell.has_value() && *dwell > 0.0,
+                        ctx() << ": malformed or non-positive dwell");
+    states.push_back({*rate, *dwell});
+    ++index;
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    pos = comma + 1;
+  }
+  GNNERATOR_CHECK_MSG(!states.empty(), "MMPP spec needs at least one rate:dwell state");
+  return states;
+}
+
+FlashCrowdWorkload::FlashCrowdWorkload(std::vector<RequestTemplate> mix, double base_rps,
+                                       double spike_factor, double spike_period_ms,
+                                       double spike_duration_ms, std::size_t num_requests,
+                                       double clock_ghz, std::uint64_t seed)
+    : mix_(std::move(mix)),
+      base_rps_(base_rps),
+      spike_factor_(spike_factor),
+      spike_period_ms_(spike_period_ms),
+      spike_duration_ms_(spike_duration_ms),
+      num_requests_(num_requests),
+      clock_ghz_(clock_ghz),
+      prng_(seed) {
+  GNNERATOR_CHECK_MSG(base_rps_ > 0.0, "flash crowd needs a positive base rate");
+  GNNERATOR_CHECK_MSG(spike_factor_ >= 1.0, "flash crowd spike factor must be >= 1");
+  GNNERATOR_CHECK_MSG(spike_period_ms_ > 0.0, "flash crowd needs a positive spike period");
+  GNNERATOR_CHECK_MSG(spike_duration_ms_ > 0.0 && spike_duration_ms_ <= spike_period_ms_,
+                      "flash crowd spike duration must be in (0, period]");
+}
+
+std::vector<Request> FlashCrowdWorkload::initial_arrivals() {
+  const std::vector<double> weights = mix_weights(mix_);
+  // Thinning: draw candidates from the peak-rate envelope and accept with
+  // probability rate(t)/peak — 1 inside a spike window, 1/spike_factor
+  // outside. Exact for a piecewise-constant rate, and every candidate
+  // consumes the same PRNG draws whether accepted or not, so the stream is
+  // deterministic in (spec, seed).
+  const double peak_rps = base_rps_ * spike_factor_;
+  const double mean_gap_cycles = clock_ghz_ * 1e9 / peak_rps;
+  std::vector<Request> arrivals;
+  arrivals.reserve(num_requests_);
+  Cycle now = 0;
+  while (arrivals.size() < num_requests_) {
+    now += exponential_cycles(prng_, mean_gap_cycles);
+    const double t_ms = cycles_to_ms(now, clock_ghz_);
+    const double phase_ms = std::fmod(t_ms, spike_period_ms_);
+    const bool in_spike = phase_ms < spike_duration_ms_;
+    const double accept = in_spike ? 1.0 : 1.0 / spike_factor_;
+    const double u = prng_.uniform();
+    if (u < accept) {
+      arrivals.push_back(instantiate(mix_[prng_.weighted_index(weights)], now));
+    }
   }
   return arrivals;
 }
@@ -277,16 +401,39 @@ std::size_t write_synthetic_trace(const std::string& path, const TraceSpec& spec
   GNNERATOR_CHECK_MSG(!spec.models.empty(), "synthetic trace needs at least one model");
   GNNERATOR_CHECK_MSG(spec.rate_rps > 0.0, "synthetic trace needs a positive arrival rate");
   GNNERATOR_CHECK_MSG(spec.clock_ghz > 0.0, "synthetic trace needs a positive clock");
+  const bool diurnal = spec.diurnal_period_ms > 0.0 && spec.diurnal_amplitude > 0.0;
+  if (diurnal) {
+    GNNERATOR_CHECK_MSG(spec.diurnal_amplitude <= 1.0,
+                        "diurnal amplitude must be in [0, 1], got " << spec.diurnal_amplitude);
+  }
   std::ofstream out(path, std::ios::trunc);
   GNNERATOR_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
   out.precision(std::numeric_limits<double>::max_digits10);
   out << "arrival_ms,dataset,model,slo_ms" << (spec.classes.empty() ? "" : ",class") << "\n";
 
   util::Prng prng(spec.seed);
+  // With a diurnal profile, rate_rps is the *peak* of the sinusoid; the
+  // envelope runs at that peak and candidates are thinned with probability
+  // (1 + a*sin(2*pi*t/T)) / (1 + a), so the written trace is an exact
+  // inhomogeneous Poisson stream, still sorted, with exactly num_requests
+  // rows.
   const double mean_gap_cycles = spec.clock_ghz * 1e9 / spec.rate_rps;
   Cycle at = 0;
   for (std::size_t i = 0; i < spec.num_requests; ++i) {
     at += exponential_cycles(prng, mean_gap_cycles);
+    if (diurnal) {
+      constexpr double kTwoPi = 6.283185307179586;
+      while (true) {
+        const double t_ms = cycles_to_ms(at, spec.clock_ghz);
+        const double accept =
+            (1.0 + spec.diurnal_amplitude * std::sin(kTwoPi * t_ms / spec.diurnal_period_ms)) /
+            (1.0 + spec.diurnal_amplitude);
+        if (prng.uniform() < accept) {
+          break;
+        }
+        at += exponential_cycles(prng, mean_gap_cycles);
+      }
+    }
     out << cycles_to_ms(at, spec.clock_ghz) << ','
         << spec.datasets[prng.uniform_u64(spec.datasets.size())] << ','
         << spec.models[prng.uniform_u64(spec.models.size())] << ',' << spec.slo_ms;

@@ -79,6 +79,69 @@ class PoissonWorkload final : public WorkloadSource {
   util::Prng prng_;
 };
 
+/// One regime of a Markov-modulated Poisson process: while the chain dwells
+/// in this state, arrivals are Poisson at `rate_rps`; the dwell time itself
+/// is exponential with mean `mean_dwell_ms`.
+struct MmppState {
+  double rate_rps = 0.0;
+  double mean_dwell_ms = 0.0;
+};
+
+/// Markov-modulated Poisson arrivals: a continuous-time chain jumps between
+/// `states` (exponential dwell per state, uniform jump among the other
+/// states), and arrivals are Poisson at the current state's rate. Models
+/// bursty traffic — e.g. a "calm" regime punctuated by "busy" regimes —
+/// which stresses the autoscaler far harder than a stationary Poisson
+/// stream. Because the exponential is memoryless, the gap in progress is
+/// simply redrawn at the new rate on every state switch; the process is
+/// deterministic in (states, seed).
+class MmppWorkload final : public WorkloadSource {
+ public:
+  MmppWorkload(std::vector<RequestTemplate> mix, std::vector<MmppState> states,
+               std::size_t num_requests, double clock_ghz, std::uint64_t seed);
+
+  std::vector<Request> initial_arrivals() override;
+
+ private:
+  std::vector<RequestTemplate> mix_;
+  std::vector<MmppState> states_;
+  std::size_t num_requests_;
+  double clock_ghz_;
+  util::Prng prng_;
+};
+
+/// Parses an MMPP spec "rate:dwell-ms,rate:dwell-ms,..." (one element per
+/// state, at least one) with the same strict numeric parsing as the fleet
+/// and fault specs; errors name the offending element and character offset.
+std::vector<MmppState> parse_mmpp_spec(std::string_view spec);
+
+/// Flash-crowd arrivals: a base Poisson stream at `base_rps` that spikes to
+/// `spike_factor * base_rps` inside deterministic windows (every
+/// `spike_period_ms`, lasting `spike_duration_ms`). Implemented by thinning
+/// a Poisson envelope at the peak rate — candidate arrivals are drawn at
+/// the spike rate and accepted with probability rate(t)/peak — so the
+/// stream is exact, not a piecewise approximation, and deterministic in
+/// (spec, seed).
+class FlashCrowdWorkload final : public WorkloadSource {
+ public:
+  FlashCrowdWorkload(std::vector<RequestTemplate> mix, double base_rps,
+                     double spike_factor, double spike_period_ms,
+                     double spike_duration_ms, std::size_t num_requests,
+                     double clock_ghz, std::uint64_t seed);
+
+  std::vector<Request> initial_arrivals() override;
+
+ private:
+  std::vector<RequestTemplate> mix_;
+  double base_rps_;
+  double spike_factor_;
+  double spike_period_ms_;
+  double spike_duration_ms_;
+  std::size_t num_requests_;
+  double clock_ghz_;
+  util::Prng prng_;
+};
+
 /// Closed-loop clients: `num_clients` clients each keep exactly one request
 /// outstanding; when it completes (or is shed) the client thinks for an
 /// exponential time of mean `think_ms` and issues the next one, until
@@ -182,6 +245,14 @@ struct TraceSpec {
   std::vector<std::string> classes;
   /// slo_ms column value for every row; 0 = none.
   double slo_ms = 0.0;
+  /// When positive, arrivals follow a sinusoidal diurnal profile of this
+  /// period: the instantaneous rate is
+  ///   rate_rps * (1 + diurnal_amplitude * sin(2*pi*t / period)) / (1 + diurnal_amplitude)
+  /// realized by thinning a Poisson envelope at the peak rate, so the trace
+  /// still holds exactly `num_requests` sorted rows. 0 = stationary.
+  double diurnal_period_ms = 0.0;
+  /// Peak-to-mean swing of the diurnal profile, in [0, 1]. 0 = flat.
+  double diurnal_amplitude = 0.0;
 };
 
 /// Writes the trace to `path` row-by-row — generation is bounded-memory

@@ -55,11 +55,13 @@ std::optional<std::uint64_t> parse_uint(std::string_view text) {
 std::vector<CountedName> parse_count_list(std::string_view text) {
   std::vector<CountedName> entries;
   std::size_t start = 0;
+  std::size_t index = 0;
   while (start <= text.size()) {
     std::size_t comma = text.find(',', start);
     if (comma == std::string_view::npos) {
       comma = text.size();
     }
+    const std::size_t offset = start;
     const std::string_view element = trim(text.substr(start, comma - start));
     start = comma + 1;
     if (element.empty()) {
@@ -77,15 +79,19 @@ std::vector<CountedName> parse_count_list(std::string_view text) {
     const std::string_view counted_name =
         count.has_value() ? trim(element.substr(x + 1)) : std::string_view{};
     if (count.has_value() && !counted_name.starts_with('-')) {
-      GNNERATOR_CHECK_MSG(*count > 0, "count list element '" << element << "' has count 0");
+      GNNERATOR_CHECK_MSG(*count > 0, "count list element " << index << " ('" << element
+                                                            << "') at offset " << offset
+                                                            << " has count 0");
       entry.count = static_cast<std::size_t>(*count);
       entry.name = std::string(counted_name);
     } else {
       entry.name = std::string(element);
     }
-    GNNERATOR_CHECK_MSG(!entry.name.empty(),
-                        "count list element '" << element << "' is missing a name");
+    GNNERATOR_CHECK_MSG(!entry.name.empty(), "count list element " << index << " ('" << element
+                                                                   << "') at offset " << offset
+                                                                   << " is missing a name");
     entries.push_back(std::move(entry));
+    ++index;
   }
   GNNERATOR_CHECK_MSG(!entries.empty(), "empty count list '" << text << "'");
   return entries;

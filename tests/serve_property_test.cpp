@@ -198,12 +198,15 @@ void check_invariants(const Scenario& s, const ServeReport& report) {
   // ---- Causality + shed integrity ---------------------------------------
   std::size_t completed = 0;
   std::size_t shed = 0;
+  std::size_t failed = 0;
   for (const Outcome& outcome : report.outcomes) {
-    if (outcome.shed) {
-      ++shed;
-      EXPECT_EQ(outcome.result, nullptr) << "shed request " << outcome.id << " has a result";
+    EXPECT_FALSE(outcome.shed && outcome.failed)
+        << "request " << outcome.id << " is both shed and failed";
+    if (outcome.shed || outcome.failed) {
+      outcome.failed ? ++failed : ++shed;
+      EXPECT_EQ(outcome.result, nullptr) << "lost request " << outcome.id << " has a result";
       EXPECT_EQ(outcome.service_cycles, 0u)
-          << "shed request " << outcome.id << " occupied a device";
+          << "lost request " << outcome.id << " occupied a device";
       EXPECT_EQ(outcome.completion, outcome.dispatch);
       EXPECT_GE(outcome.completion, outcome.arrival);
       continue;
@@ -222,17 +225,21 @@ void check_invariants(const Scenario& s, const ServeReport& report) {
   // ---- Accounting --------------------------------------------------------
   EXPECT_EQ(report.metrics.completed, completed);
   EXPECT_EQ(report.metrics.shed, shed);
-  EXPECT_EQ(completed + shed, report.outcomes.size());
+  EXPECT_EQ(report.metrics.failed, failed);
+  EXPECT_EQ(completed + shed + failed, report.outcomes.size());
   std::size_t class_completed = 0;
   std::size_t class_shed = 0;
+  std::size_t class_failed = 0;
   std::map<std::string, std::size_t> seen_names;
   for (const ClassMetricsSummary& c : report.metrics.classes) {
     class_completed += c.completed;
     class_shed += c.shed;
+    class_failed += c.failed;
     ++seen_names[c.name];
   }
   EXPECT_EQ(class_completed, completed) << "per-class completed do not sum to the total";
   EXPECT_EQ(class_shed, shed) << "per-class shed do not sum to the total";
+  EXPECT_EQ(class_failed, failed) << "per-class failed do not sum to the total";
   for (const auto& [name, count] : seen_names) {
     EXPECT_EQ(count, 1u) << "duplicate class '" << name << "' in the breakdown";
   }
@@ -240,7 +247,7 @@ void check_invariants(const Scenario& s, const ServeReport& report) {
   // ---- Work conservation -------------------------------------------------
   const std::vector<Intervals> busy = device_busy_intervals(report);
   for (const Outcome& outcome : report.outcomes) {
-    if (outcome.shed || outcome.dispatch == outcome.arrival) {
+    if (outcome.shed || outcome.failed || outcome.dispatch == outcome.arrival) {
       continue;
     }
     switch (s.options.policy) {
@@ -280,13 +287,14 @@ std::string report_fingerprint(const ServeReport& report) {
   for (const Outcome& o : report.outcomes) {
     os << '\n'
        << o.id << ',' << o.arrival << ',' << o.dispatch << ',' << o.completion << ','
-       << o.device << ',' << o.batch_size << ',' << o.shed << ',' << o.service_cycles << ','
+       << o.device << ',' << o.batch_size << ',' << o.shed << ',' << o.failed << ','
+       << o.retries << ',' << o.requeues << ',' << o.service_cycles << ','
        << o.applied_slo_ms << ',' << o.klass << ',' << o.class_key;
   }
   for (const ClassMetricsSummary& c : report.metrics.classes) {
     os << '\n'
-       << c.name << ',' << c.completed << ',' << c.shed << ',' << c.p50_ms << ','
-       << c.p95_ms << ',' << c.p99_ms << ',' << c.slo_attainment;
+       << c.name << ',' << c.completed << ',' << c.shed << ',' << c.failed << ','
+       << c.p50_ms << ',' << c.p95_ms << ',' << c.p99_ms << ',' << c.slo_attainment;
   }
   return os.str();
 }
@@ -428,6 +436,99 @@ TEST(ServeDifferential, PipelineMatchesReferenceAcrossPoliciesFleetsAndThreads) 
         EXPECT_EQ(report_fingerprint(run(/*reference=*/false, threads)), expected)
             << "pipeline diverged from run_reference";
       }
+    }
+  }
+}
+
+/// Fault plans are part of the determinism contract: a random schedule of
+/// crash/slow/recover events (optionally with an autoscaler on top) must
+/// produce the identical report from the trusted reference loop and from
+/// the pipeline at every thread count — aborts, requeues, backoff, retry
+/// exhaustion, fleet mutations and all. Every run must also conserve
+/// requests: completed + shed + failed == submitted, one record per id.
+TEST(ServeDifferential, RandomFaultPlansMatchReferenceAcrossThreads) {
+  const SchedulingPolicy policies[] = {SchedulingPolicy::kFifo, SchedulingPolicy::kSjf,
+                                       SchedulingPolicy::kDynamicBatch,
+                                       SchedulingPolicy::kAffinity};
+  for (std::uint64_t seed = 900; seed < 906; ++seed) {
+    util::Prng prng(seed);
+    ServerOptions options;
+    options.num_devices = 3;
+    options.policy = policies[prng.uniform_u64(4)];
+    options.limits.batch_window = ms_to_cycles(0.1, options.clock_ghz);
+    options.limits.max_batch = 8;
+    options.default_slo_ms = 2.0 + 3.0 * prng.uniform();
+    options.retry_budget = 1 + static_cast<std::uint32_t>(prng.uniform_u64(3));
+
+    // 2-5 random fault events over the expected span of the run. Crashing
+    // an already-crashed device or recovering a healthy one is legal (and
+    // must be deterministic), so events are drawn with no consistency
+    // constraints at all.
+    const double span_ms = 12.0;
+    std::ostringstream plan;
+    const std::size_t num_events = 2 + prng.uniform_u64(4);
+    for (std::size_t e = 0; e < num_events; ++e) {
+      const double at_ms = span_ms * prng.uniform();
+      const std::size_t dev = prng.uniform_u64(options.num_devices);
+      if (e > 0) {
+        plan << ',';
+      }
+      switch (prng.uniform_u64(3)) {
+        case 0:
+          plan << "crash@" << at_ms << "ms:dev" << dev;
+          break;
+        case 1:
+          plan << "recover@" << at_ms << "ms:dev" << dev;
+          break;
+        default:
+          plan << "slow@" << at_ms << "ms:dev" << dev << "x"
+               << 0.3 + 0.6 * prng.uniform();
+          break;
+      }
+    }
+    options.faults = parse_fault_plan(plan.str(), options.clock_ghz);
+    if (prng.uniform_u64(2) == 1) {
+      AutoscalerOptions scaler;
+      scaler.min_devices = 2;
+      scaler.max_devices = 5;
+      scaler.target_p95_ms = options.default_slo_ms * 0.8;
+      options.autoscale = scaler;
+    }
+    const std::size_t num_requests = 80 + prng.uniform_u64(60);
+
+    const auto run = [&](bool reference, std::size_t sim_threads) {
+      ServerOptions o = options;
+      o.sim_threads = sim_threads;
+      Server server(o);
+      server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+      std::vector<RequestTemplate> mix;
+      for (const gnn::LayerKind kind : {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean}) {
+        RequestTemplate t;
+        t.sim = timing_sim("cora", kind);
+        mix.push_back(std::move(t));
+      }
+      PoissonWorkload workload(mix, /*rate_rps=*/10'000.0, num_requests, o.clock_ghz,
+                               seed * 13);
+      return reference ? server.run_reference(workload) : server.serve(workload);
+    };
+
+    const ServeReport expected_report = run(/*reference=*/true, 1);
+    const std::string expected = report_fingerprint(expected_report);
+    EXPECT_EQ(expected_report.metrics.completed + expected_report.metrics.shed +
+                  expected_report.metrics.failed,
+              num_requests)
+        << "reference run lost requests under plan '" << plan.str() << "'";
+    EXPECT_EQ(expected_report.outcomes.size(), num_requests);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) + " plan=" + plan.str() +
+                   " policy=" + std::string(policy_name(options.policy)) +
+                   " autoscale=" + (options.autoscale ? "y" : "n") +
+                   " sim_threads=" + std::to_string(threads));
+      const ServeReport got = run(/*reference=*/false, threads);
+      EXPECT_EQ(report_fingerprint(got), expected)
+          << "pipeline diverged from run_reference under a fault plan";
+      EXPECT_EQ(got.metrics.completed + got.metrics.shed + got.metrics.failed,
+                num_requests);
     }
   }
 }
