@@ -35,6 +35,17 @@
 // Poisson stream with a Markov-modulated (bursty) one. All three are
 // deterministic: the same seed and specs give a bit-identical report at
 // any --sim-threads.
+//
+// --sample-fanout "10/5" switches the generated workload to sampled
+// mini-batch queries: each request carries a seed vertex (drawn with
+// probability proportional to in-degree + 1, so hubs are hot) and that
+// k-hop fanout; the server samples the frontier ahead of compile and fuses
+// distinct frontiers of one batching class into a single device pass.
+// --seed-queries N sets how many sampled queries to issue (defaults to
+// --requests). --feature-cache-mb MB enables the pre-sampling feature cache
+// (rows ranked by expected sample frequency; hits stream at cache speed
+// instead of paying DRAM latency) and reports its hit rate. Trace rows can
+// carry the same shape via the optional seed,fanout column pair.
 #include <algorithm>
 #include <iostream>
 #include <sstream>
@@ -60,7 +71,8 @@ constexpr std::string_view kUsage =
     "  [--datasets cora,citeseer,pubmed] [--window-ms MS] [--max-batch N]\n"
     "  [--queue-cap N] [--sim-threads N] [--seed S] [--verbose]\n"
     "  [--faults crash@500ms:dev2,slow@1s:dev0x0.5,recover@2s:dev2]\n"
-    "  [--autoscale min:max:target-p95-ms] [--mmpp rate:dwell-ms,rate:dwell-ms,...]";
+    "  [--autoscale min:max:target-p95-ms] [--mmpp rate:dwell-ms,rate:dwell-ms,...]\n"
+    "  [--sample-fanout 10/5] [--seed-queries N] [--feature-cache-mb MB]";
 
 std::vector<std::string> split_list(const std::string& csv) {
   std::vector<std::string> out;
@@ -109,11 +121,20 @@ int run(const util::Args& args) {
   if (args.has("autoscale")) {
     options.autoscale = serve::parse_autoscale_spec(args.get("autoscale"));
   }
+  const std::string sample_fanout = args.get("sample-fanout", "");
+  if (args.has("feature-cache-mb")) {
+    const double cache_mb = args.get_double("feature-cache-mb", 16.0);
+    GNNERATOR_CHECK_MSG(cache_mb > 0.0, "--feature-cache-mb must be positive");
+    serve::FeatureCacheOptions cache;
+    cache.budget_bytes = static_cast<std::uint64_t>(cache_mb * (1 << 20));
+    options.feature_cache = cache;
+  }
 
   serve::Server server(options);
   const std::vector<std::string> datasets =
       split_list(args.get("datasets", "cora,citeseer,pubmed"));
   std::vector<serve::RequestTemplate> mix;
+  std::vector<serve::SampledQueryWorkload::Entry> sampled_mix;
   for (const std::string& name : datasets) {
     const graph::Dataset& ds =
         server.add_dataset(graph::make_dataset_by_name(name, /*seed=*/1,
@@ -125,6 +146,9 @@ int run(const util::Args& args) {
       t.sim.model = core::table3_model(kind, ds.spec);
       if (!options.classes.empty()) {
         t.klass = options.classes[mix.size() % options.classes.size()].name;
+      }
+      if (!sample_fanout.empty()) {
+        sampled_mix.push_back(serve::SampledQueryWorkload::Entry{t, &ds, sample_fanout});
       }
       mix.push_back(std::move(t));
     }
@@ -172,6 +196,17 @@ int run(const util::Args& args) {
               << " regime(s) x " << datasets.size() << " dataset(s) x 3 models, "
               << fleet_line() << ", policy " << serve::policy_name(options.policy)
               << "\n\n";
+    report = server.serve(workload);
+  } else if (!sample_fanout.empty()) {
+    const double rate = args.get_double("arrival-rate", 2000.0);
+    const auto requests = static_cast<std::size_t>(std::max<std::int64_t>(
+        0, args.get_int("seed-queries", args.get_int("requests", 2000))));
+    serve::SampledQueryWorkload workload(std::move(sampled_mix), rate, requests,
+                                         options.clock_ghz, seed);
+    std::cout << "sampled queries: " << requests << " requests at " << rate
+              << " req/s, fanout " << sample_fanout << " over " << datasets.size()
+              << " dataset(s) x 3 models, " << fleet_line() << ", policy "
+              << serve::policy_name(options.policy) << "\n\n";
     report = server.serve(workload);
   } else {
     const double rate = args.get_double("arrival-rate", 2000.0);

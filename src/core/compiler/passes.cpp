@@ -74,7 +74,9 @@ void build_stage_graph_pass(StageGraph& ir) {
     ir.agg_edge_count = ir.agg_graph->num_edges();
     ir.base_in_degree.resize(g.num_nodes());
     for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-      ir.base_in_degree[v] = static_cast<std::uint32_t>(g.in_degree(v));
+      // coeff_in_degree == in_degree unless the graph carries a sampled
+      // subgraph's degree override (graph::sample_frontier).
+      ir.base_in_degree[v] = static_cast<std::uint32_t>(g.coeff_in_degree(v));
     }
   }
 

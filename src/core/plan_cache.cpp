@@ -117,6 +117,15 @@ std::string graph_fingerprint(const graph::Graph& graph) {
   for (const graph::Edge& e : graph.edges()) {
     fnv.mix((static_cast<std::uint64_t>(e.src) << 32) | e.dst);
   }
+  // A coefficient-degree override (sampled subgraphs) changes the plan's
+  // aggregation coefficients, so it is part of the structural identity.
+  // Plain graphs skip this block and keep their historical fingerprints.
+  if (graph.has_coeff_in_degrees()) {
+    fnv.mix(0x646567ULL);  // "deg" domain separator
+    for (const std::uint32_t d : graph.coeff_in_degrees()) {
+      fnv.mix(d);
+    }
+  }
   std::ostringstream os;
   os << "g" << std::hex << fnv.value();
   return os.str();

@@ -11,12 +11,12 @@ ReferenceExecutor::ReferenceExecutor(const graph::Graph& graph) : graph_(graph) 
 
 float ReferenceExecutor::edge_coefficient(AggregateOp op, graph::NodeId src,
                                           graph::NodeId dst) const {
-  return aggregation_edge_coeff(op, graph_.in_degree(src), graph_.in_degree(dst));
+  return aggregation_edge_coeff(op, graph_.coeff_in_degree(src), graph_.coeff_in_degree(dst));
 }
 
 float ReferenceExecutor::self_coefficient(AggregateOp op, graph::NodeId u) const {
   // Self contribution == synthetic self-loop edge (u, u).
-  return aggregation_edge_coeff(op, graph_.in_degree(u), graph_.in_degree(u));
+  return aggregation_edge_coeff(op, graph_.coeff_in_degree(u), graph_.coeff_in_degree(u));
 }
 
 Tensor ReferenceExecutor::aggregate(AggregateOp op, const Tensor& input) const {

@@ -79,6 +79,21 @@ bool Graph::is_symmetric() const {
   return true;
 }
 
+void Graph::set_coeff_in_degrees(std::vector<std::uint32_t> degrees) {
+  GNNERATOR_CHECK_MSG(degrees.size() == num_nodes_,
+                      "coefficient-degree override has " << degrees.size()
+                                                         << " entries for V=" << num_nodes_);
+  coeff_in_degrees_ = std::move(degrees);
+}
+
+std::size_t Graph::coeff_in_degree(NodeId v) const {
+  GNNERATOR_CHECK(v < num_nodes_);
+  if (coeff_in_degrees_.empty()) {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+  return coeff_in_degrees_[v];
+}
+
 std::size_t Graph::num_self_loops() const {
   std::size_t count = 0;
   for (const Edge& e : edges_) {

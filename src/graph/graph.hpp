@@ -49,6 +49,20 @@ class Graph {
   /// Number of self loops (u, u).
   [[nodiscard]] std::size_t num_self_loops() const;
 
+  /// Overrides the degrees aggregation coefficients are computed from
+  /// (one value per node). A sampled subgraph sets this to the parent
+  /// graph's in-degrees so truncated structure still produces the parent's
+  /// GCN-norm/mean coefficients; plain graphs leave it unset and
+  /// coeff_in_degree() falls back to the structural in-degree.
+  void set_coeff_in_degrees(std::vector<std::uint32_t> degrees);
+  [[nodiscard]] bool has_coeff_in_degrees() const { return !coeff_in_degrees_.empty(); }
+  [[nodiscard]] std::span<const std::uint32_t> coeff_in_degrees() const {
+    return coeff_in_degrees_;
+  }
+  /// The degree aggregation coefficients use for `v`: the override when
+  /// set, else the structural in-degree.
+  [[nodiscard]] std::size_t coeff_in_degree(NodeId v) const;
+
  private:
   NodeId num_nodes_;
   std::vector<Edge> edges_;              // sorted by (src, dst)
@@ -56,6 +70,7 @@ class Graph {
   std::vector<NodeId> out_targets_;      // == dst column of edges_
   std::vector<std::size_t> in_offsets_;  // CSC (size V+1)
   std::vector<NodeId> in_sources_;       // sources grouped by dst, ascending
+  std::vector<std::uint32_t> coeff_in_degrees_;  // empty = no override
 };
 
 }  // namespace gnnerator::graph

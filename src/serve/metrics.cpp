@@ -202,6 +202,13 @@ std::string ServeReport::format() const {
   os << "\nplan cache: " << plan_cache.hits << " hits / " << plan_cache.misses
      << " misses / " << plan_cache.evictions << " evictions / "
      << plan_cache.single_flight_waits << " single-flight waits\n";
+  if (feature_cache_enabled) {
+    os << "feature cache: " << feature_cache.hits << " hits / " << feature_cache.misses
+       << " misses / " << feature_cache.evictions << " evictions, hit rate "
+       << std::setprecision(4) << feature_cache.hit_rate() << ", "
+       << feature_cache.pinned_rows << " pinned rows, " << feature_cache.bytes_saved
+       << " bytes saved\n";
+  }
   return os.str();
 }
 

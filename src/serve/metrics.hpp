@@ -114,6 +114,33 @@ class Metrics {
   util::RunningStats batch_stats_;
 };
 
+/// Effectiveness counters of the pre-sampling feature cache (one per base
+/// dataset; the report aggregates them). Hits/misses count feature-row
+/// gathers at dispatch time; bytes_saved is the DRAM traffic the cached
+/// rows avoided.
+struct FeatureCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes_saved = 0;
+  /// Rows pinned by the frequency ranking at cache build (never evicted).
+  std::uint64_t pinned_rows = 0;
+  std::uint64_t budget_bytes = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+  void merge(const FeatureCacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    bytes_saved += other.bytes_saved;
+    pinned_rows += other.pinned_rows;
+    budget_bytes += other.budget_bytes;
+  }
+};
+
 /// Per-device accounting the server maintains while serving.
 struct DeviceStats {
   /// Device class name ("baseline", "nextgen", ...); empty on a legacy
@@ -155,6 +182,10 @@ struct ServeReport {
   /// Autoscaler fleet mutations over the run (0 without an autoscaler).
   std::uint64_t scale_ups = 0;
   std::uint64_t scale_downs = 0;
+  /// Pre-sampling feature-cache counters, summed over per-dataset caches.
+  /// Zero-valued (and omitted from format()) when no cache is configured.
+  FeatureCacheStats feature_cache;
+  bool feature_cache_enabled = false;
 
   [[nodiscard]] double duration_ms() const { return cycles_to_ms(end_cycle, clock_ghz); }
   /// Total in-service device time in ms — the capacity bill an elastic

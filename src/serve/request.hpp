@@ -41,6 +41,14 @@ struct Request {
   /// Request class (SLO tier) name; empty = the first configured class.
   /// Unknown names fail at admission.
   std::string klass;
+  /// Sampled mini-batch query: the seed vertex of a k-hop frontier sample
+  /// over the request's dataset; < 0 = classic full-graph inference.
+  std::int64_t seed = -1;
+  /// Per-hop fanout spec (graph::parse_fanout grammar, e.g. "10,5");
+  /// required when seed >= 0, ignored otherwise.
+  std::string fanout;
+
+  [[nodiscard]] bool is_sampled() const { return seed >= 0; }
 };
 
 /// Per-request outcome record, in cycles. `shed` requests carry the cycle

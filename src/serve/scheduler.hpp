@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/datasets.hpp"
+#include "graph/sample.hpp"
 #include "serve/fleet.hpp"
 #include "serve/request.hpp"
 
@@ -40,11 +41,35 @@ enum class SchedulingPolicy { kFifo, kSjf, kDynamicBatch, kAffinity };
 /// nullopt otherwise.
 [[nodiscard]] std::optional<SchedulingPolicy> parse_policy(std::string_view name);
 
+/// The sampled side of a request (Request::seed >= 0), resolved once at
+/// admission and shared by every structure that refers to the request
+/// afterwards. Sampling is deterministic in (dataset, seed vertex, fanout),
+/// so two requests for the same seed share one SampledQuery — and one
+/// frontier block inside a fused batch.
+struct SampledQuery {
+  /// The k-hop frontier sample (remapped CSR + seed mask + id mapping).
+  std::shared_ptr<const graph::SampledSubgraph> frontier;
+  /// The frontier materialized as a dataset (features gathered per sampled
+  /// vertex) — what the engine executes.
+  std::shared_ptr<const graph::Dataset> dataset;
+  /// Seed-independent batching-compatibility class: base dataset + fanout +
+  /// model/config/dataflow. Distinct frontiers of the same fuse class
+  /// concatenate into one block-diagonal fused plan (QueuedRequest::class_key
+  /// carries this so dynamic batching groups on it).
+  std::string fuse_key;
+  /// Fully-resolved identity including the frontier fingerprint; keys the
+  /// cost/result memos, where two different subgraphs must never collide.
+  std::string exact_key;
+};
+
 /// A request staged in the scheduler, with the admission-time annotations
 /// policies decide on.
 struct QueuedRequest {
   Request request;
   std::string class_key;
+  /// Non-null iff request.is_sampled(): the resolved frontier sample and
+  /// its compatibility keys. Opaque to scheduler policies.
+  std::shared_ptr<const SampledQuery> sampled;
   /// SJF's job-size oracle value (estimated service cycles, evaluated under
   /// the fleet's canonical device class).
   std::uint64_t cost_estimate = 0;

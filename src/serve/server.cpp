@@ -7,8 +7,44 @@
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/prng.hpp"
 
 namespace gnnerator::serve {
+
+namespace {
+
+/// Same FNV-1a as core::graph_fingerprint (sampling-PRNG seeds and fused
+/// composition fingerprints must be deterministic across platforms).
+class Fnv1a {
+ public:
+  void mix(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (value >> (8 * i)) & 0xff;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  void mix_string(const std::string& s) {
+    for (const char c : s) {
+      mix(static_cast<unsigned char>(c));
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+std::string hex64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(16);
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kDigits[(value >> shift) & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
@@ -236,12 +272,25 @@ std::uint64_t Server::queued_cost_estimate(const QueuedRequest& queued,
   std::string memo_key =
       device.klass == kNoClass ? std::string("L") : std::to_string(device.klass);
   memo_key += '|';
-  memo_key += queued.class_key;
+  // Sampled requests memo under their exact (per-frontier) key: requests in
+  // one fuse class still differ in subgraph shape, hence in cost.
+  memo_key += queued.sampled != nullptr ? queued.sampled->exact_key : queued.class_key;
   const auto it = device_estimates_.find(memo_key);
   if (it != device_estimates_.end()) {
     return it->second;
   }
-  const std::uint64_t estimate = device_cost_estimate(queued.request.sim, device_index);
+  std::uint64_t estimate = 0;
+  if (queued.sampled != nullptr) {
+    const core::SimulationRequest swapped = sim_for_device(queued.request.sim, device);
+    const RegisteredDataset& base = registered(queued.request.sim.dataset);
+    const std::string key = request_class_key(
+        base.fingerprint + "~s" + queued.sampled->frontier->fingerprint, swapped);
+    estimate =
+        to_server_cycles(device, cost_model_.estimate(*queued.sampled->dataset, swapped, key)) +
+        options_.per_request_overhead;
+  } else {
+    estimate = device_cost_estimate(queued.request.sim, device_index);
+  }
   device_estimates_.emplace(std::move(memo_key), estimate);
   return estimate;
 }
@@ -262,6 +311,242 @@ const std::string& Server::exec_key(const QueuedRequest& queued, const Device& d
              .first;
   }
   return it->second;
+}
+
+// ---- Sampled mini-batch serving (see server.hpp). --------------------------
+
+std::string Server::sampled_memo_key(const Request& request) const {
+  std::string key = class_key(request.sim);
+  key += '|';
+  key += std::to_string(request.seed);
+  key += '|';
+  key += request.fanout;
+  return key;
+}
+
+std::shared_ptr<const SampledQuery> Server::make_sampled_query(const Request& request) const {
+  const RegisteredDataset& base = registered(request.sim.dataset);
+  const graph::Graph& g = base.dataset->graph;
+  GNNERATOR_CHECK_MSG(request.seed >= 0 &&
+                          static_cast<std::uint64_t>(request.seed) < g.num_nodes(),
+                      "sampled request seed " << request.seed << " out of range for V="
+                                              << g.num_nodes());
+  const graph::FanoutSpec fanout = graph::parse_fanout(request.fanout);
+
+  // The sampling PRNG is a pure function of (dataset, seed vertex, canonical
+  // fanout): two requests for the same seed draw the identical subgraph, so
+  // they share one memo entry, one cost estimate, and one frontier block
+  // inside a fused batch — the determinism contract sampled replays and
+  // cross-loop differentials rest on.
+  Fnv1a fnv;
+  fnv.mix_string(base.fingerprint);
+  fnv.mix(static_cast<std::uint64_t>(request.seed));
+  for (const std::uint32_t f : fanout.per_hop) {
+    fnv.mix(f);
+  }
+  util::Prng prng(fnv.value());
+
+  auto query = std::make_shared<SampledQuery>();
+  query->frontier = std::make_shared<const graph::SampledSubgraph>(graph::sample_frontier(
+      g, {static_cast<graph::NodeId>(request.seed)}, fanout, prng));
+  query->dataset = std::make_shared<const graph::Dataset>(
+      graph::subgraph_dataset(*base.dataset, *query->frontier));
+
+  core::SimulationRequest canonical = request.sim;
+  if (!device_classes_.empty()) {
+    canonical.config = device_classes_.front().config;
+  }
+  // The fuse key replaces the dataset fingerprint with (base ~f fanout):
+  // seed-independent, so distinct frontiers of one (dataset, fanout, model,
+  // config, dataflow) class batch together. The exact key embeds the
+  // frontier fingerprint: the identity cost/result memos key on.
+  query->fuse_key =
+      request_class_key(base.fingerprint + "~f" + fanout.canonical(), canonical);
+  query->exact_key =
+      request_class_key(base.fingerprint + "~s" + query->frontier->fingerprint, canonical);
+  return query;
+}
+
+std::shared_ptr<const SampledQuery> Server::sampled_for(const Request& request) {
+  std::string key = sampled_memo_key(request);
+  if (const auto it = sample_memo_.find(key); it != sample_memo_.end()) {
+    return it->second;
+  }
+  std::shared_ptr<const SampledQuery> query = make_sampled_query(request);
+  sample_memo_.emplace(std::move(key), query);
+  return query;
+}
+
+std::shared_ptr<const SampledQuery> Server::sampled_lookup(const std::string& memo_key) const {
+  const auto it = sample_memo_.find(memo_key);
+  return it == sample_memo_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const SampledQuery> Server::publish_sampled(
+    std::string memo_key, std::shared_ptr<const SampledQuery> query) {
+  const auto [it, inserted] = sample_memo_.try_emplace(std::move(memo_key), std::move(query));
+  return it->second;
+}
+
+std::uint64_t Server::sampled_cost_estimate(const Request& request,
+                                            const SampledQuery& sampled) {
+  core::SimulationRequest canonical = request.sim;
+  if (!device_classes_.empty()) {
+    canonical.config = device_classes_.front().config;
+  }
+  return cost_model_.estimate(*sampled.dataset, canonical, sampled.exact_key);
+}
+
+std::vector<const SampledQuery*> Server::sampled_composition(const DispatchBatch& batch) {
+  std::vector<const SampledQuery*> parts;
+  parts.reserve(batch.requests.size());
+  for (const QueuedRequest& q : batch.requests) {
+    GNNERATOR_CHECK_MSG(q.sampled != nullptr, "sampled batch mixes full-graph requests");
+    const bool seen = std::any_of(parts.begin(), parts.end(), [&](const SampledQuery* p) {
+      return p->frontier->fingerprint_value == q.sampled->frontier->fingerprint_value;
+    });
+    if (!seen) {
+      parts.push_back(q.sampled.get());
+    }
+  }
+  return parts;
+}
+
+std::string Server::sampled_exec_key(const Device& device, const DispatchBatch& batch) const {
+  Fnv1a fnv;
+  const std::vector<const SampledQuery*> parts = sampled_composition(batch);
+  fnv.mix(parts.size());
+  for (const SampledQuery* p : parts) {
+    fnv.mix(p->frontier->fingerprint_value);
+  }
+  std::string key =
+      device.klass == kNoClass ? std::string("L") : std::to_string(device.klass);
+  key += '|';
+  key += batch.requests.front().class_key;  // the fuse class
+  key += '|';
+  key += hex64(fnv.value());
+  return key;
+}
+
+void Server::ensure_sampled_results(Device& device, const DispatchBatch& batch) {
+  const std::string key = sampled_exec_key(device, batch);
+  if (sampled_results_.contains(key)) {
+    return;
+  }
+  const std::vector<const SampledQuery*> parts = sampled_composition(batch);
+  const QueuedRequest& front = batch.requests.front();
+  const core::SimulationRequest sim = sim_for_device(front.request.sim, device);
+  core::ExecutionResult result;
+  if (parts.size() == 1) {
+    result = device.engine->run(*parts.front()->dataset, sim.model, sim);
+  } else {
+    // Mixed-batch fusion: one block-diagonal subgraph, one compiled plan,
+    // one device pass for every distinct frontier in the batch.
+    std::vector<const graph::SampledSubgraph*> frontiers;
+    frontiers.reserve(parts.size());
+    for (const SampledQuery* p : parts) {
+      frontiers.push_back(p->frontier.get());
+    }
+    const graph::SampledSubgraph fused = graph::fuse_subgraphs(frontiers);
+    const RegisteredDataset& base = registered(front.request.sim.dataset);
+    const graph::Dataset fused_dataset = graph::subgraph_dataset(*base.dataset, fused);
+    result = device.engine->run(fused_dataset, sim.model, sim);
+  }
+  if (!options_.collect_results) {
+    result.output.reset();
+  }
+  sampled_results_.emplace(key,
+                           std::make_shared<const core::ExecutionResult>(std::move(result)));
+}
+
+FeatureCache* Server::feature_cache_for(const QueuedRequest& queued) {
+  if (!options_.feature_cache.has_value()) {
+    return nullptr;
+  }
+  const std::string& name = queued.request.sim.dataset;
+  auto it = feature_caches_.find(name);
+  if (it == feature_caches_.end()) {
+    // Lazy build at the first sampled dispatch against this dataset — a
+    // deterministic sequential point in both loops — under the triggering
+    // request's fanout and the fleet's canonical DRAM model (the request's
+    // own on a legacy fleet).
+    const RegisteredDataset& base = registered(name);
+    const mem::DramModel::Config& dram = device_classes_.empty()
+                                             ? queued.request.sim.config.dram
+                                             : device_classes_.front().config.dram;
+    it = feature_caches_
+             .try_emplace(name, *base.dataset, graph::parse_fanout(queued.request.fanout),
+                          *options_.feature_cache, dram)
+             .first;
+  }
+  return &it->second;
+}
+
+void Server::sampled_gather_rows(const DispatchBatch& batch,
+                                 std::vector<graph::NodeId>& rows) {
+  rows.clear();
+  for (const SampledQuery* p : sampled_composition(batch)) {
+    rows.insert(rows.end(), p->frontier->vertices.begin(), p->frontier->vertices.end());
+  }
+}
+
+Cycle Server::sampled_batch_service(Device& device, const DispatchBatch& batch) {
+  const auto it = sampled_results_.find(sampled_exec_key(device, batch));
+  GNNERATOR_CHECK_MSG(it != sampled_results_.end(), "sampled result missing at dispatch");
+  std::uint64_t device_cycles = it->second->cycles;
+  if (FeatureCache* cache = feature_cache_for(batch.requests.front())) {
+    std::vector<graph::NodeId> rows;
+    sampled_gather_rows(batch, rows);
+    device_cycles += cache->probe(rows).cycles;
+  }
+  return scaled_service(device,
+                        to_server_cycles(device, device_cycles) +
+                            options_.per_request_overhead *
+                                static_cast<Cycle>(batch.requests.size()));
+}
+
+void Server::commit_sampled_gather(const DispatchBatch& batch) {
+  if (FeatureCache* cache = feature_cache_for(batch.requests.front())) {
+    std::vector<graph::NodeId> rows;
+    sampled_gather_rows(batch, rows);
+    cache->commit(rows);
+  }
+}
+
+std::shared_ptr<const core::ExecutionResult> Server::sampled_result_for(
+    const QueuedRequest& queued, Device& device, const DispatchBatch& batch) {
+  const auto it = sampled_results_.find(sampled_exec_key(device, batch));
+  GNNERATOR_CHECK_MSG(it != sampled_results_.end(), "sampled result missing at completion");
+  const std::shared_ptr<const core::ExecutionResult>& fused = it->second;
+  if (!fused->output.has_value()) {
+    return fused;  // timing mode: nothing to scatter
+  }
+  // Scatter: the request's rows are its seed vertices inside its own block
+  // of the fused output (block offset = sum of preceding block sizes).
+  const std::vector<const SampledQuery*> parts = sampled_composition(batch);
+  std::size_t offset = 0;
+  const graph::SampledSubgraph* frontier = nullptr;
+  for (const SampledQuery* p : parts) {
+    if (p->frontier->fingerprint_value == queued.sampled->frontier->fingerprint_value) {
+      frontier = p->frontier.get();
+      break;
+    }
+    offset += p->frontier->vertices.size();
+  }
+  GNNERATOR_CHECK_MSG(frontier != nullptr, "request's frontier missing from its batch");
+  const gnn::Tensor& full = *fused->output;
+  gnn::Tensor scattered(frontier->seeds.size(), full.cols());
+  for (std::size_t s = 0; s < frontier->seeds.size(); ++s) {
+    const std::span<const float> src = full.row(offset + frontier->seeds[s]);
+    std::copy(src.begin(), src.end(), scattered.row(s).begin());
+  }
+  core::ExecutionResult result;
+  result.cycles = fused->cycles;
+  result.stats = fused->stats;
+  result.kernel_cycles_ticked = fused->kernel_cycles_ticked;
+  result.kernel_cycles_skipped = fused->kernel_cycles_skipped;
+  result.output = std::move(scattered);
+  return std::make_shared<const core::ExecutionResult>(std::move(result));
 }
 
 void Server::ensure_class_results(Device& device, const DispatchBatch& batch) {
@@ -574,8 +859,18 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
     request.id = static_cast<std::uint64_t>(records.size());
     QueuedRequest queued;
     queued.tier = tier;
-    queued.class_key = class_key(request.sim);
-    queued.cost_estimate = cost_estimate(request.sim);
+    if (request.is_sampled()) {
+      // Sampling stage: draw (or reuse) the request's k-hop frontier before
+      // any compile/cost decision. The fuse key is the batching class, so
+      // distinct frontiers of one (dataset, fanout, model, config, dataflow)
+      // class coalesce into mixed batches downstream.
+      queued.sampled = sampled_for(request);
+      queued.class_key = queued.sampled->fuse_key;
+      queued.cost_estimate = sampled_cost_estimate(request, *queued.sampled);
+    } else {
+      queued.class_key = class_key(request.sim);
+      queued.cost_estimate = cost_estimate(request.sim);
+    }
 
     Outcome record;
     record.id = request.id;
@@ -606,9 +901,16 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
   /// fixpoint. Returns true when the device was occupied (the batch was
   /// not fully shed).
   const auto dispatch_batch_to = [&](Device& device, std::uint32_t di, DispatchBatch batch) {
+    const bool sampled =
+        !batch.requests.empty() && batch.requests.front().sampled != nullptr;
     while (!batch.requests.empty()) {
-      ensure_class_results(device, batch);
-      const Cycle service = batch_service_cycles(device, batch);
+      if (sampled) {
+        ensure_sampled_results(device, batch);
+      } else {
+        ensure_class_results(device, batch);
+      }
+      const Cycle service = sampled ? sampled_batch_service(device, batch)
+                                    : batch_service_cycles(device, batch);
       const std::size_t before = batch.requests.size();
       std::erase_if(batch.requests, [&](const QueuedRequest& queued) {
         const double slo_ms = records[queued.request.id].applied_slo_ms;
@@ -641,7 +943,13 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
       return false;
     }
 
-    const Cycle service = batch_service_cycles(device, batch);
+    const Cycle service = sampled ? sampled_batch_service(device, batch)
+                                  : batch_service_cycles(device, batch);
+    if (sampled) {
+      // The batch is committed to the device: apply the feature-cache LRU
+      // effects once, at this sequential point, in both serving loops.
+      commit_sampled_gather(batch);
+    }
     for (const QueuedRequest& queued : batch.requests) {
       Outcome outcome = records[queued.request.id];
       outcome.dispatch = now;
@@ -649,7 +957,8 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
       outcome.batch_size = static_cast<std::uint32_t>(batch.requests.size());
       outcome.service_cycles = service;
       if (options_.collect_results) {
-        outcome.result = class_results_.at(exec_key(queued, device));
+        outcome.result = sampled ? sampled_result_for(queued, device, batch)
+                                 : class_results_.at(exec_key(queued, device));
       }
       device.inflight.push_back(std::move(outcome));
     }
@@ -861,6 +1170,10 @@ ServeReport Server::assemble_report(std::vector<Outcome>&& records, Cycle now,
   }
   std::erase_if(devices_, [](const Device& device) { return device.ephemeral; });
   report.plan_cache = plan_cache_->stats();
+  report.feature_cache_enabled = options_.feature_cache.has_value();
+  for (const auto& [name, cache] : feature_caches_) {
+    report.feature_cache.merge(cache.stats());
+  }
   report.mean_queue_depth = depth_stats.count() > 0 ? depth_stats.mean() : 0.0;
   report.max_queue_depth = max_depth;
   return report;

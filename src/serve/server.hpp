@@ -15,6 +15,7 @@
 #include "core/engine.hpp"
 #include "serve/autoscale.hpp"
 #include "serve/faults.hpp"
+#include "serve/feature_cache.hpp"
 #include "serve/fleet.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request.hpp"
@@ -98,6 +99,15 @@ struct ServerOptions {
   /// retry (exponential backoff). A backoff past the request's SLO
   /// deadline fails it immediately.
   Cycle retry_backoff = 100'000;
+  /// Pre-sampling feature cache for sampled requests (Request::seed >= 0):
+  /// one host-side cache per base dataset, built lazily at the first
+  /// sampled dispatch against that dataset (a deterministic sequential
+  /// point) under the triggering request's fanout. When unset, sampled
+  /// dispatches pay no modeled feature-gather cost; when set, every
+  /// feature-row gather of a sampled batch is priced hit-or-miss against
+  /// the cache. Cache state persists across serve runs (like the plan
+  /// cache); differential comparisons need fresh servers.
+  std::optional<FeatureCacheOptions> feature_cache;
 };
 
 /// A simulated multi-device GNNerator serving deployment.
@@ -249,6 +259,74 @@ class Server {
   static constexpr std::uint64_t kNoEstimate = ~static_cast<std::uint64_t>(0);
 
   [[nodiscard]] const RegisteredDataset& registered(const std::string& name) const;
+
+  // ---- Sampled mini-batch serving (k-hop frontiers, mixed-batch fusion,
+  // pre-sampling feature cache). Both event loops call these at identical
+  // points, which keeps sampled runs bitwise identical across loops and
+  // sim_threads values.
+
+  /// sample_memo_ key of a sampled request: plan-compatibility class | seed
+  /// | fanout. The class component matters: the memoized SampledQuery
+  /// embeds model-dependent fuse/exact keys, so two requests may only share
+  /// an entry when their (model, config, dataflow) class matches —
+  /// otherwise whichever model sampled a seed vertex first would leak its
+  /// keys into the other's requests (and the two event loops could resolve
+  /// the race differently).
+  [[nodiscard]] std::string sampled_memo_key(const Request& request) const;
+  /// Resolves a sampled request's frontier, subgraph dataset and
+  /// compatibility keys. Pure: the sampling PRNG is seeded from
+  /// (dataset fingerprint, seed vertex, canonical fanout), so identical
+  /// requests always produce identical subgraphs — safe to call from
+  /// concurrent annotation slices, and the basis for coalescing.
+  [[nodiscard]] std::shared_ptr<const SampledQuery> make_sampled_query(
+      const Request& request) const;
+  /// Memoized make_sampled_query (reference loop's admit path; sequential).
+  [[nodiscard]] std::shared_ptr<const SampledQuery> sampled_for(const Request& request);
+  /// Phase-A read-only memo probe (null on miss) and phase-B publication
+  /// for the pipeline loop; publish returns the canonical entry (first
+  /// publication wins, duplicates constructed by racing slices are
+  /// dropped — contents are identical by construction).
+  [[nodiscard]] std::shared_ptr<const SampledQuery> sampled_lookup(
+      const std::string& memo_key) const;
+  std::shared_ptr<const SampledQuery> publish_sampled(
+      std::string memo_key, std::shared_ptr<const SampledQuery> query);
+  /// Canonical (first device class) cost estimate of a sampled request,
+  /// memoized under its exact key.
+  [[nodiscard]] std::uint64_t sampled_cost_estimate(const Request& request,
+                                                    const SampledQuery& sampled);
+  /// Distinct frontiers of a sampled batch in first-appearance order — the
+  /// fused composition. Requests sharing a seed share one block.
+  [[nodiscard]] static std::vector<const SampledQuery*> sampled_composition(
+      const DispatchBatch& batch);
+  /// Memo key of a sampled batch's fused execution on one device class.
+  [[nodiscard]] std::string sampled_exec_key(const Device& device,
+                                             const DispatchBatch& batch) const;
+  /// Ensures the fused execution of the batch's composition is memoized:
+  /// fuses the distinct frontiers block-diagonally, materializes the fused
+  /// dataset, and runs it through `device`'s engine once (one compiled
+  /// plan for the whole mixed batch).
+  void ensure_sampled_results(Device& device, const DispatchBatch& batch);
+  /// Device occupancy of a sampled batch on the server timeline: the fused
+  /// execution's cycles plus the feature-gather cost (cache probe — pure,
+  /// so the shed fixpoint may price repeatedly) plus per-request overhead.
+  [[nodiscard]] Cycle sampled_batch_service(Device& device, const DispatchBatch& batch);
+  /// Commits the batch's feature gather into the cache (stats + LRU
+  /// mutations); call exactly once per dispatched batch, after the final
+  /// service pricing, when the device is actually occupied.
+  void commit_sampled_gather(const DispatchBatch& batch);
+  /// Per-request result scatter (collect_results): the rows of the
+  /// request's seed vertices, sliced out of the fused output at the
+  /// request's block offset.
+  [[nodiscard]] std::shared_ptr<const core::ExecutionResult> sampled_result_for(
+      const QueuedRequest& queued, Device& device, const DispatchBatch& batch);
+  /// The per-dataset feature cache (lazily built); null when
+  /// ServerOptions::feature_cache is unset.
+  [[nodiscard]] FeatureCache* feature_cache_for(const QueuedRequest& queued);
+  /// Base-graph vertex ids a sampled batch gathers (composition order,
+  /// each distinct frontier's vertices once).
+  static void sampled_gather_rows(const DispatchBatch& batch,
+                                  std::vector<graph::NodeId>& rows);
+
   /// The execution-memo key of one queued request on one device: the plan
   /// class with the device class's config substituted (equal to class_key
   /// on a legacy fleet). Memoized.
@@ -286,6 +364,16 @@ class Server {
   /// evaluates estimates on every scan; this keeps each evaluation a hash
   /// lookup instead of a key rebuild + cost-model query.
   std::unordered_map<std::string, std::uint64_t> device_estimates_;
+  /// (dataset | seed | fanout) -> resolved sampled query, so repeated seeds
+  /// sample once and coalesce (the sampled analogue of class_results_).
+  std::unordered_map<std::string, std::shared_ptr<const SampledQuery>> sample_memo_;
+  /// (device class | fuse key | composition fingerprint) -> fused execution
+  /// of a sampled batch composition.
+  std::unordered_map<std::string, std::shared_ptr<const core::ExecutionResult>>
+      sampled_results_;
+  /// Per-base-dataset pre-sampling feature caches (std::map: deterministic
+  /// iteration when the report aggregates their stats).
+  std::map<std::string, FeatureCache> feature_caches_;
 
   [[nodiscard]] std::uint64_t queued_cost_estimate(const QueuedRequest& queued,
                                                    std::size_t device_index);

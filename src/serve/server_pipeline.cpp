@@ -58,6 +58,11 @@ struct Server::Pipeline {
     std::uint32_t class_id = 0; ///< dense id (phase B)
     std::size_t tier = 0;       ///< request class index (phase A)
     std::uint64_t cost = 0;     ///< canonical cost-oracle value (phase D)
+    /// Sampled requests: the drawn frontier (phase A — sampling is a pure
+    /// function of the request, so it fans out; phase B dedups into the
+    /// shared memo) and its memo key.
+    std::shared_ptr<const SampledQuery> sampled;
+    std::string sample_memo_key;
   };
 
   // ---- Intake: the workload's arrivals in sorted order, one annotated
@@ -149,6 +154,19 @@ struct Server::Pipeline {
       GNNERATOR_CHECK_MSG(a.tier < server.request_classes_.size(),
                           "request names unknown class '" << r.klass << "'");
     }
+    if (r.is_sampled()) {
+      // Sampling stage ahead of compile: draw the frontier here (a pure
+      // function of the request, so the fan-out stays race-free). The memo
+      // is read-only during phase A — misses rebuild the identical subgraph
+      // and phase B's publish first-wins them into one canonical entry.
+      a.sample_memo_key = server.sampled_memo_key(r);
+      a.sampled = server.sampled_lookup(a.sample_memo_key);
+      if (a.sampled == nullptr) {
+        a.sampled = server.make_sampled_query(r);
+      }
+      a.key = a.sampled->fuse_key;
+      return;
+    }
     const RegisteredDataset& dataset = server.registered(r.sim.dataset);
     if (server.device_classes_.empty()) {
       a.key = request_class_key(dataset.fingerprint, r.sim);
@@ -162,10 +180,19 @@ struct Server::Pipeline {
   /// Phase-B body: dense-id interning (sequential; grows the registry and
   /// every id-indexed memo view in lockstep).
   void intern(Annotated& a) {
+    if (a.sampled != nullptr) {
+      // First-wins publish into the shared memo: every duplicate drawn in
+      // phase A collapses to one canonical SampledQuery, the same object the
+      // reference loop's admit would have memoized.
+      a.sampled = server.publish_sampled(std::move(a.sample_memo_key), std::move(a.sampled));
+    }
+    // Sampled requests intern per exact (frontier) key — cost and result
+    // memos distinguish subgraph shapes even inside one fuse class.
+    const std::string& intern_key = a.sampled != nullptr ? a.sampled->exact_key : a.key;
     const auto [it, inserted] = server.class_ids_.try_emplace(
-        a.key, static_cast<std::uint32_t>(server.plan_classes_.size()));
+        intern_key, static_cast<std::uint32_t>(server.plan_classes_.size()));
     if (inserted) {
-      server.plan_classes_.push_back(PlanClass{a.key, 0});
+      server.plan_classes_.push_back(PlanClass{intern_key, 0});
       for (auto& slot : server.results_by_id_) {
         slot.emplace_back();
       }
@@ -178,7 +205,15 @@ struct Server::Pipeline {
 
   /// The canonical cost estimate, JobCostModel::compute is clamped to >= 1,
   /// so 0 doubles as "not yet priced" in the registry.
-  [[nodiscard]] std::uint64_t compute_cost(const Request& r) const {
+  [[nodiscard]] std::uint64_t compute_cost(const Annotated& a) const {
+    const Request& r = a.request;
+    if (a.sampled != nullptr) {
+      core::SimulationRequest canonical = r.sim;
+      if (!server.device_classes_.empty()) {
+        canonical.config = server.device_classes_.front().config;
+      }
+      return JobCostModel::compute(*a.sampled->dataset, canonical);
+    }
     const RegisteredDataset& dataset = server.registered(r.sim.dataset);
     if (server.device_classes_.empty()) {
       return JobCostModel::compute(*dataset.dataset, r.sim);
@@ -241,12 +276,12 @@ struct Server::Pipeline {
       tasks.reserve(missing_cids.size());
       for (std::size_t i = 0; i < missing_cids.size(); ++i) {
         tasks.emplace_back(
-            [this, &costs, i, rep = missing_reps[i]] { costs[i] = compute_cost(buffer[rep].request); });
+            [this, &costs, i, rep = missing_reps[i]] { costs[i] = compute_cost(buffer[rep]); });
       }
       pool->run_all(tasks);
     } else {
       for (std::size_t i = 0; i < missing_cids.size(); ++i) {
-        costs[i] = compute_cost(buffer[missing_reps[i]].request);
+        costs[i] = compute_cost(buffer[missing_reps[i]]);
       }
     }
 
@@ -320,7 +355,7 @@ struct Server::Pipeline {
       if (const auto known = server.cost_model_.lookup(pc.key)) {
         pc.cost_estimate = *known;
       } else {
-        const std::uint64_t cost = compute_cost(a.request);
+        const std::uint64_t cost = compute_cost(a);
         server.cost_model_.prime(pc.key, cost);
         pc.cost_estimate = cost;
       }
@@ -334,7 +369,7 @@ struct Server::Pipeline {
     Outcome record;
     record.id = a.request.id;
     record.arrival = a.request.arrival;
-    record.class_key = server.plan_classes_[a.class_id].key;
+    record.class_key = a.key;  // the fuse class for sampled requests
     record.klass = klass.name;
     record.applied_slo_ms = a.request.slo_ms > 0.0   ? a.request.slo_ms
                             : klass.slo_ms > 0.0     ? klass.slo_ms
@@ -350,9 +385,9 @@ struct Server::Pipeline {
       feed_back(shed);
       return;
     }
-    scheduler->enqueue(
-        QueuedRequest{std::move(a.request), std::move(a.key), a.cost, a.tier, a.class_id},
-        now);
+    scheduler->enqueue(QueuedRequest{std::move(a.request), std::move(a.key),
+                                     std::move(a.sampled), a.cost, a.tier, a.class_id},
+                       now);
   }
 
   /// ensure_class_results with the string hashing replaced by dense-id
@@ -431,9 +466,16 @@ struct Server::Pipeline {
   /// fields at dispatch, completion at completion — no Outcome ever copies
   /// through a device's in-flight list.
   bool dispatch_batch_to(Device& device, std::uint32_t di, DispatchBatch batch) {
+    const bool sampled =
+        !batch.requests.empty() && batch.requests.front().sampled != nullptr;
     while (!batch.requests.empty()) {
-      ensure_class_results_fast(device, batch);
-      const Cycle service = batch_service_cycles_fast(device, batch);
+      if (sampled) {
+        server.ensure_sampled_results(device, batch);
+      } else {
+        ensure_class_results_fast(device, batch);
+      }
+      const Cycle service = sampled ? server.sampled_batch_service(device, batch)
+                                    : batch_service_cycles_fast(device, batch);
       const std::size_t before = batch.requests.size();
       std::erase_if(batch.requests, [&](const QueuedRequest& queued) {
         const double slo_ms = records[queued.request.id].applied_slo_ms;
@@ -466,7 +508,12 @@ struct Server::Pipeline {
       return false;
     }
 
-    const Cycle service = batch_service_cycles_fast(device, batch);
+    const Cycle service = sampled ? server.sampled_batch_service(device, batch)
+                                  : batch_service_cycles_fast(device, batch);
+    if (sampled) {
+      // Same sequential commit point as the reference loop (see server.cpp).
+      server.commit_sampled_gather(batch);
+    }
     const auto& slot = server.results_by_id_[exec_slot(device)];
     for (const QueuedRequest& queued : batch.requests) {
       Outcome& record = records[queued.request.id];
@@ -475,7 +522,8 @@ struct Server::Pipeline {
       record.batch_size = static_cast<std::uint32_t>(batch.requests.size());
       record.service_cycles = service;
       if (server.options_.collect_results) {
-        record.result = slot[queued.class_id];
+        record.result = sampled ? server.sampled_result_for(queued, device, batch)
+                                : slot[queued.class_id];
       }
       device.inflight_ids.push_back(queued.request.id);
     }

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <utility>
 
+#include "graph/sample.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/parse.hpp"
@@ -69,6 +70,49 @@ std::vector<Request> PoissonWorkload::initial_arrivals() {
   for (std::size_t i = 0; i < num_requests_; ++i) {
     now += exponential_cycles(prng_, mean_gap_cycles);
     arrivals.push_back(instantiate(mix_[prng_.weighted_index(weights)], now));
+  }
+  return arrivals;
+}
+
+SampledQueryWorkload::SampledQueryWorkload(std::vector<Entry> entries, double rate_rps,
+                                           std::size_t num_requests, double clock_ghz,
+                                           std::uint64_t seed)
+    : entries_(std::move(entries)),
+      rate_rps_(rate_rps),
+      num_requests_(num_requests),
+      clock_ghz_(clock_ghz),
+      prng_(seed) {
+  GNNERATOR_CHECK_MSG(!entries_.empty(), "sampled workload needs a non-empty entry mix");
+  GNNERATOR_CHECK_MSG(rate_rps_ > 0.0, "sampled workload arrival rate must be positive");
+  entry_weights_.reserve(entries_.size());
+  seed_weights_.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    GNNERATOR_CHECK_MSG(e.dataset != nullptr, "sampled workload entry needs a base dataset");
+    GNNERATOR_CHECK_MSG(!e.fanout.empty(), "sampled workload entry needs a fanout spec");
+    (void)graph::parse_fanout(e.fanout);  // fail fast on a malformed spec
+    GNNERATOR_CHECK_MSG(e.tmpl.weight >= 0.0, "negative mix weight");
+    entry_weights_.push_back(e.tmpl.weight);
+    const graph::Graph& g = e.dataset->graph;
+    std::vector<double> weights(g.num_nodes());
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      weights[v] = static_cast<double>(g.in_degree(v)) + 1.0;
+    }
+    seed_weights_.push_back(std::move(weights));
+  }
+}
+
+std::vector<Request> SampledQueryWorkload::initial_arrivals() {
+  const double mean_gap_cycles = clock_ghz_ * 1e9 / rate_rps_;
+  std::vector<Request> arrivals;
+  arrivals.reserve(num_requests_);
+  Cycle now = 0;
+  for (std::size_t i = 0; i < num_requests_; ++i) {
+    now += exponential_cycles(prng_, mean_gap_cycles);
+    const std::size_t e = prng_.weighted_index(entry_weights_);
+    Request request = instantiate(entries_[e].tmpl, now);
+    request.seed = static_cast<std::int64_t>(prng_.weighted_index(seed_weights_[e]));
+    request.fanout = entries_[e].fanout;
+    arrivals.push_back(std::move(request));
   }
   return arrivals;
 }
@@ -234,20 +278,38 @@ std::vector<Request> ClosedLoopWorkload::on_outcome(const Outcome& outcome) {
 
 namespace {
 
-/// Validates the trace header row; returns whether the optional class
-/// column is present.
-bool check_trace_header(const std::vector<std::string>& header) {
+/// The optional trace columns the header declares.
+struct TraceColumns {
+  bool has_class = false;
+  bool has_sample = false;  ///< the seed,fanout pair
+};
+
+/// Validates the trace header row; returns which optional columns are
+/// present. The fixed prefix is arrival_ms,dataset,model,slo_ms; `class`
+/// (if any) comes next, then the seed,fanout pair (always together).
+TraceColumns check_trace_header(const std::vector<std::string>& header) {
   const auto header_cell = [&](std::size_t i) {
     return i < header.size() ? util::trim(header[i]) : std::string_view{};
   };
   GNNERATOR_CHECK_MSG(header.size() >= 4 && header_cell(0) == "arrival_ms" &&
                           header_cell(1) == "dataset" && header_cell(2) == "model" &&
                           header_cell(3) == "slo_ms",
-                      "trace header must be arrival_ms,dataset,model,slo_ms[,class]");
-  const bool has_class = header.size() >= 5 && header_cell(4) == "class";
-  GNNERATOR_CHECK_MSG(header.size() <= (has_class ? 5u : 4u),
-                      "trace header has unknown extra columns");
-  return has_class;
+                      "trace header must be arrival_ms,dataset,model,slo_ms"
+                      "[,class][,seed,fanout]");
+  TraceColumns cols;
+  std::size_t next = 4;
+  if (header_cell(next) == "class") {
+    cols.has_class = true;
+    ++next;
+  }
+  if (header_cell(next) == "seed") {
+    GNNERATOR_CHECK_MSG(header_cell(next + 1) == "fanout",
+                        "trace header: seed column must be followed by fanout");
+    cols.has_sample = true;
+    next += 2;
+  }
+  GNNERATOR_CHECK_MSG(header.size() <= next, "trace header has unknown extra columns");
+  return cols;
 }
 
 /// Parses one data row (file row `r`, header = 0) into a Request; nullopt
@@ -255,7 +317,7 @@ bool check_trace_header(const std::vector<std::string>& header) {
 /// two paths cannot drift in dialect or strictness.
 std::optional<Request> parse_trace_row(const std::vector<std::string>& row, std::size_t r,
                                        const core::SimulationRequest& base, double clock_ghz,
-                                       bool has_class) {
+                                       const TraceColumns& cols) {
   if (row.size() == 1 && util::trim(row[0]).empty()) {
     return std::nullopt;  // blank line
   }
@@ -294,8 +356,31 @@ std::optional<Request> parse_trace_row(const std::vector<std::string>& row, std:
                                                      << model_name
                                                      << "' (gcn, gsage, gsage-max)");
   request.sim.model = core::table3_model(*kind, *spec);
-  if (has_class && row.size() >= 5) {
-    request.klass = std::string(util::trim(row[4]));
+  std::size_t next = 4;
+  if (cols.has_class) {
+    if (row.size() > next) {
+      request.klass = std::string(util::trim(row[next]));
+    }
+    ++next;
+  }
+  if (cols.has_sample && row.size() > next) {
+    const std::string_view seed_cell = util::trim(row[next]);
+    // A blank or -1 seed cell keeps the row a classic full-graph request.
+    if (!seed_cell.empty() && seed_cell != "-1") {
+      const std::optional<std::uint64_t> seed = util::parse_uint(seed_cell);
+      GNNERATOR_CHECK_MSG(seed.has_value(),
+                          "trace row " << r << ": malformed seed '" << seed_cell << "'");
+      GNNERATOR_CHECK_MSG(*seed < spec->num_nodes,
+                          "trace row " << r << ": seed " << *seed << " out of range for "
+                                       << spec->name << " (V=" << spec->num_nodes << ")");
+      request.seed = static_cast<std::int64_t>(*seed);
+      {
+        request.fanout = std::string(util::trim(row.size() > next + 1 ? row[next + 1] : ""));
+        GNNERATOR_CHECK_MSG(!request.fanout.empty(),
+                            "trace row " << r << ": sampled row needs a fanout cell");
+        (void)graph::parse_fanout(request.fanout);  // malformed specs name the row
+      }
+    }
   }
   return request;
 }
@@ -313,13 +398,13 @@ TraceWorkload TraceWorkload::from_rows(const std::vector<std::vector<std::string
                                        const core::SimulationRequest& base,
                                        double clock_ghz) {
   GNNERATOR_CHECK_MSG(!rows.empty(), "empty workload trace");
-  const bool has_class = check_trace_header(rows.front());
+  const TraceColumns cols = check_trace_header(rows.front());
 
   // A header-only trace is a valid empty workload (the generator matched
   // nothing) — replaying it serves zero requests instead of throwing.
   TraceWorkload workload;
   for (std::size_t r = 1; r < rows.size(); ++r) {
-    std::optional<Request> request = parse_trace_row(rows[r], r, base, clock_ghz, has_class);
+    std::optional<Request> request = parse_trace_row(rows[r], r, base, clock_ghz, cols);
     if (request.has_value()) {
       workload.arrivals_.push_back(std::move(*request));
     }
@@ -342,11 +427,11 @@ TraceWorkload TraceWorkload::from_file(const std::string& path,
   util::CsvStreamReader reader(path);
   std::optional<std::vector<std::string>> header = reader.next_row();
   GNNERATOR_CHECK_MSG(header.has_value(), "empty workload trace");
-  const bool has_class = check_trace_header(*header);
+  const TraceColumns cols = check_trace_header(*header);
   TraceWorkload workload;
   std::size_t r = 0;
   while (std::optional<std::vector<std::string>> row = reader.next_row()) {
-    std::optional<Request> request = parse_trace_row(*row, ++r, base, clock_ghz, has_class);
+    std::optional<Request> request = parse_trace_row(*row, ++r, base, clock_ghz, cols);
     if (request.has_value()) {
       workload.arrivals_.push_back(std::move(*request));
     }
@@ -362,7 +447,9 @@ StreamingTraceWorkload::StreamingTraceWorkload(const std::string& path,
     : reader_(path, chunk_bytes), base_(base), clock_ghz_(clock_ghz) {
   std::optional<std::vector<std::string>> header = reader_.next_row();
   GNNERATOR_CHECK_MSG(header.has_value(), "empty workload trace");
-  has_class_ = check_trace_header(*header);
+  const TraceColumns cols = check_trace_header(*header);
+  has_class_ = cols.has_class;
+  has_sample_ = cols.has_sample;
 }
 
 std::size_t StreamingTraceWorkload::pull(std::size_t max, std::vector<Request>& out) {
@@ -375,7 +462,8 @@ std::size_t StreamingTraceWorkload::pull(std::size_t max, std::vector<Request>& 
     }
     ++row_index_;
     std::optional<Request> request =
-        parse_trace_row(*row, row_index_, base_, clock_ghz_, has_class_);
+        parse_trace_row(*row, row_index_, base_, clock_ghz_,
+                        TraceColumns{has_class_, has_sample_});
     if (!request.has_value()) {
       continue;  // blank line
     }
@@ -406,10 +494,22 @@ std::size_t write_synthetic_trace(const std::string& path, const TraceSpec& spec
     GNNERATOR_CHECK_MSG(spec.diurnal_amplitude <= 1.0,
                         "diurnal amplitude must be in [0, 1], got " << spec.diurnal_amplitude);
   }
+  const bool sampled = !spec.sample_fanout.empty();
+  std::vector<graph::NodeId> dataset_nodes;
+  if (sampled) {
+    (void)graph::parse_fanout(spec.sample_fanout);  // fail before writing rows
+    dataset_nodes.reserve(spec.datasets.size());
+    for (const std::string& name : spec.datasets) {
+      const std::optional<graph::DatasetSpec> ds = graph::find_dataset(name);
+      GNNERATOR_CHECK_MSG(ds.has_value(), "synthetic trace: unknown dataset '" << name << "'");
+      dataset_nodes.push_back(ds->num_nodes);
+    }
+  }
   std::ofstream out(path, std::ios::trunc);
   GNNERATOR_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
   out.precision(std::numeric_limits<double>::max_digits10);
-  out << "arrival_ms,dataset,model,slo_ms" << (spec.classes.empty() ? "" : ",class") << "\n";
+  out << "arrival_ms,dataset,model,slo_ms" << (spec.classes.empty() ? "" : ",class")
+      << (sampled ? ",seed,fanout" : "") << "\n";
 
   util::Prng prng(spec.seed);
   // With a diurnal profile, rate_rps is the *peak* of the sinusoid; the
@@ -434,11 +534,15 @@ std::size_t write_synthetic_trace(const std::string& path, const TraceSpec& spec
         at += exponential_cycles(prng, mean_gap_cycles);
       }
     }
-    out << cycles_to_ms(at, spec.clock_ghz) << ','
-        << spec.datasets[prng.uniform_u64(spec.datasets.size())] << ','
+    const std::uint64_t dataset_index = prng.uniform_u64(spec.datasets.size());
+    out << cycles_to_ms(at, spec.clock_ghz) << ',' << spec.datasets[dataset_index] << ','
         << spec.models[prng.uniform_u64(spec.models.size())] << ',' << spec.slo_ms;
     if (!spec.classes.empty()) {
       out << ',' << spec.classes[prng.uniform_u64(spec.classes.size())];
+    }
+    if (sampled) {
+      out << ',' << prng.uniform_u64(dataset_nodes[dataset_index]) << ','
+          << spec.sample_fanout;
     }
     out << '\n';
   }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/datasets.hpp"
 #include "serve/request.hpp"
 #include "util/csv.hpp"
 #include "util/prng.hpp"
@@ -73,6 +74,39 @@ class PoissonWorkload final : public WorkloadSource {
 
  private:
   std::vector<RequestTemplate> mix_;
+  double rate_rps_;
+  std::size_t num_requests_;
+  double clock_ghz_;
+  util::Prng prng_;
+};
+
+/// Open-loop Poisson arrivals of sampled mini-batch queries: every request
+/// carries a seed vertex (drawn per-arrival, proportionally to in-degree + 1
+/// — hubs are queried more, matching how production GNN serving traffic
+/// concentrates on popular entities) and the entry's fanout spec. Seed draws
+/// over a skewed degree profile are what makes frontier coalescing and the
+/// pre-sampling feature cache pay off. Deterministic in (entries, seed).
+class SampledQueryWorkload final : public WorkloadSource {
+ public:
+  struct Entry {
+    RequestTemplate tmpl;
+    /// The base graph seed vertices are drawn from. Must match
+    /// tmpl.sim.dataset and outlive the workload.
+    const graph::Dataset* dataset = nullptr;
+    /// Per-hop fanout spec (graph::parse_fanout grammar, e.g. "10/5").
+    std::string fanout;
+  };
+
+  SampledQueryWorkload(std::vector<Entry> entries, double rate_rps,
+                       std::size_t num_requests, double clock_ghz, std::uint64_t seed);
+
+  std::vector<Request> initial_arrivals() override;
+
+ private:
+  std::vector<Entry> entries_;
+  std::vector<double> entry_weights_;
+  /// Per entry: in_degree(v) + 1 over the entry's base graph.
+  std::vector<std::vector<double>> seed_weights_;
   double rate_rps_;
   std::size_t num_requests_;
   double clock_ghz_;
@@ -171,15 +205,20 @@ class ClosedLoopWorkload final : public WorkloadSource {
 
 /// Replays a recorded trace. CSV columns (header required):
 ///
-///   arrival_ms,dataset,model,slo_ms[,class]
+///   arrival_ms,dataset,model,slo_ms[,class][,seed,fanout]
 ///
 /// `model` is a Table III network family over the named dataset: "gcn",
 /// "gsage" or "gsage-max" (gnn::layer_kind_name spellings); the optional
-/// `class` column names the request class (SLO tier). Rows may be
-/// unsorted; cells may carry surrounding whitespace; numeric fields are
-/// parsed strictly (trailing garbage is an error, not silently dropped);
-/// blank lines are skipped; a header-only trace is an empty workload.
-/// Unknown datasets/models throw CheckError naming the row.
+/// `class` column names the request class (SLO tier); the optional
+/// seed,fanout column pair (always together, after class when both are
+/// present) makes rows sampled mini-batch queries — `seed` is the seed
+/// vertex (a blank cell or -1 keeps the row a full-graph request) and
+/// `fanout` uses the '/'-separated parse_fanout spelling ("10/5"), which
+/// survives inside a comma-delimited CSV cell. Rows may be unsorted; cells
+/// may carry surrounding whitespace; numeric fields are parsed strictly
+/// (trailing garbage is an error, not silently dropped); blank lines are
+/// skipped; a header-only trace is an empty workload. Unknown
+/// datasets/models throw CheckError naming the row.
 class TraceWorkload final : public WorkloadSource {
  public:
   /// Parses CSV text (util::parse_csv). `base` supplies everything the
@@ -225,6 +264,7 @@ class StreamingTraceWorkload final : public StreamingWorkloadSource {
   core::SimulationRequest base_;
   double clock_ghz_;
   bool has_class_ = false;
+  bool has_sample_ = false;
   std::size_t row_index_ = 0;  ///< file row of the last reader row (header = 0)
   std::size_t rows_streamed_ = 0;
   double last_arrival_ms_ = 0.0;
@@ -253,6 +293,11 @@ struct TraceSpec {
   double diurnal_period_ms = 0.0;
   /// Peak-to-mean swing of the diurnal profile, in [0, 1]. 0 = flat.
   double diurnal_amplitude = 0.0;
+  /// When non-empty, every row carries the seed,fanout column pair: the
+  /// seed vertex is drawn uniformly in [0, num_nodes) of the row's dataset
+  /// and the fanout cell is this spec (use the '/'-separated spelling,
+  /// e.g. "10/5", so the cell survives CSV). Empty = full-graph rows.
+  std::string sample_fanout;
 };
 
 /// Writes the trace to `path` row-by-row — generation is bounded-memory

@@ -24,6 +24,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <map>
 #include <sstream>
 #include <string>
@@ -800,6 +802,143 @@ TEST(ServeProperty, PerClassQuantileEdgeRegimes) {
   EXPECT_NEAR(big.p50_ms, true_p50, 0.25 * spread);
   EXPECT_GT(big.p95_ms, big.p50_ms);
   EXPECT_GE(big.p99_ms, big.p95_ms);
+}
+
+/// Sampled mini-batch serving joins the determinism contract: sampled
+/// workloads (per-request seed vertex + fanout) with mixed-batch fusion and
+/// the pre-sampling feature cache enabled must reproduce the trusted
+/// reference loop byte for byte at every sim_threads count — the fused
+/// batch compositions, the cache counters the report folds in, and the
+/// per-seed outputs scattered out of fused device passes. Every run must
+/// also conserve requests: completed + shed + failed == submitted, in the
+/// totals and per request class.
+TEST(ServeDifferential, SampledWorkloadsMatchReferenceAcrossThreads) {
+  const SchedulingPolicy policies[] = {SchedulingPolicy::kFifo, SchedulingPolicy::kSjf,
+                                       SchedulingPolicy::kDynamicBatch,
+                                       SchedulingPolicy::kAffinity};
+
+  // Scattered per-seed outputs, bitwise (they ride outside report_fingerprint).
+  const auto result_fingerprint = [](const ServeReport& report) {
+    std::ostringstream os;
+    for (const Outcome& o : report.outcomes) {
+      os << o.id << ':';
+      if (o.result != nullptr && o.result->output.has_value()) {
+        os << o.result->output->rows() << 'x' << o.result->output->cols();
+        for (std::size_t r = 0; r < o.result->output->rows(); ++r) {
+          for (const float v : o.result->output->row(r)) {
+            std::uint32_t bits;
+            std::memcpy(&bits, &v, sizeof(bits));
+            os << ',' << bits;
+          }
+        }
+      }
+      os << ';';
+    }
+    return os.str();
+  };
+
+  std::uint64_t seed = 900;
+  for (const SchedulingPolicy policy : policies) {
+    for (const bool mixed_fleet : {false, true}) {
+      ServerOptions options;
+      options.policy = policy;
+      options.limits.batch_window = ms_to_cycles(0.1, options.clock_ghz);
+      options.limits.max_batch = 8;
+      options.default_slo_ms = 2.0;  // dispatch-time shedding shrinks fusions
+      options.queue_capacity = 24;
+      options.collect_results = true;  // exercise the fused-output scatter
+      FeatureCacheOptions cache;
+      cache.budget_bytes = 512 << 10;  // small enough to churn the LRU region
+      options.feature_cache = cache;
+      if (mixed_fleet) {
+        options.fleet = parse_fleet_spec("2xbaseline,1xnextgen");
+      } else {
+        options.num_devices = 3;
+      }
+      if (policy == SchedulingPolicy::kSjf) {
+        options.classes = parse_class_spec("interactive:3:4:1,bulk:0:1:0");
+      }
+      ++seed;
+
+      const auto run = [&](bool reference, std::size_t sim_threads) {
+        ServerOptions o = options;
+        o.sim_threads = sim_threads;
+        Server server(o);
+        const graph::Dataset& ds = server.add_dataset(
+            graph::make_dataset_by_name("cora", 1, /*with_features=*/true));
+        std::vector<SampledQueryWorkload::Entry> entries;
+        for (const gnn::LayerKind kind : {gnn::LayerKind::kGcn, gnn::LayerKind::kSageMean}) {
+          RequestTemplate t;
+          t.sim = timing_sim("cora", kind);
+          // Functional mode is a strict superset of timing (the timing
+          // kernel still runs, cycles are identical) and materialises the
+          // outputs the scatter assertions below need.
+          t.sim.mode = core::SimMode::kFunctional;
+          if (!o.classes.empty()) {
+            t.klass = o.classes[entries.size() % o.classes.size()].name;
+          }
+          entries.push_back(SampledQueryWorkload::Entry{t, &ds, "6,4"});
+        }
+        SampledQueryWorkload workload(std::move(entries), /*rate_rps=*/15000.0,
+                                      /*num_requests=*/120, o.clock_ghz, seed);
+        const ServeReport report =
+            reference ? server.run_reference(workload) : server.serve(workload);
+
+        // Conservation, total and per class.
+        EXPECT_EQ(report.metrics.completed + report.metrics.shed + report.metrics.failed,
+                  report.outcomes.size());
+        if (!report.metrics.classes.empty()) {
+          std::size_t completed = 0;
+          std::size_t shed = 0;
+          std::size_t failed = 0;
+          for (const ClassMetricsSummary& c : report.metrics.classes) {
+            completed += c.completed;
+            shed += c.shed;
+            failed += c.failed;
+          }
+          EXPECT_EQ(completed, report.metrics.completed);
+          EXPECT_EQ(shed, report.metrics.shed);
+          EXPECT_EQ(failed, report.metrics.failed);
+        }
+
+        // Every completed sampled request scatters exactly its seed row out
+        // of the (possibly fused) device pass.
+        EXPECT_TRUE(report.feature_cache_enabled);
+        std::size_t with_result = 0;
+        for (const Outcome& outcome : report.outcomes) {
+          if (outcome.shed || outcome.failed) {
+            EXPECT_EQ(outcome.result, nullptr);
+            continue;
+          }
+          EXPECT_NE(outcome.result, nullptr);
+          if (outcome.result == nullptr || !outcome.result->output.has_value()) {
+            ADD_FAILURE() << "completed sampled request " << outcome.id
+                          << " carries no scattered output";
+            continue;
+          }
+          EXPECT_EQ(outcome.result->output->rows(), 1u);
+          ++with_result;
+        }
+        EXPECT_EQ(with_result, report.metrics.completed);
+        return report;
+      };
+
+      const ServeReport expected = run(/*reference=*/true, 1);
+      const std::string expected_fp = report_fingerprint(expected);
+      const std::string expected_results = result_fingerprint(expected);
+      EXPECT_GT(expected.feature_cache.hits + expected.feature_cache.misses, 0u);
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        SCOPED_TRACE(std::string(policy_name(policy)) +
+                     (mixed_fleet ? " mixed-fleet" : " homogeneous") + " sim_threads=" +
+                     std::to_string(threads));
+        const ServeReport actual = run(/*reference=*/false, threads);
+        EXPECT_EQ(report_fingerprint(actual), expected_fp)
+            << "sampled pipeline diverged from run_reference";
+        EXPECT_EQ(result_fingerprint(actual), expected_results)
+            << "scattered per-seed outputs diverged from run_reference";
+      }
+    }
+  }
 }
 
 }  // namespace

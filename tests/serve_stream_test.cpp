@@ -97,6 +97,45 @@ TEST(SyntheticTrace, GenerationIsDeterministicInSpecAndSeed) {
   EXPECT_NE(bytes, slurp(c.path));
 }
 
+/// A generated sampled trace (seed,fanout column pair) round-trips through
+/// both trace readers: every row parses back as a sampled request of the
+/// spec'd fanout with an in-range seed, and the streaming replay of the
+/// file reproduces the materialized reference run byte for byte.
+TEST(SyntheticTrace, SampledTraceRoundTripsThroughBothReaders) {
+  TraceSpec spec;
+  spec.num_requests = 400;
+  spec.rate_rps = 10'000.0;
+  spec.seed = 55;
+  spec.sample_fanout = "6/4";
+  FileGuard trace{temp_path("sampled")};
+  ASSERT_EQ(write_synthetic_trace(trace.path, spec), spec.num_requests);
+
+  const core::SimulationRequest base;
+  TraceWorkload materialized = TraceWorkload::from_file(trace.path, base, 1.0);
+  const std::vector<Request> arrivals = materialized.initial_arrivals();
+  ASSERT_EQ(arrivals.size(), spec.num_requests);
+  for (const Request& r : arrivals) {
+    ASSERT_TRUE(r.is_sampled());
+    EXPECT_EQ(r.fanout, spec.sample_fanout);
+    const std::optional<graph::DatasetSpec> ds = graph::find_dataset(r.sim.dataset);
+    ASSERT_TRUE(ds.has_value());
+    EXPECT_LT(static_cast<std::uint64_t>(r.seed), ds->num_nodes);
+  }
+
+  std::string expected;
+  {
+    Server server = make_server(/*sim_threads=*/1);
+    expected = report_fingerprint(server.run_reference(materialized));
+  }
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("sim_threads=" + std::to_string(threads));
+    Server server = make_server(threads);
+    StreamingTraceWorkload workload(trace.path, base, 1.0, /*chunk_bytes=*/512);
+    EXPECT_EQ(report_fingerprint(server.serve(workload)), expected);
+    EXPECT_EQ(workload.rows_streamed(), spec.num_requests);
+  }
+}
+
 /// The bounded-memory path and the materialize-everything path are the
 /// same simulation: streaming a generated trace through serve() (parallel
 /// pipeline) reproduces TraceWorkload::from_file through run_reference

@@ -421,6 +421,81 @@ TEST(Serve, TraceReaderHandlesFuzzedEdgeCases) {
                util::CheckError);
 }
 
+/// The optional seed,fanout trace column pair: sampled rows parse into
+/// sampled requests, blank/-1 seed cells keep rows full-graph, old 4- and
+/// 5-column traces keep parsing unchanged, and malformed seeds, fanouts,
+/// and headers name the offending row.
+TEST(Serve, TraceSampleColumnsParseAndValidate) {
+  core::SimulationRequest base;
+
+  // seed,fanout directly after slo_ms (no class column). The '/'-separated
+  // fanout spelling survives the comma-delimited cell.
+  const std::string csv =
+      "arrival_ms,dataset,model,slo_ms,seed,fanout\n"
+      "0.5,cora,gcn,0,5,10/5\n"
+      "1.0,cora,gsage,0,,\n"
+      "1.5,citeseer,gcn,0,-1,\n"
+      "2.0,citeseer,gsage,0,12,2x4\n";
+  TraceWorkload trace = TraceWorkload::from_csv(csv, base, /*clock_ghz=*/1.0);
+  const std::vector<Request> arrivals = trace.initial_arrivals();
+  ASSERT_EQ(arrivals.size(), 4u);
+  EXPECT_TRUE(arrivals[0].is_sampled());
+  EXPECT_EQ(arrivals[0].seed, 5);
+  EXPECT_EQ(arrivals[0].fanout, "10/5");
+  EXPECT_FALSE(arrivals[1].is_sampled());  // blank seed cell
+  EXPECT_FALSE(arrivals[2].is_sampled());  // explicit -1
+  EXPECT_TRUE(arrivals[3].is_sampled());
+  EXPECT_EQ(arrivals[3].fanout, "2x4");
+
+  // class and seed,fanout together (class first, per the header grammar).
+  const std::string classed =
+      "arrival_ms,dataset,model,slo_ms,class,seed,fanout\n"
+      "0.5,cora,gcn,10,interactive,7,6/4\n";
+  const std::vector<Request> with_class =
+      TraceWorkload::from_csv(classed, base, 1.0).initial_arrivals();
+  ASSERT_EQ(with_class.size(), 1u);
+  EXPECT_EQ(with_class[0].klass, "interactive");
+  EXPECT_EQ(with_class[0].seed, 7);
+  EXPECT_EQ(with_class[0].fanout, "6/4");
+
+  // A sampled trace serves end to end.
+  ServerOptions options;
+  options.num_devices = 1;
+  Server server(options);
+  server.add_dataset(graph::make_dataset_by_name("cora", 1, /*with_features=*/false));
+  server.add_dataset(graph::make_dataset_by_name("citeseer", 1, /*with_features=*/false));
+  const ServeReport report = server.serve(trace);
+  EXPECT_EQ(report.metrics.completed, 4u);
+
+  // Old headers parse exactly as before the columns existed.
+  EXPECT_EQ(TraceWorkload::from_csv("arrival_ms,dataset,model,slo_ms\n0.5,cora,gcn,0\n",
+                                    base, 1.0)
+                .initial_arrivals()[0]
+                .seed,
+            -1);
+
+  // seed without fanout is a header error, not a silent reinterpretation.
+  EXPECT_THROW((void)TraceWorkload::from_csv("arrival_ms,dataset,model,slo_ms,seed\n", base, 1.0),
+               util::CheckError);
+  // Malformed or out-of-range cells name the row.
+  EXPECT_THROW((void)TraceWorkload::from_csv(
+                   "arrival_ms,dataset,model,slo_ms,seed,fanout\n0.5,cora,gcn,0,abc,10/5\n",
+                   base, 1.0),
+               util::CheckError);
+  EXPECT_THROW((void)TraceWorkload::from_csv(
+                   "arrival_ms,dataset,model,slo_ms,seed,fanout\n0.5,cora,gcn,0,999999,10/5\n",
+                   base, 1.0),
+               util::CheckError);
+  EXPECT_THROW((void)TraceWorkload::from_csv(
+                   "arrival_ms,dataset,model,slo_ms,seed,fanout\n0.5,cora,gcn,0,5,\n", base,
+                   1.0),
+               util::CheckError);
+  EXPECT_THROW((void)TraceWorkload::from_csv(
+                   "arrival_ms,dataset,model,slo_ms,seed,fanout\n0.5,cora,gcn,0,5,banana\n",
+                   base, 1.0),
+               util::CheckError);
+}
+
 /// Fleet specs resolve to the paper's configs; request-class specs parse
 /// the name[:slo[:weight[:priority]]] grammar.
 TEST(Serve, FleetAndClassSpecParsing) {
