@@ -5,10 +5,8 @@
 // machine-readable JSON output (`--json <path>`) for tracking the perf
 // trajectory in CI.
 
-#include <cmath>
 #include <cstdint>
 #include <fstream>
-#include <iomanip>
 #include <map>
 #include <sstream>
 #include <string>
@@ -20,6 +18,7 @@
 #include "core/gnnerator.hpp"
 #include "gnn/layers.hpp"
 #include "graph/datasets.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -91,31 +90,28 @@ inline double gpu_ms(const BenchPoint& point, std::size_t hidden = 16) {
 
 /// Flat JSON object accumulated in insertion order — just enough for bench
 /// drivers to emit machine-readable results (`--json <path>`), no external
-/// dependency.
+/// dependency. Rendering goes through util::JsonWriter, the repo's single
+/// JSON emitter (shared with the obs Chrome-trace exporter): numbers come
+/// out in deterministic shortest round-trip form, keys are escaped, and
+/// non-finite values degrade to null so the artifact stays parseable.
 class JsonReport {
  public:
   void set(const std::string& key, double value) {
-    if (!std::isfinite(value)) {
-      // Bare inf/nan is not valid JSON; null keeps the artifact parseable.
-      entries_.emplace_back(key, "null");
-      return;
-    }
-    std::ostringstream os;
-    os << std::setprecision(9) << value;
-    entries_.emplace_back(key, os.str());
+    entries_.emplace_back(key, util::json_number(value));
   }
   void set(const std::string& key, std::uint64_t value) {
-    entries_.emplace_back(key, std::to_string(value));
+    entries_.emplace_back(key, util::json_number(value));
   }
 
   [[nodiscard]] std::string to_string() const {
     std::ostringstream os;
-    os << "{\n";
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      os << "  \"" << entries_[i].first << "\": " << entries_[i].second;
-      os << (i + 1 < entries_.size() ? ",\n" : "\n");
+    util::JsonWriter w(os, /*indent=*/2);
+    w.begin_object();
+    for (const auto& [key, rendered] : entries_) {
+      w.key(key).raw_value(rendered);
     }
-    os << "}\n";
+    w.end_object();
+    os << "\n";
     return os.str();
   }
 

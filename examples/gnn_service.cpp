@@ -46,12 +46,24 @@
 // (rows ranked by expected sample frequency; hits stream at cache speed
 // instead of paying DRAM latency) and reports its hit rate. Trace rows can
 // carry the same shape via the optional seed,fanout column pair.
+//
+// --trace-out FILE.json attaches an obs::Recorder and exports the run as
+// Chrome trace-event JSON — open it at https://ui.perfetto.dev to see device
+// lanes, per-request spans and the control (faults/autoscaler) tracks.
+// --engine-spans additionally captures per-engine (gemm/shard) compute
+// sub-lanes inside each device busy span. --metrics-out FILE.txt writes a
+// Prometheus text-format snapshot of the run's metrics registry. Both are
+// deterministic: same seed, same bytes, at any --sim-threads.
 #include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/chrome_trace.hpp"
+#include "obs/recorder.hpp"
 #include "serve/fleet.hpp"
 #include "serve/server.hpp"
 #include "serve/workload.hpp"
@@ -72,7 +84,8 @@ constexpr std::string_view kUsage =
     "  [--queue-cap N] [--sim-threads N] [--seed S] [--verbose]\n"
     "  [--faults crash@500ms:dev2,slow@1s:dev0x0.5,recover@2s:dev2]\n"
     "  [--autoscale min:max:target-p95-ms] [--mmpp rate:dwell-ms,rate:dwell-ms,...]\n"
-    "  [--sample-fanout 10/5] [--seed-queries N] [--feature-cache-mb MB]";
+    "  [--sample-fanout 10/5] [--seed-queries N] [--feature-cache-mb MB]\n"
+    "  [--trace-out FILE.json] [--engine-spans] [--metrics-out FILE.txt]";
 
 std::vector<std::string> split_list(const std::string& csv) {
   std::vector<std::string> out;
@@ -128,6 +141,14 @@ int run(const util::Args& args) {
     serve::FeatureCacheOptions cache;
     cache.budget_bytes = static_cast<std::uint64_t>(cache_mb * (1 << 20));
     options.feature_cache = cache;
+  }
+
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    obs::RecorderOptions rec;
+    rec.engine_spans = args.has("engine-spans");
+    options.recorder = std::make_shared<obs::Recorder>(rec);
   }
 
   serve::Server server(options);
@@ -221,6 +242,24 @@ int run(const util::Args& args) {
   }
 
   std::cout << report.format();
+
+  if (!trace_out.empty()) {
+    GNNERATOR_CHECK_MSG(obs::write_chrome_trace_file(*options.recorder, trace_out),
+                        "cannot write trace to '" << trace_out << "'");
+    std::cout << "trace: " << trace_out << " ("
+              << options.recorder->span_events().size() << " span events, "
+              << options.recorder->device_spans().size()
+              << " device spans; open in https://ui.perfetto.dev)\n";
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    GNNERATOR_CHECK_MSG(static_cast<bool>(out), "cannot open '" << metrics_out << "'");
+    out << options.recorder->registry().text_snapshot();
+    GNNERATOR_CHECK_MSG(static_cast<bool>(out),
+                        "cannot write metrics to '" << metrics_out << "'");
+    std::cout << "metrics: " << metrics_out << " ("
+              << options.recorder->registry().family_count() << " families)\n";
+  }
   return 0;
 }
 

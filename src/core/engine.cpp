@@ -78,12 +78,12 @@ std::shared_ptr<const LoweredModel> Engine::plan_for(const graph::Dataset& datas
 
 ExecutionResult Engine::run_impl(const graph::Dataset& dataset, const gnn::ModelSpec& model,
                                  const SimulationRequest& request, ThreadPool* functional_pool,
-                                 const std::string* dataset_key) {
+                                 const std::string* dataset_key, sim::Tracer* tracer) {
   const std::shared_ptr<const LoweredModel> plan =
       dataset_key != nullptr ? plan_for_key(dataset, model, request, *dataset_key)
                              : plan_for(dataset, model, request);
   if (request.mode == SimMode::kTiming) {
-    return Accelerator::run_timing(*plan);
+    return Accelerator::run_timing(*plan, tracer);
   }
 
   GNNERATOR_CHECK_MSG(!dataset.features.empty(),
@@ -91,7 +91,7 @@ ExecutionResult Engine::run_impl(const graph::Dataset& dataset, const gnn::Model
   gnn::Tensor features(dataset.spec.num_nodes, dataset.spec.feature_dim, dataset.features);
   const gnn::ModelWeights weights = gnn::init_weights(model, request.weight_seed);
   RuntimeState state(*plan, features, weights);
-  return Accelerator::run(*plan, &state, /*tracer=*/nullptr, functional_pool);
+  return Accelerator::run(*plan, &state, tracer, functional_pool);
 }
 
 ExecutionResult Engine::run(const graph::Dataset& dataset, const gnn::ModelSpec& model,
@@ -105,6 +105,19 @@ ExecutionResult Engine::run(const SimulationRequest& request) {
   GNNERATOR_CHECK_MSG(!request.model.layers.empty(), "request needs a model");
   const Registered entry = registered(request.dataset);
   return run_impl(*entry.dataset, request.model, request, &pool_, &entry.fingerprint);
+}
+
+ExecutionResult Engine::run(const graph::Dataset& dataset, const gnn::ModelSpec& model,
+                            const SimulationRequest& request, sim::Tracer* tracer) {
+  return run_impl(dataset, model, request, &pool_, /*dataset_key=*/nullptr, tracer);
+}
+
+ExecutionResult Engine::run(const SimulationRequest& request, sim::Tracer* tracer) {
+  GNNERATOR_CHECK_MSG(!request.dataset.empty(),
+                      "request needs a dataset id (or use the explicit-dataset overload)");
+  GNNERATOR_CHECK_MSG(!request.model.layers.empty(), "request needs a model");
+  const Registered entry = registered(request.dataset);
+  return run_impl(*entry.dataset, request.model, request, &pool_, &entry.fingerprint, tracer);
 }
 
 std::vector<ExecutionResult> Engine::run_batch(std::span<const SimulationRequest> requests) {

@@ -14,6 +14,10 @@
 #include "core/plan_cache.hpp"
 #include "graph/datasets.hpp"
 
+namespace gnnerator::sim {
+class Tracer;
+}  // namespace gnnerator::sim
+
 namespace gnnerator::core {
 
 struct EngineOptions {
@@ -83,6 +87,15 @@ class Engine {
   /// request.dataset.
   ExecutionResult run(const SimulationRequest& request);
 
+  /// run() with an event tracer attached to the cycle-level simulation:
+  /// `tracer`, when non-null and enabled, records the pipeline events the
+  /// hardware models emit (gemm/shard/fetch start–done). The observability
+  /// layer (src/obs/) uses this to capture per-engine busy windows on a
+  /// class's first execution; results are identical to the untraced run.
+  ExecutionResult run(const graph::Dataset& dataset, const gnn::ModelSpec& model,
+                      const SimulationRequest& request, sim::Tracer* tracer);
+  ExecutionResult run(const SimulationRequest& request, sim::Tracer* tracer);
+
   /// Executes independent requests concurrently on the worker pool;
   /// results[i] corresponds to requests[i]. Each request's functional
   /// arithmetic runs serially inside its slot (request-level parallelism
@@ -112,7 +125,8 @@ class Engine {
   [[nodiscard]] Registered registered(std::string_view name) const;
   ExecutionResult run_impl(const graph::Dataset& dataset, const gnn::ModelSpec& model,
                            const SimulationRequest& request, ThreadPool* functional_pool,
-                           const std::string* dataset_key = nullptr);
+                           const std::string* dataset_key = nullptr,
+                           sim::Tracer* tracer = nullptr);
   std::shared_ptr<const LoweredModel> plan_for_key(const graph::Dataset& dataset,
                                                    const gnn::ModelSpec& model,
                                                    const SimulationRequest& request,

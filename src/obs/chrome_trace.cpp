@@ -1,0 +1,333 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace gnnerator::obs {
+
+namespace {
+
+constexpr std::int64_t kDevicePid = 0;
+constexpr std::int64_t kControlPid = 2;
+/// Request-class processes start here (pid = kRequestPidBase + tier).
+constexpr std::int64_t kRequestPidBase = 100;
+/// Device lane stride: tid di*kLanesPerDevice is the device's own lane,
+/// +1/+2/+3 the dense / graph / other engine sub-lanes.
+constexpr std::uint64_t kLanesPerDevice = 4;
+
+constexpr std::uint64_t kAutoscalerTid = 0;
+constexpr std::uint64_t kFaultsTid = 1;
+constexpr std::uint64_t kAdmissionTid = 2;
+
+std::uint64_t engine_lane(const std::string& engine) {
+  if (engine == "dense-engine") {
+    return 1;
+  }
+  if (engine == "graph-engine") {
+    return 2;
+  }
+  return 3;
+}
+
+std::string_view engine_lane_name(std::uint64_t lane) {
+  switch (lane) {
+    case 1:
+      return "gemm";
+    case 2:
+      return "shard";
+    default:
+      return "engine";
+  }
+}
+
+/// Emits trace events through one JsonWriter positioned inside the
+/// traceEvents array.
+class Emitter {
+ public:
+  Emitter(util::JsonWriter& w, double clock_ghz)
+      : w_(w), ghz_(clock_ghz > 0.0 ? clock_ghz : 1.0) {}
+
+  [[nodiscard]] double us(Cycle cycles) const {
+    return static_cast<double>(cycles) / (ghz_ * 1e3);
+  }
+
+  void meta(std::int64_t pid, std::uint64_t tid, std::string_view what,
+            std::string_view value) {
+    w_.begin_object()
+        .field("ph", "M")
+        .field("pid", pid)
+        .field("tid", tid)
+        .field("name", what);
+    w_.key("args").begin_object().field("name", value).end_object();
+    w_.end_object();
+  }
+
+  /// Opens a complete ("X") / instant ("i") / async ("b"/"n"/"e") event;
+  /// the caller may add an args object before close().
+  util::JsonWriter& open(std::string_view ph, std::int64_t pid, std::uint64_t tid,
+                         std::string_view name, Cycle at) {
+    w_.begin_object()
+        .field("ph", ph)
+        .field("pid", pid)
+        .field("tid", tid)
+        .field("name", name)
+        .field("ts", us(at));
+    return w_;
+  }
+
+  void close() { w_.end_object(); }
+
+ private:
+  util::JsonWriter& w_;
+  double ghz_;
+};
+
+}  // namespace
+
+void write_chrome_trace(const Recorder& rec, std::ostream& out) {
+  const RunInfo& info = rec.run_info();
+  util::JsonWriter w(out, 0);
+  Emitter e(w, info.clock_ghz);
+
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+
+  // ---- Metadata: process/thread names. -------------------------------------
+  e.meta(kDevicePid, 0, "process_name", "devices");
+  // Engine sub-lanes that actually carry windows (deterministic: derived
+  // from the recorded spans).
+  std::vector<std::uint64_t> engine_lanes;
+  for (const DeviceSpan& span : rec.device_spans()) {
+    for (const EngineWindow& win : span.windows) {
+      const std::uint64_t tid = span.device * kLanesPerDevice + engine_lane(win.engine);
+      bool seen = false;
+      for (const std::uint64_t t : engine_lanes) {
+        seen = seen || t == tid;
+      }
+      if (!seen) {
+        engine_lanes.push_back(tid);
+      }
+    }
+  }
+  for (std::size_t di = 0; di < info.devices.size(); ++di) {
+    e.meta(kDevicePid, di * kLanesPerDevice, "thread_name", info.devices[di]);
+    for (std::uint64_t lane = 1; lane < kLanesPerDevice; ++lane) {
+      const std::uint64_t tid = di * kLanesPerDevice + lane;
+      bool used = false;
+      for (const std::uint64_t t : engine_lanes) {
+        used = used || t == tid;
+      }
+      if (used) {
+        std::string name = info.devices[di];
+        name += ' ';
+        name += engine_lane_name(lane);
+        e.meta(kDevicePid, tid, "thread_name", name);
+      }
+    }
+  }
+  for (std::size_t tier = 0; tier < info.request_classes.size(); ++tier) {
+    e.meta(kRequestPidBase + static_cast<std::int64_t>(tier), 0, "process_name",
+           "requests:" + info.request_classes[tier]);
+  }
+  e.meta(kControlPid, 0, "process_name", "control");
+  e.meta(kControlPid, kAutoscalerTid, "thread_name", "autoscaler");
+  e.meta(kControlPid, kFaultsTid, "thread_name", "faults");
+  e.meta(kControlPid, kAdmissionTid, "thread_name", "admission");
+
+  // ---- Device timeline: busy/crashed/parked complete events + engine
+  // compute sub-spans. --------------------------------------------------------
+  for (const DeviceSpan& span : rec.device_spans()) {
+    const std::uint64_t tid = span.device * kLanesPerDevice;
+    std::string name;
+    switch (span.kind) {
+      case DeviceSpanKind::kBusy:
+        name = span.aborted ? "aborted:" + span.label : span.label;
+        break;
+      case DeviceSpanKind::kCrashed:
+        name = "crashed";
+        break;
+      case DeviceSpanKind::kParked:
+        name = "parked";
+        break;
+    }
+    e.open("X", kDevicePid, tid, name, span.begin)
+        .field("cat", "device")
+        .field("dur", e.us(span.end - span.begin));
+    w.key("args")
+        .begin_object()
+        .field("requests", static_cast<std::uint64_t>(span.requests))
+        .field("aborted", span.aborted)
+        .end_object();
+    e.close();
+    for (const EngineWindow& win : span.windows) {
+      const std::uint64_t lane_tid = span.device * kLanesPerDevice + engine_lane(win.engine);
+      e.open("X", kDevicePid, lane_tid, engine_lane_name(engine_lane(win.engine)), win.begin)
+          .field("cat", "engine")
+          .field("dur", e.us(win.end - win.begin));
+      e.close();
+    }
+  }
+
+  // ---- Control marks: faults, autoscaler, admission instants. --------------
+  for (const Mark& m : rec.marks()) {
+    std::uint64_t tid = kAdmissionTid;
+    std::string name(mark_kind_name(m.kind));
+    switch (m.kind) {
+      case MarkKind::kCrash:
+      case MarkKind::kRecover:
+      case MarkKind::kSlow:
+      case MarkKind::kReclass:
+        tid = kFaultsTid;
+        name += " dev" + std::to_string(m.device);
+        break;
+      case MarkKind::kScaleUp:
+      case MarkKind::kScaleDown:
+        tid = kAutoscalerTid;
+        name += " dev" + std::to_string(m.device);
+        break;
+      case MarkKind::kShed:
+      case MarkKind::kFail:
+        tid = kAdmissionTid;
+        break;
+    }
+    e.open("i", kControlPid, tid, name, m.at).field("s", "t").field("cat", "control");
+    if (!m.detail.empty() || m.value != 0) {
+      w.key("args")
+          .begin_object()
+          .field("value", m.value)
+          .field("detail", m.detail)
+          .end_object();
+    }
+    e.close();
+    // A crash is also visible on the crashed device's own lane.
+    if (m.kind == MarkKind::kCrash) {
+      e.open("i", kDevicePid, m.device * kLanesPerDevice, "crash", m.at)
+          .field("s", "t")
+          .field("cat", "device");
+      e.close();
+    }
+  }
+
+  // ---- Request spans: nested async events, one process per request class.
+  // Grouped per request id (ids are dense in admission order), converted
+  // through a small balance-keeping state machine: req opens at admit,
+  // attempt opens per dispatch, aborts/completions close them. -----------------
+  std::uint64_t max_id = 0;
+  for (const SpanEvent& ev : rec.span_events()) {
+    max_id = std::max(max_id, ev.request);
+  }
+  std::vector<std::vector<const SpanEvent*>> by_id;
+  if (!rec.span_events().empty()) {
+    by_id.resize(static_cast<std::size_t>(max_id) + 1);
+    for (const SpanEvent& ev : rec.span_events()) {
+      by_id[ev.request].push_back(&ev);
+    }
+  }
+  for (const std::vector<const SpanEvent*>& events : by_id) {
+    if (events.empty()) {
+      continue;
+    }
+    const std::int64_t pid =
+        kRequestPidBase + static_cast<std::int64_t>(events.front()->tier);
+    const std::uint64_t id = events.front()->request;
+    bool req_open = false;
+    bool attempt_open = false;
+    const auto async = [&](std::string_view ph, std::string_view name, Cycle at,
+                           const SpanEvent* args_of) {
+      e.open(ph, pid, 0, name, at).field("cat", "request").field("id", id);
+      if (args_of != nullptr) {
+        w.key("args")
+            .begin_object()
+            .field("phase", span_phase_name(args_of->phase))
+            .field("device", static_cast<std::uint64_t>(args_of->device))
+            .field("value", args_of->value)
+            .field("detail", args_of->detail)
+            .end_object();
+      }
+      e.close();
+    };
+    for (const SpanEvent* ev : events) {
+      switch (ev->phase) {
+        case SpanPhase::kAdmit:
+          async("b", "req", ev->at, ev);
+          req_open = true;
+          break;
+        case SpanPhase::kSample:
+        case SpanPhase::kRequeue:
+        case SpanPhase::kResume:
+          async("n", span_phase_name(ev->phase), ev->at, ev);
+          break;
+        case SpanPhase::kDispatch:
+          async("b", "attempt", ev->at, ev);
+          attempt_open = true;
+          break;
+        case SpanPhase::kAbort:
+          if (attempt_open) {
+            async("e", "attempt", ev->at, nullptr);
+            attempt_open = false;
+          }
+          async("n", "abort", ev->at, ev);
+          break;
+        case SpanPhase::kShed:
+        case SpanPhase::kFail:
+          if (attempt_open) {
+            async("e", "attempt", ev->at, nullptr);
+            attempt_open = false;
+          }
+          async("n", span_phase_name(ev->phase), ev->at, ev);
+          if (req_open) {
+            async("e", "req", ev->at, nullptr);
+            req_open = false;
+          }
+          break;
+        case SpanPhase::kComplete:
+          if (attempt_open) {
+            async("e", "attempt", ev->at, nullptr);
+            attempt_open = false;
+          }
+          if (req_open) {
+            async("e", "req", ev->at, ev);
+            req_open = false;
+          }
+          break;
+      }
+    }
+    // A request still open at end of stream (max_events truncation) closes
+    // at the run's end cycle so the JSON stays balanced.
+    if (attempt_open) {
+      async("e", "attempt", rec.end_cycle(), nullptr);
+    }
+    if (req_open) {
+      async("e", "req", rec.end_cycle(), nullptr);
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
+std::string chrome_trace_string(const Recorder& recorder) {
+  std::ostringstream os;
+  write_chrome_trace(recorder, os);
+  return os.str();
+}
+
+bool write_chrome_trace_file(const Recorder& recorder, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  write_chrome_trace(recorder, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace gnnerator::obs

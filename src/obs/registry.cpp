@@ -1,0 +1,176 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace gnnerator::obs {
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trip number rendering (shared with the JSON emitters —
+/// deterministic snapshots need deterministic numbers).
+std::string render_number(double value) { return util::json_number(value); }
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  per_bucket_.assign(bounds_.size() + 1, 0);  // +Inf bucket last
+}
+
+void Histogram::observe(double value) {
+  std::size_t bucket = bounds_.size();  // +Inf
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  per_bucket_[bucket] += 1;
+  count_ += 1;
+  sum_ += value;
+}
+
+std::vector<std::uint64_t> Histogram::cumulative_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size(), 0);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    running += per_bucket_[i];
+    out[i] = running;
+  }
+  return out;
+}
+
+std::string Registry::render_labels(const Labels& labels) {
+  if (labels.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) {
+      out.push_back(',');
+    }
+    out += labels[i].first;
+    out += "=\"";
+    out += escape_label_value(labels[i].second);
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+Registry::Family& Registry::family(std::string_view name, Kind kind, std::string_view help) {
+  auto [it, inserted] = families_.try_emplace(std::string(name));
+  Family& fam = it->second;
+  if (inserted) {
+    fam.kind = kind;
+    fam.help = std::string(help);
+  } else {
+    GNNERATOR_CHECK_MSG(fam.kind == kind,
+                        "metric family '" << name << "' re-registered with a different type");
+    if (fam.help.empty() && !help.empty()) {
+      fam.help = std::string(help);
+    }
+  }
+  return fam;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  return counter(name, Labels{}, help);
+}
+
+Counter& Registry::counter(std::string_view name, Labels labels, std::string_view help) {
+  Family& fam = family(name, Kind::kCounter, help);
+  return fam.counters.try_emplace(render_labels(labels)).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  return gauge(name, Labels{}, help);
+}
+
+Gauge& Registry::gauge(std::string_view name, Labels labels, std::string_view help) {
+  Family& fam = family(name, Kind::kGauge, help);
+  return fam.gauges.try_emplace(render_labels(labels)).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::vector<double> bounds,
+                               std::string_view help) {
+  return histogram(name, Labels{}, std::move(bounds), help);
+}
+
+Histogram& Registry::histogram(std::string_view name, Labels labels,
+                               std::vector<double> bounds, std::string_view help) {
+  Family& fam = family(name, Kind::kHistogram, help);
+  const auto it =
+      fam.histograms.try_emplace(render_labels(labels), Histogram(std::move(bounds))).first;
+  return it->second;
+}
+
+std::string Registry::text_snapshot() const {
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    if (!fam.help.empty()) {
+      out += "# HELP " + name + " " + fam.help + "\n";
+    }
+    out += "# TYPE " + name + " ";
+    switch (fam.kind) {
+      case Kind::kCounter:
+        out += "counter\n";
+        for (const auto& [labels, sample] : fam.counters) {
+          out += name + labels + " " + render_number(sample.value) + "\n";
+        }
+        break;
+      case Kind::kGauge:
+        out += "gauge\n";
+        for (const auto& [labels, sample] : fam.gauges) {
+          out += name + labels + " " + render_number(sample.value) + "\n";
+        }
+        break;
+      case Kind::kHistogram:
+        out += "histogram\n";
+        for (const auto& [labels, sample] : fam.histograms) {
+          // Bucket lines splice the le label into the sample's label set.
+          const std::string open =
+              labels.empty() ? "{" : labels.substr(0, labels.size() - 1) + ",";
+          const std::vector<std::uint64_t> cumulative = sample.cumulative_counts();
+          for (std::size_t i = 0; i < sample.bounds().size(); ++i) {
+            out += name + "_bucket" + open + "le=\"" + render_number(sample.bounds()[i]) +
+                   "\"} " + render_number(static_cast<double>(cumulative[i])) + "\n";
+          }
+          out += name + "_bucket" + open + "le=\"+Inf\"} " +
+                 render_number(static_cast<double>(sample.total_count())) + "\n";
+          out += name + "_sum" + labels + " " + render_number(sample.sum()) + "\n";
+          out += name + "_count" + labels + " " +
+                 render_number(static_cast<double>(sample.total_count())) + "\n";
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace gnnerator::obs

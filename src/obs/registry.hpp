@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gnnerator::obs {
+
+/// Label set of one metric sample, e.g. {{"device", "0"}}. Order given here
+/// is preserved in the rendered sample name.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing counter (Prometheus counter semantics).
+struct Counter {
+  double value = 0.0;
+  void add(double delta) { value += delta; }
+  void add(std::uint64_t delta) { value += static_cast<double>(delta); }
+};
+
+/// Point-in-time value; set() replaces.
+struct Gauge {
+  double value = 0.0;
+  void set(double v) { value = v; }
+};
+
+/// Cumulative histogram with fixed upper bounds (an implicit +Inf bucket is
+/// always present).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// counts()[i] observations were <= bounds()[i]; the +Inf count is
+  /// total_count() (cumulative form, as the text exposition renders it).
+  [[nodiscard]] std::vector<std::uint64_t> cumulative_counts() const;
+  [[nodiscard]] std::uint64_t total_count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;   ///< sorted ascending
+  std::vector<std::uint64_t> per_bucket_;  ///< one per bound, plus +Inf last
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// A Prometheus-style metrics registry: named counter/gauge/histogram
+/// families, each with zero or more labelled samples. The serving layer
+/// publishes into it at end of run (Metrics, PlanCache, FeatureCache and
+/// Autoscaler numbers); text_snapshot() renders the standard text exposition
+/// format. Deterministic: families and samples are std::map-ordered, so two
+/// identical runs render byte-identical snapshots.
+///
+/// Lifetime: the registry belongs to the Recorder and is NOT reset per run —
+/// counters accumulate across serve() calls like production counters would.
+class Registry {
+ public:
+  Counter& counter(std::string_view name, std::string_view help = {});
+  Counter& counter(std::string_view name, Labels labels, std::string_view help = {});
+  Gauge& gauge(std::string_view name, std::string_view help = {});
+  Gauge& gauge(std::string_view name, Labels labels, std::string_view help = {});
+  Histogram& histogram(std::string_view name, std::vector<double> bounds,
+                       std::string_view help = {});
+  Histogram& histogram(std::string_view name, Labels labels, std::vector<double> bounds,
+                       std::string_view help = {});
+
+  /// Prometheus text exposition: # HELP / # TYPE per family, one line per
+  /// sample, histogram buckets with le labels plus _sum and _count.
+  [[nodiscard]] std::string text_snapshot() const;
+
+  [[nodiscard]] std::size_t family_count() const { return families_.size(); }
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    /// Keyed by the rendered label string ("" for the unlabelled sample).
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Gauge> gauges;
+    std::map<std::string, Histogram> histograms;
+  };
+
+  Family& family(std::string_view name, Kind kind, std::string_view help);
+  [[nodiscard]] static std::string render_labels(const Labels& labels);
+
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace gnnerator::obs

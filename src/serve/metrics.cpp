@@ -209,6 +209,14 @@ std::string ServeReport::format() const {
        << feature_cache.pinned_rows << " pinned rows, " << feature_cache.bytes_saved
        << " bytes saved\n";
   }
+  if (!exec_windows.empty()) {
+    std::uint64_t observations = 0;
+    for (const obs::ExecWindow& w : exec_windows) {
+      observations += w.observations;
+    }
+    os << "exec windows: " << exec_windows.size() << " (plan, device) classes / "
+       << observations << " observations\n";
+  }
   return os.str();
 }
 

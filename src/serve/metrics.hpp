@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/plan_cache.hpp"
+#include "obs/exec_window.hpp"
 #include "serve/request.hpp"
 #include "util/stats.hpp"
 
@@ -186,6 +187,12 @@ struct ServeReport {
   /// Zero-valued (and omitted from format()) when no cache is configured.
   FeatureCacheStats feature_cache;
   bool feature_cache_enabled = false;
+  /// Measured (plan class, device class) execution-window statistics from
+  /// the attached obs::Recorder (EWMA over observed device cycles) — the
+  /// calibration feed for a measurement-driven cost oracle. Empty when no
+  /// recorder is attached or its exec_windows stream is off. Cumulative
+  /// across serve runs (the recorder's log persists like the plan cache).
+  std::vector<obs::ExecWindow> exec_windows;
 
   [[nodiscard]] double duration_ms() const { return cycles_to_ms(end_cycle, clock_ghz); }
   /// Total in-service device time in ms — the capacity bill an elastic

@@ -6,6 +6,7 @@
 #include <tuple>
 #include <utility>
 
+#include "sim/trace.hpp"
 #include "util/check.hpp"
 #include "util/prng.hpp"
 
@@ -44,10 +45,16 @@ std::string hex64(std::uint64_t value) {
   return out;
 }
 
+/// Event cap of the sim::Tracer used for engine-span capture (one traced
+/// execution per distinct class; a truncated capture just loses tail
+/// windows, never correctness).
+constexpr std::size_t kEngineTraceCap = 1u << 20;
+
 }  // namespace
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
+      obs_(options_.recorder.get()),
       plan_cache_(std::make_shared<core::PlanCache>(options_.plan_cache_capacity)) {
   GNNERATOR_CHECK_MSG(options_.clock_ghz > 0.0, "server needs a positive device clock");
 
@@ -118,6 +125,11 @@ std::size_t Server::append_device(std::size_t klass, bool ephemeral, Cycle now) 
     device.engine->add_dataset(entry.dataset, entry.fingerprint);
   }
   devices_.push_back(std::move(device));
+  if (obs_ != nullptr) {
+    // Mid-run scale-ups extend the recorder's lane list; device_added
+    // ignores the constructor-time appends (no run in progress).
+    obs_->device_added(obs_device_label(devices_.size() - 1));
+  }
   return devices_.size() - 1;
 }
 
@@ -436,9 +448,15 @@ void Server::ensure_sampled_results(Device& device, const DispatchBatch& batch) 
   const std::vector<const SampledQuery*> parts = sampled_composition(batch);
   const QueuedRequest& front = batch.requests.front();
   const core::SimulationRequest sim = sim_for_device(front.request.sim, device);
+  sim::Tracer tracer;
+  sim::Tracer* tp = nullptr;
+  if (obs_wants_engine_spans()) {
+    tracer.enable(kEngineTraceCap);
+    tp = &tracer;
+  }
   core::ExecutionResult result;
   if (parts.size() == 1) {
-    result = device.engine->run(*parts.front()->dataset, sim.model, sim);
+    result = device.engine->run(*parts.front()->dataset, sim.model, sim, tp);
   } else {
     // Mixed-batch fusion: one block-diagonal subgraph, one compiled plan,
     // one device pass for every distinct frontier in the batch.
@@ -450,7 +468,10 @@ void Server::ensure_sampled_results(Device& device, const DispatchBatch& batch) 
     const graph::SampledSubgraph fused = graph::fuse_subgraphs(frontiers);
     const RegisteredDataset& base = registered(front.request.sim.dataset);
     const graph::Dataset fused_dataset = graph::subgraph_dataset(*base.dataset, fused);
-    result = device.engine->run(fused_dataset, sim.model, sim);
+    result = device.engine->run(fused_dataset, sim.model, sim, tp);
+  }
+  if (tp != nullptr) {
+    obs_->store_engine_windows(key, obs::Recorder::windows_from_tracer(tracer));
   }
   if (!options_.collect_results) {
     result.output.reset();
@@ -574,7 +595,18 @@ void Server::ensure_class_results(Device& device, const DispatchBatch& batch) {
   for (const QueuedRequest* q : missing) {
     sims.push_back(sim_for_device(q->request.sim, device));
   }
-  std::vector<core::ExecutionResult> results = device.engine->run_batch(sims);
+  std::vector<core::ExecutionResult> results;
+  if (obs_wants_engine_spans()) {
+    // Engine-span capture: serial traced executions (results are identical
+    // to run_batch — each batch slot runs its functional arithmetic
+    // serially anyway), memoizing each class's window template.
+    results.reserve(sims.size());
+    for (std::size_t i = 0; i < sims.size(); ++i) {
+      results.push_back(obs_traced_run(device, sims[i], *missing_keys[i]));
+    }
+  } else {
+    results = device.engine->run_batch(sims);
+  }
   for (std::size_t i = 0; i < missing.size(); ++i) {
     if (!options_.collect_results) {
       // The memo only has to answer "how many cycles does this class
@@ -620,6 +652,280 @@ Cycle Server::scaled_service(const Device& device, Cycle cycles) const {
       std::llround(static_cast<double>(cycles) / device.slow_factor));
 }
 
+// ---- Observability hooks (see server.hpp). ---------------------------------
+
+void Server::obs_begin_run() {
+  if (obs_ == nullptr) {
+    return;
+  }
+  obs::RunInfo info;
+  info.clock_ghz = options_.clock_ghz;
+  info.devices.reserve(devices_.size());
+  for (std::size_t di = 0; di < devices_.size(); ++di) {
+    info.devices.push_back(obs_device_label(di));
+  }
+  info.request_classes.reserve(request_classes_.size());
+  for (const RequestClass& klass : request_classes_) {
+    info.request_classes.push_back(klass.name);
+  }
+  obs_->begin_run(std::move(info));
+}
+
+std::string Server::obs_device_label(std::size_t device) const {
+  std::string label = "dev" + std::to_string(device);
+  const std::size_t klass = devices_[device].klass;
+  if (klass != kNoClass) {
+    label += " [" + device_classes_[klass].name + "]";
+  }
+  return label;
+}
+
+const std::string& Server::obs_device_class_name(const Device& device) const {
+  static const std::string kLegacy = "legacy";
+  return device.klass == kNoClass ? kLegacy : device_classes_[device.klass].name;
+}
+
+void Server::obs_admit(const Outcome& record, std::size_t tier, const SampledQuery* sampled) {
+  if (obs_ == nullptr || !obs_->options().request_spans) {
+    return;
+  }
+  obs::SpanEvent ev;
+  ev.request = record.id;
+  ev.at = record.arrival;
+  ev.phase = obs::SpanPhase::kAdmit;
+  ev.tier = static_cast<std::uint32_t>(tier);
+  ev.detail = record.class_key;
+  obs_->request_event(std::move(ev));
+  if (sampled != nullptr) {
+    obs::SpanEvent sev;
+    sev.request = record.id;
+    sev.at = record.arrival;
+    sev.phase = obs::SpanPhase::kSample;
+    sev.value = static_cast<std::uint64_t>(sampled->frontier->vertices.size());
+    sev.detail = sampled->frontier->fingerprint;
+    obs_->request_event(std::move(sev));
+  }
+}
+
+void Server::obs_terminal(const Outcome& record, Cycle now) {
+  if (obs_ == nullptr) {
+    return;
+  }
+  const obs::RecorderOptions& opts = obs_->options();
+  if (opts.request_spans) {
+    obs::SpanEvent ev;
+    ev.request = record.id;
+    ev.at = now;
+    ev.phase = record.shed ? obs::SpanPhase::kShed : obs::SpanPhase::kFail;
+    obs_->request_event(std::move(ev));
+  }
+  if (opts.device_timeline || opts.request_spans) {
+    obs::Mark m;
+    m.at = now;
+    m.kind = record.shed ? obs::MarkKind::kShed : obs::MarkKind::kFail;
+    m.value = record.id;
+    obs_->mark(std::move(m));
+  }
+}
+
+void Server::obs_dispatch(Device& device, const DispatchBatch& batch, Cycle now) {
+  if (obs_ == nullptr) {
+    return;
+  }
+  const std::uint32_t di = device_index(device);
+  const obs::RecorderOptions& opts = obs_->options();
+  if (opts.request_spans) {
+    for (const QueuedRequest& q : batch.requests) {
+      obs::SpanEvent ev;
+      ev.request = q.request.id;
+      ev.at = now;
+      ev.phase = obs::SpanPhase::kDispatch;
+      ev.device = di;
+      ev.value = static_cast<std::uint64_t>(batch.requests.size());
+      obs_->request_event(std::move(ev));
+    }
+  }
+  // Measured execution windows (cost-oracle feed) and, when captured, the
+  // engine compute sub-spans — one entry per distinct class in the batch,
+  // anchored back-to-back at `now` exactly as the service-time sum prices
+  // them. All lookups hit memos both loops warmed at the same points.
+  std::vector<obs::EngineWindow> windows;
+  if (opts.exec_windows || (opts.engine_spans && opts.device_timeline)) {
+    const std::string& dclass = obs_device_class_name(device);
+    const bool sampled = batch.requests.front().sampled != nullptr;
+    const auto anchor = [&](const std::string& key, Cycle offset) {
+      const std::vector<obs::EngineWindow>* tmpl = obs_->engine_windows(key);
+      if (tmpl == nullptr) {
+        return;
+      }
+      for (const obs::EngineWindow& w : *tmpl) {
+        obs::EngineWindow abs = w;
+        abs.begin = now + offset + scaled_service(device, to_server_cycles(device, w.begin));
+        abs.end = now + offset + scaled_service(device, to_server_cycles(device, w.end));
+        windows.push_back(std::move(abs));
+      }
+    };
+    if (sampled) {
+      const std::string key = sampled_exec_key(device, batch);
+      const auto it = sampled_results_.find(key);
+      GNNERATOR_CHECK_MSG(it != sampled_results_.end(),
+                          "sampled result missing at obs dispatch");
+      obs_->record_exec_window(batch.requests.front().class_key, dclass, it->second->cycles);
+      if (opts.engine_spans && opts.device_timeline) {
+        anchor(key, 0);
+      }
+    } else {
+      Cycle offset = 0;
+      std::vector<const std::string*> seen;
+      for (const QueuedRequest& q : batch.requests) {
+        const std::string& key = exec_key(q, device);
+        const bool counted = std::any_of(seen.begin(), seen.end(),
+                                         [&](const std::string* k) { return *k == key; });
+        if (counted) {
+          continue;
+        }
+        seen.push_back(&key);
+        const auto it = class_results_.find(key);
+        GNNERATOR_CHECK_MSG(it != class_results_.end(),
+                            "class result missing at obs dispatch");
+        obs_->record_exec_window(q.class_key, dclass, it->second->cycles);
+        if (opts.engine_spans && opts.device_timeline) {
+          anchor(key, offset);
+        }
+        offset += scaled_service(device, to_server_cycles(device, it->second->cycles));
+      }
+    }
+  }
+  if (opts.device_timeline) {
+    obs_->open_busy(di, now, static_cast<std::uint32_t>(batch.requests.size()),
+                    batch.requests.front().class_key);
+    if (!windows.empty()) {
+      obs_->attach_windows(di, std::move(windows));
+    }
+  }
+}
+
+void Server::obs_device_complete(const Device& device, Cycle now) {
+  if (obs_ == nullptr) {
+    return;
+  }
+  obs_->close_busy(device_index(device), now, /*aborted=*/false);
+}
+
+void Server::obs_complete(const Outcome& record, Cycle now) {
+  if (obs_ == nullptr || !obs_->options().request_spans) {
+    return;
+  }
+  obs::SpanEvent ev;
+  ev.request = record.id;
+  ev.at = now;
+  ev.phase = obs::SpanPhase::kComplete;
+  ev.device = record.device;
+  ev.value = record.service_cycles;
+  obs_->request_event(std::move(ev));
+}
+
+core::ExecutionResult Server::obs_traced_run(Device& device,
+                                             const core::SimulationRequest& sim,
+                                             const std::string& exec_key) {
+  sim::Tracer tracer;
+  tracer.enable(kEngineTraceCap);
+  core::ExecutionResult result = device.engine->run(sim, &tracer);
+  obs_->store_engine_windows(exec_key, obs::Recorder::windows_from_tracer(tracer));
+  return result;
+}
+
+void Server::obs_finish_run(ServeReport& report, Cycle now) {
+  obs_->end_run(now);
+  if (!obs_->options().any()) {
+    return;  // null sink: no streams, no registry publication
+  }
+  if (obs_->options().exec_windows) {
+    report.exec_windows = obs_->exec_window_log().snapshot();
+  }
+
+  // ---- Registry publication: the report's numbers, renamed into
+  // Prometheus conventions. Counters accumulate across runs; gauges hold the
+  // latest run. Deterministic: everything below derives from the report.
+  obs::Registry& reg = obs_->registry();
+  const MetricsSummary& m = report.metrics;
+  reg.counter("serve_runs_total", "Serve runs recorded into this registry").add(1.0);
+  reg.counter("serve_requests_total", {{"outcome", "completed"}},
+              "Admitted requests by terminal outcome")
+      .add(static_cast<std::uint64_t>(m.completed));
+  reg.counter("serve_requests_total", {{"outcome", "shed"}}).add(static_cast<std::uint64_t>(m.shed));
+  reg.counter("serve_requests_total", {{"outcome", "failed"}})
+      .add(static_cast<std::uint64_t>(m.failed));
+  reg.counter("serve_retries_total", "Fault-induced aborts").add(m.retries);
+  reg.counter("serve_requeues_total", "Aborted requests requeued after backoff")
+      .add(m.requeues);
+  reg.counter("serve_events_total", "Discrete-event scheduling points").add(report.events);
+  reg.counter("serve_scale_ops_total", {{"direction", "up"}}, "Autoscaler fleet mutations")
+      .add(report.scale_ups);
+  reg.counter("serve_scale_ops_total", {{"direction", "down"}}).add(report.scale_downs);
+
+  reg.gauge("serve_latency_ms", {{"quantile", "0.5"}},
+            "Completed-request latency quantiles of the last run")
+      .set(m.p50_ms);
+  reg.gauge("serve_latency_ms", {{"quantile", "0.95"}}).set(m.p95_ms);
+  reg.gauge("serve_latency_ms", {{"quantile", "0.99"}}).set(m.p99_ms);
+  reg.gauge("serve_latency_mean_ms").set(m.mean_ms);
+  reg.gauge("serve_throughput_rps", "Completed requests per simulated second (last run)")
+      .set(m.throughput_rps);
+  reg.gauge("serve_slo_attainment").set(m.slo_attainment);
+  reg.gauge("serve_queue_depth_mean").set(report.mean_queue_depth);
+  reg.gauge("serve_queue_depth_max").set(static_cast<double>(report.max_queue_depth));
+  reg.gauge("serve_end_cycle", "Virtual end time of the last run, in server cycles")
+      .set(static_cast<double>(report.end_cycle));
+  reg.gauge("serve_fleet_utilization").set(report.fleet_utilization());
+
+  for (std::size_t di = 0; di < report.devices.size(); ++di) {
+    const DeviceStats& d = report.devices[di];
+    obs::Labels labels{{"device", std::to_string(di)}};
+    if (!d.klass.empty()) {
+      labels.emplace_back("class", d.klass);
+    }
+    reg.counter("serve_device_busy_cycles_total", labels,
+                "Busy server cycles per device")
+        .add(d.busy_cycles);
+    reg.counter("serve_device_requests_total", labels).add(d.requests);
+    if (d.crashes > 0) {
+      reg.counter("serve_device_crashes_total", labels).add(d.crashes);
+    }
+  }
+
+  reg.gauge("plan_cache_hits", "Fleet plan cache (lifetime)").set(static_cast<double>(report.plan_cache.hits));
+  reg.gauge("plan_cache_misses").set(static_cast<double>(report.plan_cache.misses));
+  reg.gauge("plan_cache_evictions").set(static_cast<double>(report.plan_cache.evictions));
+  if (report.feature_cache_enabled) {
+    reg.gauge("feature_cache_hits", "Pre-sampling feature cache (lifetime)")
+        .set(static_cast<double>(report.feature_cache.hits));
+    reg.gauge("feature_cache_misses").set(static_cast<double>(report.feature_cache.misses));
+    reg.gauge("feature_cache_bytes_saved")
+        .set(static_cast<double>(report.feature_cache.bytes_saved));
+  }
+
+  obs::Histogram& latency = reg.histogram(
+      "serve_request_latency_ms",
+      {0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0},
+      "Completed-request latency");
+  for (const Outcome& outcome : report.outcomes) {
+    if (!outcome.shed && !outcome.failed) {
+      latency.observe(outcome.latency_ms(report.clock_ghz));
+    }
+  }
+
+  // The calibration feed, also visible as metrics: EWMA device cycles per
+  // (plan class, device class). Cardinality is bounded by the distinct
+  // class pairs (sampled batches record under their fuse key).
+  for (const obs::ExecWindow& w : report.exec_windows) {
+    reg.gauge("exec_window_ewma_cycles",
+              {{"plan_class", w.plan_class}, {"device_class", w.device_class}},
+              "Measured execution windows (EWMA of device cycles)")
+        .set(w.ewma_cycles);
+  }
+}
+
 // ---- Elastic serving machinery (see server.hpp). ---------------------------
 
 void Server::flush_device_accounting(Device& device, Cycle now) {
@@ -635,6 +941,14 @@ void Server::flush_device_accounting(Device& device, Cycle now) {
 void Server::set_device_health(Device& device, DeviceHealth health, Cycle now) {
   if (device.health == health) {
     return;
+  }
+  if (obs_ != nullptr && device.health != DeviceHealth::kActive) {
+    // Leaving a non-active state closes its trace interval (the span of the
+    // state being entered closes at the next transition or end of run).
+    obs_->health_span(device_index(device),
+                      device.health == DeviceHealth::kCrashed ? obs::DeviceSpanKind::kCrashed
+                                                              : obs::DeviceSpanKind::kParked,
+                      device.health_since, now);
   }
   flush_device_accounting(device, now);
   device.health = health;
@@ -680,6 +994,10 @@ void Server::abort_inflight(ElasticRun& er, Device& device, Cycle now,
     // crash, not until the batch's scheduled completion.
     device.stats.busy_cycles -= device.busy_until - now;
     device.stats.aborted += static_cast<std::uint64_t>(device.inflight_reqs.size());
+    const std::uint32_t di = device_index(device);
+    if (obs_ != nullptr) {
+      obs_->close_busy(di, now, /*aborted=*/true);
+    }
     for (QueuedRequest& q : device.inflight_reqs) {
       Outcome& record = records[q.request.id];
       // Strip the dispatch stamps: the record reverts to "admitted, not yet
@@ -700,13 +1018,32 @@ void Server::abort_inflight(ElasticRun& er, Device& device, Cycle now,
             record.arrival + ms_to_cycles(record.applied_slo_ms, options_.clock_ghz);
         fail = ready > deadline;  // the backoff alone already misses the SLO
       }
+      if (obs_ != nullptr) {
+        obs::SpanEvent ev;
+        ev.request = record.id;
+        ev.at = now;
+        ev.phase = obs::SpanPhase::kAbort;
+        ev.device = di;
+        ev.value = record.retries;
+        obs_->request_event(std::move(ev));
+      }
       if (fail) {
         record.failed = true;
         record.dispatch = now;
         record.completion = now;
+        obs_terminal(record, now);
         feed_back(record);
       } else {
         ++record.requeues;
+        if (obs_ != nullptr) {
+          obs::SpanEvent ev;
+          ev.request = record.id;
+          ev.at = now;
+          ev.phase = obs::SpanPhase::kRequeue;
+          ev.device = di;
+          ev.value = ready;
+          obs_->request_event(std::move(ev));
+        }
         er.requeues.push(ElasticRun::Requeue{ready, er.requeue_seq++, std::move(q)});
       }
     }
@@ -723,6 +1060,28 @@ void Server::apply_fault_event(ElasticRun& er, const FaultEvent& event, Cycle no
                       "fault plan targets dev" << event.device << " but the fleet has "
                                                << devices_.size() << " devices");
   Device& device = devices_[event.device];
+  if (obs_ != nullptr) {
+    obs::Mark m;
+    m.at = now;
+    m.device = static_cast<std::uint32_t>(event.device);
+    switch (event.kind) {
+      case FaultKind::kCrash:
+        m.kind = obs::MarkKind::kCrash;
+        break;
+      case FaultKind::kRecover:
+        m.kind = obs::MarkKind::kRecover;
+        break;
+      case FaultKind::kSlow:
+        m.kind = obs::MarkKind::kSlow;
+        m.value = static_cast<std::uint64_t>(std::llround(event.factor * 1000.0));
+        break;
+      case FaultKind::kReclass:
+        m.kind = obs::MarkKind::kReclass;
+        m.detail = event.klass;
+        break;
+    }
+    obs_->mark(std::move(m));
+  }
   switch (event.kind) {
     case FaultKind::kCrash:
       device.stats.crashes += 1;
@@ -751,14 +1110,23 @@ void Server::apply_fault_event(ElasticRun& er, const FaultEvent& event, Cycle no
 }
 
 bool Server::scale_up(Cycle now) {
-  for (Device& device : devices_) {
+  for (std::size_t di = 0; di < devices_.size(); ++di) {
+    Device& device = devices_[di];
     if (device.health == DeviceHealth::kRemoved) {
       set_device_health(device, DeviceHealth::kActive, now);
+      if (obs_ != nullptr) {
+        obs_->mark(obs::Mark{now, obs::MarkKind::kScaleUp, static_cast<std::uint32_t>(di), 0,
+                             "reactivated"});
+      }
       return true;
     }
   }
   const std::size_t klass = device_classes_.empty() ? kNoClass : 0;
-  append_device(klass, /*ephemeral=*/true, now);
+  const std::size_t di = append_device(klass, /*ephemeral=*/true, now);
+  if (obs_ != nullptr) {
+    obs_->mark(obs::Mark{now, obs::MarkKind::kScaleUp, static_cast<std::uint32_t>(di), 0,
+                         "appended"});
+  }
   return true;
 }
 
@@ -767,6 +1135,10 @@ bool Server::scale_down(Cycle now) {
     Device& device = devices_[di];
     if (device.health == DeviceHealth::kActive && device.inflight_reqs.empty()) {
       set_device_health(device, DeviceHealth::kRemoved, now);
+      if (obs_ != nullptr) {
+        obs_->mark(
+            obs::Mark{now, obs::MarkKind::kScaleDown, static_cast<std::uint32_t>(di), 0, ""});
+      }
       return true;
     }
   }
@@ -787,6 +1159,13 @@ void Server::elastic_process(ElasticRun& er, Cycle now, Scheduler& scheduler,
     // priority_queue::top is const; the element is discarded by pop.
     QueuedRequest q = std::move(const_cast<ElasticRun::Requeue&>(er.requeues.top()).request);
     er.requeues.pop();
+    if (obs_ != nullptr) {
+      obs::SpanEvent ev;
+      ev.request = q.request.id;
+      ev.at = now;
+      ev.phase = obs::SpanPhase::kResume;
+      obs_->request_event(std::move(ev));
+    }
     // Requeues bypass the admission queue bound: the request was already
     // admitted once and owns a record.
     scheduler.enqueue(std::move(q), now);
@@ -806,6 +1185,7 @@ void Server::elastic_process(ElasticRun& er, Cycle now, Scheduler& scheduler,
 }
 
 ServeReport Server::run_reference(WorkloadSource& workload) {
+  obs_begin_run();
   const std::unique_ptr<Scheduler> scheduler =
       make_scheduler(options_.policy, options_.limits, request_classes_);
 
@@ -881,12 +1261,14 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
                             : klass.slo_ms > 0.0   ? klass.slo_ms
                                                    : options_.default_slo_ms;
     records.push_back(record);
+    obs_admit(records.back(), tier, queued.sampled.get());
 
     if (options_.queue_capacity > 0 && scheduler->depth() >= options_.queue_capacity) {
       Outcome& shed = records.back();
       shed.shed = true;
       shed.dispatch = now;
       shed.completion = now;
+      obs_terminal(shed, now);
       feed_back(shed);
       return;
     }
@@ -932,6 +1314,7 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
         }
         record.dispatch = now;
         record.completion = now;
+        obs_terminal(record, now);
         feed_back(record);
         return true;
       });
@@ -950,6 +1333,7 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
       // effects once, at this sequential point, in both serving loops.
       commit_sampled_gather(batch);
     }
+    obs_dispatch(device, batch, now);
     for (const QueuedRequest& queued : batch.requests) {
       Outcome outcome = records[queued.request.id];
       outcome.dispatch = now;
@@ -1066,6 +1450,7 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
           record.failed = true;
           record.dispatch = now;
           record.completion = now;
+          obs_terminal(record, now);
           feed_back(record);
         }
       }
@@ -1082,9 +1467,11 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
       if (device.inflight.empty() || device.busy_until != now) {
         continue;
       }
+      obs_device_complete(device, now);
       for (Outcome& outcome : device.inflight) {
         outcome.completion = now;
         records[outcome.id] = outcome;
+        obs_complete(records[outcome.id], now);
         elastic_on_complete(er, records[outcome.id]);
         feed_back(records[outcome.id]);
       }
@@ -1152,6 +1539,16 @@ ServeReport Server::assemble_report(std::vector<Outcome>&& records, Cycle now,
   report.outcomes = std::move(records);
   report.devices.reserve(devices_.size());
   for (Device& device : devices_) {
+    if (obs_ != nullptr && device.health != DeviceHealth::kActive) {
+      // Devices ending the run crashed / scaled out close their trailing
+      // health interval here (active time needs no span — busy spans and
+      // the run bounds cover it).
+      obs_->health_span(device_index(device),
+                        device.health == DeviceHealth::kCrashed
+                            ? obs::DeviceSpanKind::kCrashed
+                            : obs::DeviceSpanKind::kParked,
+                        device.health_since, now);
+    }
     flush_device_accounting(device, now);
     device.stats.klass = device.klass == kNoClass ? "" : device_classes_[device.klass].name;
     report.devices.push_back(device.stats);
@@ -1176,6 +1573,9 @@ ServeReport Server::assemble_report(std::vector<Outcome>&& records, Cycle now,
   }
   report.mean_queue_depth = depth_stats.count() > 0 ? depth_stats.mean() : 0.0;
   report.max_queue_depth = max_depth;
+  if (obs_ != nullptr) {
+    obs_finish_run(report, now);
+  }
   return report;
 }
 

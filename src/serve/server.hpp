@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "obs/recorder.hpp"
 #include "serve/autoscale.hpp"
 #include "serve/faults.hpp"
 #include "serve/feature_cache.hpp"
@@ -108,6 +109,15 @@ struct ServerOptions {
   /// the cache. Cache state persists across serve runs (like the plan
   /// cache); differential comparisons need fresh servers.
   std::optional<FeatureCacheOptions> feature_cache;
+  /// Observability sink (src/obs/): when set, both serving loops record
+  /// request spans, device timelines and control marks into it at their
+  /// sequential event points, publish end-of-run metrics into its Registry,
+  /// and feed measured (plan class, device class) execution windows into its
+  /// ExecWindowLog. Null = zero cost (every hook is behind one pointer
+  /// check). The recorder's per-run streams reset at each serve call; its
+  /// registry and exec-window history persist like the plan cache does.
+  /// One recorder should serve one Server.
+  std::shared_ptr<obs::Recorder> recorder;
 };
 
 /// A simulated multi-device GNNerator serving deployment.
@@ -345,6 +355,9 @@ class Server {
                                                        const Device& device) const;
 
   ServerOptions options_;
+  /// Raw view of options_.recorder (hot-path null check); set once in the
+  /// constructor.
+  obs::Recorder* obs_ = nullptr;
   /// Expanded fleet: one entry per DeviceClass (count folded out by
   /// devices_ referencing it). Empty on a legacy fleet.
   std::vector<DeviceClass> device_classes_;
@@ -447,6 +460,50 @@ class Server {
   std::size_t intern_device_class(std::string_view name);
   /// Applies the device's gray-failure slow factor to a service time.
   [[nodiscard]] Cycle scaled_service(const Device& device, Cycle cycles) const;
+
+  // ---- Observability hooks (src/obs/). --------------------------------------
+  // Every hook fires at a sequential event point with the DES cycle, and
+  // both event loops call the same hook at the same point — that is the
+  // whole determinism argument for byte-identical trace exports. Each is a
+  // no-op behind one pointer check when no recorder is attached.
+
+  /// Starts the recorder's per-run streams with the fleet snapshot.
+  void obs_begin_run();
+  /// "dev<i> [<class>]" — the device's trace-lane label.
+  [[nodiscard]] std::string obs_device_label(std::size_t device) const;
+  /// The device class name exec windows are keyed by ("legacy" when the
+  /// fleet is classless).
+  [[nodiscard]] const std::string& obs_device_class_name(const Device& device) const;
+  /// kAdmit (+ kSample for sampled requests), at record creation.
+  void obs_admit(const Outcome& record, std::size_t tier, const SampledQuery* sampled);
+  /// Terminal shed/fail: closes the request span and drops a control mark.
+  void obs_terminal(const Outcome& record, Cycle now);
+  /// A batch committed to a device: per-request kDispatch events, the busy
+  /// span, measured exec windows per distinct class, and (engine_spans)
+  /// engine sub-spans anchored at `now`.
+  void obs_dispatch(Device& device, const DispatchBatch& batch, Cycle now);
+  /// The device's batch finished: closes the busy span (before the
+  /// per-record kComplete events).
+  void obs_device_complete(const Device& device, Cycle now);
+  void obs_complete(const Outcome& record, Cycle now);
+  /// End-of-run publication: closes trailing health spans, stops the run,
+  /// publishes the report's metrics into the Registry and snapshots the
+  /// ExecWindowLog onto the report. Called from assemble_report.
+  void obs_finish_run(ServeReport& report, Cycle now);
+  /// When engine-span capture is on, runs one traced execution through
+  /// `device`'s engine and memoizes its window template under `exec_key`;
+  /// returns the result (results are identical to the untraced run).
+  [[nodiscard]] core::ExecutionResult obs_traced_run(Device& device,
+                                                     const core::SimulationRequest& sim,
+                                                     const std::string& exec_key);
+  /// Whether dispatch-time class executions should route through
+  /// obs_traced_run instead of run_batch.
+  [[nodiscard]] bool obs_wants_engine_spans() const {
+    return obs_ != nullptr && obs_->options().engine_spans;
+  }
+  [[nodiscard]] std::uint32_t device_index(const Device& device) const {
+    return static_cast<std::uint32_t>(&device - devices_.data());
+  }
 
   // ---- Serving-pipeline state (server_pipeline.cpp). -----------------------
   /// The optimized event loop behind serve(); nested so it can reach the

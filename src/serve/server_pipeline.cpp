@@ -375,6 +375,7 @@ struct Server::Pipeline {
                             : klass.slo_ms > 0.0     ? klass.slo_ms
                                                      : server.options_.default_slo_ms;
     records.push_back(std::move(record));
+    server.obs_admit(records.back(), a.tier, a.sampled.get());
 
     if (server.options_.queue_capacity > 0 &&
         scheduler->depth() >= server.options_.queue_capacity) {
@@ -382,6 +383,7 @@ struct Server::Pipeline {
       shed.shed = true;
       shed.dispatch = now;
       shed.completion = now;
+      server.obs_terminal(shed, now);
       feed_back(shed);
       return;
     }
@@ -421,7 +423,18 @@ struct Server::Pipeline {
     for (const QueuedRequest* q : missing_reps) {
       sims.push_back(server.sim_for_device(q->request.sim, device));
     }
-    std::vector<core::ExecutionResult> results = device.engine->run_batch(sims);
+    std::vector<core::ExecutionResult> results;
+    if (server.obs_wants_engine_spans()) {
+      // Serial traced executions, memoizing window templates (identical
+      // results — mirrors ensure_class_results in server.cpp).
+      results.reserve(sims.size());
+      for (std::size_t i = 0; i < sims.size(); ++i) {
+        results.push_back(server.obs_traced_run(
+            device, sims[i], server.exec_key(*missing_reps[i], device)));
+      }
+    } else {
+      results = device.engine->run_batch(sims);
+    }
     for (std::size_t i = 0; i < missing_cids.size(); ++i) {
       if (!server.options_.collect_results) {
         results[i].output.reset();
@@ -497,6 +510,7 @@ struct Server::Pipeline {
         }
         record.dispatch = now;
         record.completion = now;
+        server.obs_terminal(record, now);
         feed_back(record);
         return true;
       });
@@ -514,6 +528,7 @@ struct Server::Pipeline {
       // Same sequential commit point as the reference loop (see server.cpp).
       server.commit_sampled_gather(batch);
     }
+    server.obs_dispatch(device, batch, now);
     const auto& slot = server.results_by_id_[exec_slot(device)];
     for (const QueuedRequest& queued : batch.requests) {
       Outcome& record = records[queued.request.id];
@@ -621,6 +636,7 @@ struct Server::Pipeline {
             record.failed = true;
             record.dispatch = now;
             record.completion = now;
+            server.obs_terminal(record, now);
             feed_back(record);
           }
         }
@@ -637,8 +653,10 @@ struct Server::Pipeline {
         if (device.inflight_ids.empty() || device.busy_until != now) {
           continue;
         }
+        server.obs_device_complete(device, now);
         for (const std::uint64_t id : device.inflight_ids) {
           records[id].completion = now;
+          server.obs_complete(records[id], now);
           server.elastic_on_complete(er, records[id]);
           feed_back(records[id]);
         }
@@ -712,6 +730,7 @@ ServeReport Server::serve(WorkloadSource& workload) {
       pool = pool_.get();
     }
   }
+  obs_begin_run();
   Pipeline pipeline(*this, workload, pool);
   return pipeline.run();
 }

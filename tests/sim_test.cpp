@@ -223,5 +223,40 @@ TEST(Trace, RespectsEventCap) {
   EXPECT_EQ(tracer.events().size(), 3u);
 }
 
+TEST(Trace, CountsDroppedEventsAndReportsTruncation) {
+  Tracer tracer;
+  tracer.enable(/*max_events=*/3);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_FALSE(tracer.truncated());
+  for (int i = 0; i < 10; ++i) {
+    tracer.emit(static_cast<Cycle>(i), "c", "e");
+  }
+  EXPECT_EQ(tracer.dropped(), 7u);
+  EXPECT_TRUE(tracer.truncated());
+  // The formatter must announce the truncation, not render a silently
+  // complete-looking trace.
+  const std::string s = tracer.to_string();
+  EXPECT_NE(s.find("7"), std::string::npos) << s;
+  EXPECT_NE(s.find("dropped"), std::string::npos) << s;
+
+  // clear() and enable() both reset the counter.
+  tracer.clear();
+  EXPECT_EQ(tracer.dropped(), 0u);
+  tracer.emit(0, "c", "e");
+  tracer.emit(1, "c", "e");
+  tracer.emit(2, "c", "e");
+  tracer.emit(3, "c", "e");
+  EXPECT_EQ(tracer.dropped(), 1u);
+  tracer.enable(/*max_events=*/3);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.to_string().find("dropped"), std::string::npos);
+
+  // Events ignored while disabled are not "dropped": a disabled tracer is
+  // a null sink, not a full one.
+  Tracer off;
+  off.emit(1, "c", "e");
+  EXPECT_EQ(off.dropped(), 0u);
+}
+
 }  // namespace
 }  // namespace gnnerator::sim
