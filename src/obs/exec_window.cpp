@@ -33,9 +33,9 @@ std::vector<ExecWindow> ExecWindowLog::snapshot() const {
   return out;
 }
 
-const ExecWindow* ExecWindowLog::find(const std::string& plan_class,
-                                      const std::string& device_class) const {
-  const auto it = windows_.find({plan_class, device_class});
+const ExecWindow* ExecWindowLog::find(std::string_view plan_class,
+                                      std::string_view device_class) const {
+  const auto it = windows_.find(std::pair(plan_class, device_class));
   return it == windows_.end() ? nullptr : &it->second;
 }
 

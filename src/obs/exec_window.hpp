@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -42,14 +43,30 @@ class ExecWindowLog {
   /// All pairs, sorted by (plan class, device class).
   [[nodiscard]] std::vector<ExecWindow> snapshot() const;
   /// Null when the pair has never been observed.
-  [[nodiscard]] const ExecWindow* find(const std::string& plan_class,
-                                       const std::string& device_class) const;
+  [[nodiscard]] const ExecWindow* find(std::string_view plan_class,
+                                       std::string_view device_class) const;
   [[nodiscard]] std::size_t size() const { return windows_.size(); }
   [[nodiscard]] std::uint64_t total_observations() const { return total_observations_; }
 
  private:
+  /// Transparent (plan class, device class) order: pre-C++23 std::pair has no
+  /// heterogeneous comparisons, so string_view probes need an explicit
+  /// comparator to avoid building two temporary strings per lookup.
+  struct PairLess {
+    using is_transparent = void;
+    template <typename A, typename B, typename C, typename D>
+    bool operator()(const std::pair<A, B>& lhs, const std::pair<C, D>& rhs) const {
+      const std::string_view lf{lhs.first};
+      const std::string_view rf{rhs.first};
+      if (lf != rf) {
+        return lf < rf;
+      }
+      return std::string_view{lhs.second} < std::string_view{rhs.second};
+    }
+  };
+
   double alpha_;
-  std::map<std::pair<std::string, std::string>, ExecWindow> windows_;
+  std::map<std::pair<std::string, std::string>, ExecWindow, PairLess> windows_;
   std::uint64_t total_observations_ = 0;
 };
 

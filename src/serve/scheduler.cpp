@@ -2,14 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cmath>
 #include <deque>
 #include <limits>
 #include <map>
 #include <sstream>
 #include <utility>
 
-#include "core/compiler.hpp"
 #include "util/check.hpp"
 
 namespace gnnerator::serve {
@@ -53,11 +51,16 @@ std::vector<const QueuedRequest*> Scheduler::ready(Cycle /*now*/) const { return
 
 std::optional<QueuedRequest> Scheduler::try_take(std::uint64_t /*id*/) { return std::nullopt; }
 
+void Scheduler::charge(std::size_t /*tier*/, std::uint64_t /*cost*/) {}
+
+std::uint64_t Scheduler::queued_cost() const { return 0; }
+
 namespace {
 
 class FifoScheduler final : public Scheduler {
  public:
   void enqueue(QueuedRequest queued, Cycle /*now*/) override {
+    queued_cost_ += queued.cost_estimate;
     queue_.push_back(std::move(queued));
   }
 
@@ -66,6 +69,7 @@ class FifoScheduler final : public Scheduler {
       return std::nullopt;
     }
     DispatchBatch batch;
+    queued_cost_ -= queue_.front().cost_estimate;
     batch.requests.push_back(std::move(queue_.front()));
     queue_.pop_front();
     return batch;
@@ -77,13 +81,17 @@ class FifoScheduler final : public Scheduler {
 
   [[nodiscard]] std::size_t depth() const override { return queue_.size(); }
 
+  [[nodiscard]] std::uint64_t queued_cost() const override { return queued_cost_; }
+
  private:
   std::deque<QueuedRequest> queue_;
+  std::uint64_t queued_cost_ = 0;
 };
 
 class SjfScheduler final : public Scheduler {
  public:
   void enqueue(QueuedRequest queued, Cycle /*now*/) override {
+    queued_cost_ += queued.cost_estimate;
     queue_.push_back(std::move(queued));
   }
 
@@ -99,6 +107,7 @@ class SjfScheduler final : public Scheduler {
           return a.request.id < b.request.id;  // FIFO among equal-cost jobs
         });
     DispatchBatch batch;
+    queued_cost_ -= it->cost_estimate;
     batch.requests.push_back(std::move(*it));
     queue_.erase(it);
     return batch;
@@ -110,8 +119,11 @@ class SjfScheduler final : public Scheduler {
 
   [[nodiscard]] std::size_t depth() const override { return queue_.size(); }
 
+  [[nodiscard]] std::uint64_t queued_cost() const override { return queued_cost_; }
+
  private:
   std::vector<QueuedRequest> queue_;
+  std::uint64_t queued_cost_ = 0;
 };
 
 class DynamicBatchScheduler final : public Scheduler {
@@ -127,6 +139,7 @@ class DynamicBatchScheduler final : public Scheduler {
       group.deadline = now + limits_.batch_window;
       group.opened_by = queued.request.id;
     }
+    queued_cost_ += queued.cost_estimate;
     group.members.push_back(std::move(queued));
     ++depth_;
   }
@@ -153,6 +166,9 @@ class DynamicBatchScheduler final : public Scheduler {
     if (group.members.size() <= limits_.max_batch) {
       batch.requests = std::move(group.members);
       depth_ -= batch.requests.size();
+      for (const QueuedRequest& queued : batch.requests) {
+        queued_cost_ -= queued.cost_estimate;
+      }
       groups_.erase(best);
       return batch;
     }
@@ -166,6 +182,9 @@ class DynamicBatchScheduler final : public Scheduler {
                         group.members.begin() + static_cast<std::ptrdiff_t>(limits_.max_batch));
     group.opened_by = group.members.front().request.id;
     depth_ -= batch.requests.size();
+    for (const QueuedRequest& queued : batch.requests) {
+      queued_cost_ -= queued.cost_estimate;
+    }
     return batch;
   }
 
@@ -178,6 +197,8 @@ class DynamicBatchScheduler final : public Scheduler {
   }
 
   [[nodiscard]] std::size_t depth() const override { return depth_; }
+
+  [[nodiscard]] std::uint64_t queued_cost() const override { return queued_cost_; }
 
  private:
   struct Group {
@@ -194,6 +215,7 @@ class DynamicBatchScheduler final : public Scheduler {
   /// Keyed by class; std::map so every scan order is deterministic.
   std::map<std::string, Group> groups_;
   std::size_t depth_ = 0;
+  std::uint64_t queued_cost_ = 0;
 };
 
 /// The queue behind the affinity (HEFT) policy: arrival order, but the
@@ -206,6 +228,7 @@ class DynamicBatchScheduler final : public Scheduler {
 class AffinityScheduler final : public Scheduler {
  public:
   void enqueue(QueuedRequest queued, Cycle /*now*/) override {
+    queued_cost_ += queued.cost_estimate;
     queue_.push_back(std::move(queued));
   }
 
@@ -214,6 +237,7 @@ class AffinityScheduler final : public Scheduler {
       return std::nullopt;
     }
     DispatchBatch batch;
+    queued_cost_ -= queue_.front().cost_estimate;
     batch.requests.push_back(std::move(queue_.front()));
     queue_.pop_front();
     return batch;
@@ -238,6 +262,7 @@ class AffinityScheduler final : public Scheduler {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (it->request.id == id) {
         QueuedRequest taken = std::move(*it);
+        queued_cost_ -= taken.cost_estimate;
         queue_.erase(it);
         return taken;
       }
@@ -245,8 +270,11 @@ class AffinityScheduler final : public Scheduler {
     return std::nullopt;
   }
 
+  [[nodiscard]] std::uint64_t queued_cost() const override { return queued_cost_; }
+
  private:
   std::deque<QueuedRequest> queue_;
+  std::uint64_t queued_cost_ = 0;
 };
 
 /// Priority + weighted-fair front end over per-tier instances of the
@@ -294,10 +322,13 @@ class TieredScheduler final : public Scheduler {
   }
 
   std::optional<DispatchBatch> pop(Cycle now) override {
+    // No virtual-time charge here: the server charges at dispatch commit
+    // (Scheduler::charge) with the cost of the device class that actually
+    // executes — a pop-time charge could only use the canonical-class
+    // estimate, which misprices tiers on heterogeneous fleets.
     for (const std::size_t tier : eligible_order(now)) {
       std::optional<DispatchBatch> batch = inners_[tier]->pop(now);
       if (batch.has_value()) {
-        charge(tier, *batch);
         return batch;
       }
     }
@@ -340,16 +371,29 @@ class TieredScheduler final : public Scheduler {
   }
 
   std::optional<QueuedRequest> try_take(std::uint64_t id) override {
+    // Like pop(): the virtual-time charge lands at dispatch commit via
+    // charge(), priced for the device the server actually placed on.
     for (std::size_t tier = 0; tier < inners_.size(); ++tier) {
       std::optional<QueuedRequest> taken = inners_[tier]->try_take(id);
       if (taken.has_value()) {
-        virtual_time_[tier] +=
-            static_cast<double>(std::max<std::uint64_t>(taken->cost_estimate, 1)) /
-            classes_[tier].weight;
         return taken;
       }
     }
     return std::nullopt;
+  }
+
+  void charge(std::size_t tier, std::uint64_t cost) override {
+    GNNERATOR_CHECK_MSG(tier < classes_.size(), "WFQ charge against unknown tier");
+    virtual_time_[tier] +=
+        static_cast<double>(std::max<std::uint64_t>(cost, 1)) / classes_[tier].weight;
+  }
+
+  [[nodiscard]] std::uint64_t queued_cost() const override {
+    std::uint64_t total = 0;
+    for (const std::unique_ptr<Scheduler>& inner : inners_) {
+      total += inner->queued_cost();
+    }
+    return total;
   }
 
  private:
@@ -372,14 +416,6 @@ class TieredScheduler final : public Scheduler {
       return a < b;
     });
     return order;
-  }
-
-  void charge(std::size_t tier, const DispatchBatch& batch) {
-    std::uint64_t cost = 0;
-    for (const QueuedRequest& queued : batch.requests) {
-      cost += std::max<std::uint64_t>(queued.cost_estimate, 1);
-    }
-    virtual_time_[tier] += static_cast<double>(cost) / classes_[tier].weight;
   }
 
   std::vector<RequestClass> classes_;
@@ -448,36 +484,6 @@ std::string request_class_key(std::string_view dataset_key,
     os << ",w" << sim.weight_seed;  // functional results depend on the seed
   }
   return os.str();
-}
-
-std::uint64_t JobCostModel::estimate(const graph::Dataset& dataset,
-                                     const core::SimulationRequest& sim,
-                                     const std::string& class_key) {
-  if (const auto it = memo_.find(class_key); it != memo_.end()) {
-    return it->second;
-  }
-  const std::uint64_t estimate = compute(dataset, sim);
-  ++pipeline_runs_;
-  memo_.emplace(class_key, estimate);
-  return estimate;
-}
-
-std::optional<std::uint64_t> JobCostModel::lookup(const std::string& class_key) const {
-  const auto it = memo_.find(class_key);
-  return it != memo_.end() ? std::optional<std::uint64_t>(it->second) : std::nullopt;
-}
-
-void JobCostModel::prime(const std::string& class_key, std::uint64_t estimate) {
-  if (memo_.emplace(class_key, estimate).second) {
-    ++pipeline_runs_;
-  }
-}
-
-std::uint64_t JobCostModel::compute(const graph::Dataset& dataset,
-                                    const core::SimulationRequest& sim) {
-  core::Compiler compiler(dataset.graph, sim.config, sim.dataflow);
-  const double cycles = compiler.estimate_cycles(sim.model);
-  return static_cast<std::uint64_t>(std::llround(std::max(cycles, 1.0)));
 }
 
 }  // namespace gnnerator::serve

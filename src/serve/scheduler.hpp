@@ -5,7 +5,6 @@
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/datasets.hpp"
@@ -19,10 +18,11 @@ namespace gnnerator::serve {
 ///
 ///   * kFifo          — strict arrival order, one request per dispatch.
 ///   * kSjf           — shortest job first: the queued request with the
-///                      smallest analytic cost estimate
-///                      (core::Compiler::estimate_cycles over resolved
-///                      stage choices) dispatches first; ties break to the
-///                      lower id so the order is total and deterministic.
+///                      smallest blended cost estimate (core::CostOracle —
+///                      the analytic compiler estimate calibrated by the
+///                      measured per-class execution history) dispatches
+///                      first; ties break to the lower id so the order is
+///                      total and deterministic.
 ///   * kDynamicBatch  — requests of the same plan-compatibility class
 ///                      coalesce into one device batch; a class's batch
 ///                      dispatches when its window expires or it reaches
@@ -70,8 +70,9 @@ struct QueuedRequest {
   /// Non-null iff request.is_sampled(): the resolved frontier sample and
   /// its compatibility keys. Opaque to scheduler policies.
   std::shared_ptr<const SampledQuery> sampled;
-  /// SJF's job-size oracle value (estimated service cycles, evaluated under
-  /// the fleet's canonical device class).
+  /// SJF's job-size oracle value: estimated service cycles under the
+  /// fleet's canonical device class, blended with the measured execution
+  /// history at admission (core::CostOracle::blend).
   std::uint64_t cost_estimate = 0;
   /// Index of the request class (SLO tier) the admission controller
   /// resolved; routes the request inside a TieredScheduler.
@@ -146,6 +147,18 @@ class Scheduler {
   /// Removes and returns the queued request with `id` (previously seen via
   /// ready()); nullopt when this scheduler does not hold it.
   virtual std::optional<QueuedRequest> try_take(std::uint64_t id);
+
+  /// Charges `cost` service cycles against `tier`'s weighted-fair virtual
+  /// time. The server calls this at dispatch commit with the cost of the
+  /// device class that actually executes the batch — not the canonical-class
+  /// estimate the batch was queued with, which over/under-charges tiers on
+  /// heterogeneous fleets. No-op for bare (single-tier) schedulers.
+  virtual void charge(std::size_t tier, std::uint64_t cost);
+
+  /// Sum of the queued requests' cost estimates — the backlog in estimated
+  /// service cycles, a sharper autoscaling signal than depth() when request
+  /// sizes are skewed. Default 0 for schedulers that do not track it.
+  [[nodiscard]] virtual std::uint64_t queued_cost() const;
 };
 
 /// Creates the scheduler for a policy. When more than one request class
@@ -163,42 +176,5 @@ class Scheduler {
 /// `dataset_key` is the registered dataset's structural fingerprint.
 [[nodiscard]] std::string request_class_key(std::string_view dataset_key,
                                             const core::SimulationRequest& sim);
-
-/// SJF's job-size oracle: analytic service-cycle estimates from the
-/// compiler's autotune cost model (Table I ShardCostBreakdown traffic +
-/// SCALE-Sim tile sums), memoized per class key. Keys are per (plan class,
-/// device class): the canonical class key for SJF/WFQ, the
-/// config-substituted key for each device class under the affinity policy —
-/// so every analytic pipeline run happens once per pair, however many
-/// dispatch decisions consult it (first step toward the ROADMAP
-/// core::CostOracle). Deterministic and microsecond-cheap per distinct
-/// class.
-class JobCostModel {
- public:
-  std::uint64_t estimate(const graph::Dataset& dataset, const core::SimulationRequest& sim,
-                         const std::string& class_key);
-
-  /// Memo probe without computing (the serving pipeline's sequential merge
-  /// phase uses it to find which classes a worker slice must price).
-  [[nodiscard]] std::optional<std::uint64_t> lookup(const std::string& class_key) const;
-
-  /// Inserts a cost computed via compute() outside the model (a parallel
-  /// worker slice); counts as one pipeline run.
-  void prime(const std::string& class_key, std::uint64_t estimate);
-
-  /// The pure analytic estimate — no memo touch, safe to call from
-  /// concurrent worker slices.
-  [[nodiscard]] static std::uint64_t compute(const graph::Dataset& dataset,
-                                             const core::SimulationRequest& sim);
-
-  /// How many times the analytic compiler pipeline actually ran (memo
-  /// misses). Regression tests assert this stays at one per distinct
-  /// (plan class, device class) pair regardless of trace length.
-  [[nodiscard]] std::size_t pipeline_runs() const { return pipeline_runs_; }
-
- private:
-  std::unordered_map<std::string, std::uint64_t> memo_;
-  std::size_t pipeline_runs_ = 0;
-};
 
 }  // namespace gnnerator::serve

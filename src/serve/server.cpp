@@ -55,7 +55,8 @@ constexpr std::size_t kEngineTraceCap = 1u << 20;
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       obs_(options_.recorder.get()),
-      plan_cache_(std::make_shared<core::PlanCache>(options_.plan_cache_capacity)) {
+      plan_cache_(std::make_shared<core::PlanCache>(options_.plan_cache_capacity)),
+      cost_oracle_(options_.cost_oracle) {
   GNNERATOR_CHECK_MSG(options_.clock_ghz > 0.0, "server needs a positive device clock");
 
   request_classes_ = options_.classes;
@@ -245,13 +246,29 @@ std::string Server::class_key(const core::SimulationRequest& sim) const {
 std::uint64_t Server::cost_estimate(const core::SimulationRequest& sim) {
   const RegisteredDataset& dataset = registered(sim.dataset);
   if (device_classes_.empty()) {
-    return cost_model_.estimate(*dataset.dataset, sim,
-                                request_class_key(dataset.fingerprint, sim));
+    return cost_oracle_.analytic(*dataset.dataset, sim,
+                                 request_class_key(dataset.fingerprint, sim));
   }
   core::SimulationRequest canonical = sim;
   canonical.config = device_classes_.front().config;
-  return cost_model_.estimate(*dataset.dataset, canonical,
-                              request_class_key(dataset.fingerprint, canonical));
+  return cost_oracle_.analytic(*dataset.dataset, canonical,
+                               request_class_key(dataset.fingerprint, canonical));
+}
+
+std::uint64_t Server::calibrated_cost_estimate(const core::SimulationRequest& sim) {
+  return blended_cost(cost_estimate(sim), class_key(sim));
+}
+
+std::uint64_t Server::blended_cost(std::uint64_t analytic, const std::string& class_key) const {
+  // Oracle windows are keyed (plan class, execution identity), where the
+  // execution identity is the plan-class key under the executing device's
+  // config (exec_key). The canonical estimate is priced under the canonical
+  // class's config — exactly what `class_key` itself encodes — so the
+  // canonical execution identity *is* the class key. Keying by config
+  // identity rather than class name is what lets two identically-configured
+  // device classes share measurements (the identical-class differential in
+  // tests/serve_property_test.cpp holds bitwise).
+  return cost_oracle_.blend(analytic, class_key, class_key);
 }
 
 Cycle Server::to_server_cycles(const Device& device, std::uint64_t device_cycles) const {
@@ -272,12 +289,28 @@ std::uint64_t Server::device_cost_estimate(const core::SimulationRequest& sim,
   const RegisteredDataset& dataset = registered(sim.dataset);
   const core::SimulationRequest swapped = sim_for_device(sim, device);
   const std::string key = request_class_key(dataset.fingerprint, swapped);
-  const std::uint64_t device_cycles = cost_model_.estimate(*dataset.dataset, swapped, key);
+  const std::uint64_t device_cycles = cost_oracle_.analytic(*dataset.dataset, swapped, key);
   return to_server_cycles(device, device_cycles) + options_.per_request_overhead;
 }
 
-std::uint64_t Server::queued_cost_estimate(const QueuedRequest& queued,
-                                           std::size_t device_index) {
+std::uint64_t Server::calibrated_device_cost_estimate(const core::SimulationRequest& sim,
+                                                      std::size_t device_index) {
+  GNNERATOR_CHECK(device_index < devices_.size());
+  const Device& device = devices_[device_index];
+  const RegisteredDataset& dataset = registered(sim.dataset);
+  // The execution identity under this device — what exec_key computes for a
+  // queued request.
+  const std::string identity =
+      request_class_key(dataset.fingerprint, sim_for_device(sim, device));
+  const auto exact = cost_oracle_.measured(class_key(sim), identity);
+  if (exact.has_value()) {
+    return to_server_cycles(device, *exact) + options_.per_request_overhead;
+  }
+  return device_cost_estimate(sim, device_index);
+}
+
+std::uint64_t Server::device_class_cycles(const QueuedRequest& queued,
+                                          std::size_t device_index) {
   const Device& device = devices_[device_index];
   // Legacy devices all estimate under the request's own config, so they
   // share one memo slot ("L").
@@ -291,20 +324,79 @@ std::uint64_t Server::queued_cost_estimate(const QueuedRequest& queued,
   if (it != device_estimates_.end()) {
     return it->second;
   }
-  std::uint64_t estimate = 0;
+  const core::SimulationRequest swapped = sim_for_device(queued.request.sim, device);
+  std::uint64_t device_cycles = 0;
   if (queued.sampled != nullptr) {
-    const core::SimulationRequest swapped = sim_for_device(queued.request.sim, device);
     const RegisteredDataset& base = registered(queued.request.sim.dataset);
     const std::string key = request_class_key(
         base.fingerprint + "~s" + queued.sampled->frontier->fingerprint, swapped);
-    estimate =
-        to_server_cycles(device, cost_model_.estimate(*queued.sampled->dataset, swapped, key)) +
-        options_.per_request_overhead;
+    device_cycles = cost_oracle_.analytic(*queued.sampled->dataset, swapped, key);
   } else {
-    estimate = device_cost_estimate(queued.request.sim, device_index);
+    const RegisteredDataset& dataset = registered(queued.request.sim.dataset);
+    const std::string key = request_class_key(dataset.fingerprint, swapped);
+    device_cycles = cost_oracle_.analytic(*dataset.dataset, swapped, key);
   }
-  device_estimates_.emplace(std::move(memo_key), estimate);
-  return estimate;
+  device_estimates_.emplace(std::move(memo_key), device_cycles);
+  return device_cycles;
+}
+
+std::uint64_t Server::queued_cost_estimate(const QueuedRequest& queued,
+                                           std::size_t device_index) {
+  const Device& device = devices_[device_index];
+  return to_server_cycles(device, device_class_cycles(queued, device_index)) +
+         options_.per_request_overhead;
+}
+
+Cycle Server::placement_estimate(const QueuedRequest& queued, const Device& device,
+                                 std::uint64_t analytic_estimate) {
+  if (queued.sampled != nullptr) {
+    // Sampled requests execute as fused compositions; the per-composition
+    // windows say nothing exact about one frontier, so placement stays on
+    // the analytic per-frontier estimate.
+    return analytic_estimate;
+  }
+  const auto exact = cost_oracle_.measured(queued.class_key, exec_key(queued, device));
+  if (!exact.has_value()) {
+    return analytic_estimate;
+  }
+  return to_server_cycles(device, *exact) + options_.per_request_overhead;
+}
+
+void Server::oracle_observe_dispatch(const Device& device, const DispatchBatch& batch) {
+  if (batch.requests.empty() || batch.requests.front().sampled != nullptr) {
+    return;  // fused sampled executions are not per-class measurements
+  }
+  std::vector<const std::string*> seen;
+  seen.reserve(batch.requests.size());
+  for (const QueuedRequest& q : batch.requests) {
+    const bool dup = std::any_of(seen.begin(), seen.end(),
+                                 [&](const std::string* k) { return *k == q.class_key; });
+    if (dup) {
+      continue;
+    }
+    seen.push_back(&q.class_key);
+    const std::string& identity = exec_key(q, device);
+    const auto it = class_results_.find(identity);
+    GNNERATOR_CHECK_MSG(it != class_results_.end(), "dispatch committed without class result");
+    cost_oracle_.observe(q.class_key, identity, it->second->cycles);
+  }
+}
+
+std::uint64_t Server::wfq_charge_cost(const DispatchBatch& batch, const Device& device) {
+  std::uint64_t cost = 0;
+  for (const QueuedRequest& q : batch.requests) {
+    std::uint64_t per_request = 0;
+    if (q.sampled != nullptr) {
+      // Fused sampled work: charge the queue-time estimate — the fused
+      // composition has no per-request measured counterpart.
+      per_request = q.cost_estimate;
+    } else {
+      const std::uint64_t raw = device_class_cycles(q, device_index(device));
+      per_request = cost_oracle_.blend(raw, q.class_key, exec_key(q, device));
+    }
+    cost += std::max<std::uint64_t>(per_request, 1);
+  }
+  return cost;
 }
 
 const std::string& Server::exec_key(const QueuedRequest& queued, const Device& device) {
@@ -406,7 +498,7 @@ std::uint64_t Server::sampled_cost_estimate(const Request& request,
   if (!device_classes_.empty()) {
     canonical.config = device_classes_.front().config;
   }
-  return cost_model_.estimate(*sampled.dataset, canonical, sampled.exact_key);
+  return cost_oracle_.analytic(*sampled.dataset, canonical, sampled.exact_key);
 }
 
 std::vector<const SampledQuery*> Server::sampled_composition(const DispatchBatch& batch) {
@@ -1175,7 +1267,8 @@ void Server::elastic_process(ElasticRun& er, Cycle now, Scheduler& scheduler,
     for (const Device& device : devices_) {
       active += device.health == DeviceHealth::kActive ? 1 : 0;
     }
-    const Autoscaler::Action action = er.autoscaler->evaluate(now, scheduler.depth(), active);
+    const Autoscaler::Action action =
+        er.autoscaler->evaluate(now, scheduler.depth(), active, scheduler.queued_cost());
     if (action == Autoscaler::Action::kUp && scale_up(now)) {
       ++er.scale_ups;
     } else if (action == Autoscaler::Action::kDown && scale_down(now)) {
@@ -1249,7 +1342,11 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
       queued.cost_estimate = sampled_cost_estimate(request, *queued.sampled);
     } else {
       queued.class_key = class_key(request.sim);
-      queued.cost_estimate = cost_estimate(request.sim);
+      // Blend at admission — a sequential event point in both serving
+      // loops, so the oracle state consulted here is identical whichever
+      // loop runs. (Sampled requests stay analytic: fused-composition
+      // windows are not per-frontier measurements.)
+      queued.cost_estimate = blended_cost(cost_estimate(request.sim), queued.class_key);
     }
 
     Outcome record;
@@ -1334,6 +1431,13 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
       commit_sampled_gather(batch);
     }
     obs_dispatch(device, batch, now);
+    oracle_observe_dispatch(device, batch);
+    if (request_classes_.size() > 1) {
+      // WFQ accounting at dispatch commit: charge the tier with the cost of
+      // the device class that actually executes the batch, not the
+      // canonical-class estimate it was queued with.
+      scheduler->charge(batch.requests.front().tier, wfq_charge_cost(batch, device));
+    }
     for (const QueuedRequest& queued : batch.requests) {
       Outcome outcome = records[queued.request.id];
       outcome.dispatch = now;
@@ -1376,7 +1480,7 @@ ServeReport Server::run_reference(WorkloadSource& workload) {
           }
           const bool busy = !device.inflight.empty();
           const Cycle start = busy ? device.busy_until : now;
-          const Cycle eft = start + queued_cost_estimate(*q, di);
+          const Cycle eft = start + placement_estimate(*q, device, queued_cost_estimate(*q, di));
           // Total order: earliest finish, then idle before busy, then the
           // lower device index (the scan order).
           if (best == devices_.size() || eft < best_eft ||

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/cost_oracle.hpp"
 #include "core/engine.hpp"
 #include "obs/recorder.hpp"
 #include "serve/autoscale.hpp"
@@ -118,6 +119,11 @@ struct ServerOptions {
   /// registry and exec-window history persist like the plan cache does.
   /// One recorder should serve one Server.
   std::shared_ptr<obs::Recorder> recorder;
+  /// The cost oracle's blend knobs (core/cost_oracle.hpp): EWMA alpha,
+  /// prior confidence, the blend on/off switch, and the optional autotune
+  /// tail calibration. Oracle state (analytic memo + measured windows)
+  /// persists across serve runs like the plan cache.
+  core::CostOracleOptions cost_oracle;
 };
 
 /// A simulated multi-device GNNerator serving deployment.
@@ -184,13 +190,28 @@ class Server {
   /// heterogeneous fleet the canonical (first) device class's config is
   /// substituted. The request's dataset must be registered.
   [[nodiscard]] std::string class_key(const core::SimulationRequest& sim) const;
-  /// The SJF job-size oracle's estimate for a request (cycles), as the
-  /// admission controller would compute it (canonical device class).
+  /// The analytic prior for a request (cycles) under the canonical device
+  /// class — the cold-start value; never consults measurements.
   [[nodiscard]] std::uint64_t cost_estimate(const core::SimulationRequest& sim);
-  /// The affinity oracle: estimated service cycles of a request on one
-  /// device, on the server timeline, including the per-request overhead.
+  /// cost_estimate blended with the measured execution history of
+  /// (plan class, canonical device class) — what SJF actually queues on
+  /// once observations exist.
+  [[nodiscard]] std::uint64_t calibrated_cost_estimate(const core::SimulationRequest& sim);
+  /// The analytic affinity oracle: estimated service cycles of a request on
+  /// one device, on the server timeline, including per-request overhead.
   [[nodiscard]] std::uint64_t device_cost_estimate(const core::SimulationRequest& sim,
                                                    std::size_t device);
+  /// device_cost_estimate with the measured-exact execution substituted
+  /// when the oracle has observed this (plan class, device class) — what
+  /// affinity placement actually uses.
+  [[nodiscard]] std::uint64_t calibrated_device_cost_estimate(
+      const core::SimulationRequest& sim, std::size_t device);
+  /// The measurement-calibrated cost oracle (analytic memo + measured
+  /// (plan class, device class) windows; state persists across runs).
+  [[nodiscard]] const core::CostOracle& cost_oracle() const { return cost_oracle_; }
+  /// Mutable oracle access (tests inject observations; callers may seed a
+  /// tail calibration fit between runs).
+  [[nodiscard]] core::CostOracle& mutable_cost_oracle() { return cost_oracle_; }
   [[nodiscard]] std::size_t num_devices() const { return devices_.size(); }
   /// The device class of one worker; the empty legacy class (no config
   /// override) when ServerOptions::fleet was empty.
@@ -200,7 +221,7 @@ class Server {
   /// How many times the cost oracle actually ran the analytic compiler
   /// pipeline (one per distinct (plan class, device class) pair; the
   /// memoization regression asserts this stays flat in trace length).
-  [[nodiscard]] std::size_t cost_oracle_runs() const { return cost_model_.pipeline_runs(); }
+  [[nodiscard]] std::size_t cost_oracle_runs() const { return cost_oracle_.pipeline_runs(); }
 
   // ---- Runtime fleet mutation (FGNN-style role/capacity changes). ----------
   // Callable between serve runs; the next run's schedulers and affinity
@@ -366,16 +387,18 @@ class Server {
   std::shared_ptr<core::PlanCache> plan_cache_;
   std::vector<Device> devices_;
   std::map<std::string, RegisteredDataset, std::less<>> datasets_;
-  JobCostModel cost_model_;
+  /// The one estimator every consumer asks: analytic prior memo + measured
+  /// (plan class, device class) execution windows (core/cost_oracle.hpp).
+  core::CostOracle cost_oracle_;
   /// class key -> canonical execution result (cycles + output), computed
   /// once per (plan class, device class) for the whole fleet.
   std::unordered_map<std::string, std::shared_ptr<const core::ExecutionResult>> class_results_;
   /// (device class index, plan class key) -> execution-memo key.
   std::unordered_map<std::string, std::string> exec_keys_;
-  /// (device class index, plan class key) -> affinity EFT estimate in
-  /// server cycles (incl. per-request overhead). The affinity dispatcher
-  /// evaluates estimates on every scan; this keeps each evaluation a hash
-  /// lookup instead of a key rebuild + cost-model query.
+  /// (device class index, plan class key) -> analytic *device* cycles (no
+  /// clock conversion, no overhead). Raw so WFQ charges and affinity
+  /// placement can blend against measured windows, which are recorded in
+  /// device cycles; queued_cost_estimate converts onto the server timeline.
   std::unordered_map<std::string, std::uint64_t> device_estimates_;
   /// (dataset | seed | fanout) -> resolved sampled query, so repeated seeds
   /// sample once and coalesce (the sampled analogue of class_results_).
@@ -390,6 +413,36 @@ class Server {
 
   [[nodiscard]] std::uint64_t queued_cost_estimate(const QueuedRequest& queued,
                                                    std::size_t device_index);
+
+  // ---- Cost-oracle plumbing (shared by both event loops). ------------------
+  // All mutation happens at sequential event points (admission pricing,
+  // dispatch commit) in the identical order in serve() and run_reference(),
+  // so oracle state — and every decision derived from it — stays bitwise
+  // comparable across loops and sim_threads values.
+
+  /// The admission-time queue cost: the canonical analytic estimate blended
+  /// with the measured history of the canonical execution identity (the
+  /// class key itself — see the definition for why).
+  [[nodiscard]] std::uint64_t blended_cost(std::uint64_t analytic,
+                                           const std::string& class_key) const;
+  /// Feeds the batch's measured executions (one per distinct class) into
+  /// the oracle. Called at dispatch commit, right after obs_dispatch;
+  /// sampled batches are skipped (a fused composition's cycles are not a
+  /// per-frontier measurement).
+  void oracle_observe_dispatch(const Device& device, const DispatchBatch& batch);
+  /// WFQ virtual-time charge of a committed batch: per-request blended cost
+  /// under the device class that actually executes (bug fix: the queue-time
+  /// canonical-class estimate misprices tiers on heterogeneous fleets).
+  [[nodiscard]] std::uint64_t wfq_charge_cost(const DispatchBatch& batch, const Device& device);
+  /// Raw analytic device cycles of one request on one device's class,
+  /// memoized in device_estimates_.
+  [[nodiscard]] std::uint64_t device_class_cycles(const QueuedRequest& queued,
+                                                  std::size_t device_index);
+  /// Affinity EFT: swaps the analytic estimate for the measured-exact
+  /// service time once the oracle has observed the request's execution
+  /// identity on this device's class. Non-const: interns the identity key.
+  [[nodiscard]] Cycle placement_estimate(const QueuedRequest& queued, const Device& device,
+                                         std::uint64_t analytic_estimate);
 
   // ---- Elastic serving machinery (faults, requeues, autoscaling). ----------
   // Both event loops drive one ElasticRun through the same Server hooks at

@@ -10,8 +10,14 @@
 ///      written);
 ///   B. sequential merge — class keys interned into the dense registry,
 ///      classes missing a canonical cost collected;
-///   C. pure pricing — JobCostModel::compute per missing class, fanned out;
-///   D. sequential publish — costs primed into the cost model and registry.
+///   C. pure pricing — core::CostOracle::compute per missing class, fanned
+///      out (const: no oracle state is touched until the sequential prime);
+///   D. sequential publish — costs primed into the cost oracle and registry.
+///
+/// The annotated cost is the *analytic* prior; the measurement blend
+/// happens at admit(), a sequential event point, so a chunk annotated far
+/// ahead of the loop never bakes in an oracle state the reference loop
+/// would not have seen at the same admission.
 ///
 /// The event loop itself is sequential: scheduler mutations, engine
 /// simulations and closed-loop RNG draws happen in exactly the reference
@@ -57,7 +63,7 @@ struct Server::Pipeline {
     std::string key;            ///< canonical plan-class key (phase A)
     std::uint32_t class_id = 0; ///< dense id (phase B)
     std::size_t tier = 0;       ///< request class index (phase A)
-    std::uint64_t cost = 0;     ///< canonical cost-oracle value (phase D)
+    std::uint64_t cost = 0;     ///< canonical analytic cost (phase D; blended at admit)
     /// Sampled requests: the drawn frontier (phase A — sampling is a pure
     /// function of the request, so it fans out; phase B dedups into the
     /// shared memo) and its memo key.
@@ -203,7 +209,7 @@ struct Server::Pipeline {
     a.class_id = it->second;
   }
 
-  /// The canonical cost estimate, JobCostModel::compute is clamped to >= 1,
+  /// The canonical analytic cost. CostOracle::compute is clamped to >= 1,
   /// so 0 doubles as "not yet priced" in the registry.
   [[nodiscard]] std::uint64_t compute_cost(const Annotated& a) const {
     const Request& r = a.request;
@@ -212,15 +218,15 @@ struct Server::Pipeline {
       if (!server.device_classes_.empty()) {
         canonical.config = server.device_classes_.front().config;
       }
-      return JobCostModel::compute(*a.sampled->dataset, canonical);
+      return server.cost_oracle_.compute(*a.sampled->dataset, canonical);
     }
     const RegisteredDataset& dataset = server.registered(r.sim.dataset);
     if (server.device_classes_.empty()) {
-      return JobCostModel::compute(*dataset.dataset, r.sim);
+      return server.cost_oracle_.compute(*dataset.dataset, r.sim);
     }
     core::SimulationRequest canonical = r.sim;
     canonical.config = server.device_classes_.front().config;
-    return JobCostModel::compute(*dataset.dataset, canonical);
+    return server.cost_oracle_.compute(*dataset.dataset, canonical);
   }
 
   /// Annotates one chunk through phases A-D (see the file comment).
@@ -259,7 +265,7 @@ struct Server::Pipeline {
       if (pc.cost_estimate == 0 &&
           std::find(missing_cids.begin(), missing_cids.end(), a.class_id) ==
               missing_cids.end()) {
-        if (const auto known = server.cost_model_.lookup(pc.key)) {
+        if (const auto known = server.cost_oracle_.lookup(pc.key)) {
           pc.cost_estimate = *known;
         } else {
           missing_cids.push_back(a.class_id);
@@ -289,7 +295,7 @@ struct Server::Pipeline {
     // exactly what the reference loop would have computed lazily.
     for (std::size_t i = 0; i < missing_cids.size(); ++i) {
       PlanClass& pc = server.plan_classes_[missing_cids[i]];
-      server.cost_model_.prime(pc.key, costs[i]);
+      server.cost_oracle_.prime(pc.key, costs[i]);
       pc.cost_estimate = costs[i];
     }
     for (Annotated& a : buffer) {
@@ -345,18 +351,18 @@ struct Server::Pipeline {
   }
 
   /// The serial annotation path for feedback arrivals (one at a time, so
-  /// the chunk machinery would be overhead). Leaves the cost model in the
+  /// the chunk machinery would be overhead). Leaves the cost oracle in the
   /// exact state the reference admit would.
   void annotate_serial(Annotated& a) {
     annotate_fields(a);
     intern(a);
     PlanClass& pc = server.plan_classes_[a.class_id];
     if (pc.cost_estimate == 0) {
-      if (const auto known = server.cost_model_.lookup(pc.key)) {
+      if (const auto known = server.cost_oracle_.lookup(pc.key)) {
         pc.cost_estimate = *known;
       } else {
         const std::uint64_t cost = compute_cost(a);
-        server.cost_model_.prime(pc.key, cost);
+        server.cost_oracle_.prime(pc.key, cost);
         pc.cost_estimate = cost;
       }
     }
@@ -387,8 +393,14 @@ struct Server::Pipeline {
       feed_back(shed);
       return;
     }
+    // Blend the annotated analytic cost with the measured history *here* —
+    // admission is a sequential event point shared with the reference loop,
+    // so the oracle windows consulted are identical whichever loop runs.
+    // (Sampled requests stay analytic; see Server::run_reference's admit.)
+    const std::uint64_t cost =
+        a.sampled != nullptr ? a.cost : server.blended_cost(a.cost, a.key);
     scheduler->enqueue(QueuedRequest{std::move(a.request), std::move(a.key),
-                                     std::move(a.sampled), a.cost, a.tier, a.class_id},
+                                     std::move(a.sampled), cost, a.tier, a.class_id},
                        now);
   }
 
@@ -529,6 +541,13 @@ struct Server::Pipeline {
       server.commit_sampled_gather(batch);
     }
     server.obs_dispatch(device, batch, now);
+    server.oracle_observe_dispatch(device, batch);
+    if (server.request_classes_.size() > 1) {
+      // WFQ accounting at dispatch commit — mirrors the reference loop:
+      // charge the tier with the executing device class's cost.
+      scheduler->charge(batch.requests.front().tier,
+                        server.wfq_charge_cost(batch, device));
+    }
     const auto& slot = server.results_by_id_[exec_slot(device)];
     for (const QueuedRequest& queued : batch.requests) {
       Outcome& record = records[queued.request.id];
@@ -566,7 +585,7 @@ struct Server::Pipeline {
           }
           const bool busy = !device.inflight_ids.empty();
           const Cycle start = busy ? device.busy_until : now;
-          const Cycle eft = start + estimate_fast(*q, di);
+          const Cycle eft = start + server.placement_estimate(*q, device, estimate_fast(*q, di));
           if (best == server.devices_.size() || eft < best_eft ||
               (eft == best_eft && !busy && best_busy)) {
             best = di;
